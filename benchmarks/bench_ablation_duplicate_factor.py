@@ -1,0 +1,100 @@
+"""A1 — ablation: compression ratio vs duplicate factor.
+
+Smart duplicate compression wins exactly as much as the data repeats:
+the paper's worst case for saledtl is every product selling every day
+(one group per product-day regardless of transaction volume).  This
+sweep varies transactions-per-product and verifies the auxiliary view's
+size stays constant while the fact table grows linearly — i.e. the
+compression factor is proportional to the duplicate factor.
+"""
+
+from repro.core.derivation import derive_auxiliary_views
+from repro.workloads.retail import (
+    RetailConfig,
+    build_retail_database,
+    product_sales_view,
+)
+
+from conftest import banner
+
+DUPLICATE_FACTORS = (1, 2, 5, 10)
+
+
+def sweep_duplicate_factor():
+    results = []
+    for transactions in DUPLICATE_FACTORS:
+        config = RetailConfig(
+            days=20,
+            stores=2,
+            products=30,
+            products_sold_per_day=30,   # worst case: all products daily
+            transactions_per_product=transactions,
+            start_year=1997,
+            seed=3,
+        )
+        database = build_retail_database(config)
+        view = product_sales_view(1997)
+        aux = derive_auxiliary_views(view, database)
+        saledtl = aux.materialize(database)["sale"]
+        fact = database.relation("sale")
+        results.append(
+            {
+                "txns_per_product": transactions,
+                "fact_rows": len(fact),
+                "aux_rows": len(saledtl),
+                "ratio": fact.size_bytes() / saledtl.size_bytes(),
+            }
+        )
+    return results
+
+
+def test_compression_tracks_duplicate_factor(benchmark):
+    results = benchmark.pedantic(sweep_duplicate_factor, rounds=1, iterations=1)
+
+    print(banner("A1 - compression ratio vs duplicate factor"))
+    print(f"{'txns/product':<14}{'fact rows':<12}{'saledtl rows':<14}{'bytes ratio':<12}")
+    for row in results:
+        print(
+            f"{row['txns_per_product']:<14}{row['fact_rows']:<12}"
+            f"{row['aux_rows']:<14}{row['ratio']:<12.2f}"
+        )
+
+    # The auxiliary view is capped at one group per (day, product): its
+    # size must not grow with the duplicate factor.
+    aux_rows = {row["aux_rows"] for row in results}
+    assert len(aux_rows) == 1
+    assert aux_rows == {20 * 30}
+    # The fact table grows linearly, so the ratio does too.
+    ratios = [row["ratio"] for row in results]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] / ratios[0] == DUPLICATE_FACTORS[-1] / DUPLICATE_FACTORS[0]
+
+
+def test_no_duplicates_is_the_break_even_point(benchmark):
+    """With one transaction per product-day-store and one store, every
+    group has a single tuple: compression only saves the dropped/folded
+    columns, which is the technique's floor."""
+
+    def measure():
+        config = RetailConfig(
+            days=15,
+            stores=1,
+            products=25,
+            products_sold_per_day=25,
+            transactions_per_product=1,
+            start_year=1997,
+            seed=9,
+        )
+        database = build_retail_database(config)
+        aux = derive_auxiliary_views(product_sales_view(1997), database)
+        saledtl = aux.materialize(database)["sale"]
+        return database.relation("sale"), saledtl
+
+    fact, saledtl = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert len(saledtl) == len(fact)  # one group per tuple
+    # Still smaller: 4 fields (fks + sum + cnt) vs 5 (id, fks, store, price).
+    assert saledtl.size_bytes() < fact.size_bytes()
+    print(
+        f"\nbreak-even: {len(fact)} rows in both; bytes "
+        f"{fact.size_bytes():,} -> {saledtl.size_bytes():,}"
+    )

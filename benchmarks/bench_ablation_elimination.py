@@ -1,0 +1,117 @@
+"""A4 — ablation: auxiliary-view elimination (omitting the fact table).
+
+Section 3.3's headline: when every dimension is pinned by a key group-by,
+referential integrity holds everywhere, and no non-CSMAS touches the
+fact table, the *entire fact-table auxiliary view can be omitted*.  This
+bench compares the same workload under
+
+* a view shape that blocks elimination (group on a non-key attribute),
+* a view shape that enables it (group on the dimension key),
+
+reporting detail storage and verifying maintenance stays exact.
+"""
+
+from repro.core.derivation import derive_auxiliary_views
+from repro.core.maintenance import SelfMaintainer
+from repro.core.view import JoinCondition, make_view
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.expressions import Column
+from repro.engine.operators import AggregateItem, GroupByItem
+from repro.workloads.snowflake import build_snowflake_database
+from repro.workloads.streams import TransactionGenerator
+
+from conftest import banner
+
+
+def revenue_view(group_column: Column, name: str):
+    return make_view(
+        name,
+        ("sale", "product"),
+        [
+            GroupByItem(group_column),
+            AggregateItem(
+                AggregateFunction.SUM, Column("amount", "sale"), alias="rev"
+            ),
+            AggregateItem(AggregateFunction.COUNT, None, alias="n"),
+        ],
+        joins=[JoinCondition("sale", "productid", "product", "id")],
+    )
+
+
+def test_elimination_effect_on_storage(benchmark):
+    def derive_both():
+        database = build_snowflake_database(days=40, sales_per_day=80)
+        blocked = revenue_view(Column("name", "product"), "by_name")
+        enabled = revenue_view(Column("id", "product"), "by_key")
+        return (
+            database,
+            derive_auxiliary_views(blocked, database),
+            derive_auxiliary_views(enabled, database),
+        )
+
+    database, blocked_aux, enabled_aux = benchmark.pedantic(
+        derive_both, rounds=1, iterations=1
+    )
+
+    blocked_bytes = sum(
+        rel.size_bytes() for rel in blocked_aux.materialize(database).values()
+    )
+    enabled_bytes = sum(
+        rel.size_bytes() for rel in enabled_aux.materialize(database).values()
+    )
+
+    print(banner("A4 - auxiliary-view elimination"))
+    print("group by product.name (blocks elimination):")
+    print(f"  materialized: {sorted(blocked_aux.tables)}, {blocked_bytes:,} bytes")
+    print("group by product.id (enables elimination):")
+    print(f"  materialized: {sorted(enabled_aux.tables)}, {enabled_bytes:,} bytes")
+    print(f"  eliminated:   {dict(enabled_aux.eliminated)}")
+    print(f"storage saved by elimination: {blocked_bytes / max(enabled_bytes, 1):.1f}x")
+
+    assert "sale" in enabled_aux.eliminated
+    assert blocked_aux.eliminated == {}
+    assert enabled_bytes < blocked_bytes
+
+
+def test_eliminated_maintenance_is_still_exact(benchmark):
+    database = build_snowflake_database(days=30, sales_per_day=50)
+    view = revenue_view(Column("id", "product"), "by_key")
+    maintainer = SelfMaintainer(view, database)
+    assert "sale" in maintainer.eliminated_tables
+    generator = TransactionGenerator(database, seed=55)
+    transactions = [generator.step() for __ in range(50)]
+
+    def maintain_all():
+        for transaction in transactions:
+            maintainer.apply(transaction)
+        return maintainer.current_view()
+
+    result = benchmark.pedantic(maintain_all, rounds=1, iterations=1)
+    assert result.same_bag(view.evaluate(database))
+    print(
+        f"\neliminated-root maintenance exact over {len(transactions)} "
+        f"transactions; detail bytes kept: {maintainer.detail_size_bytes():,}"
+    )
+
+
+def test_elimination_maintenance_speed(benchmark):
+    """Per-transaction latency with the fact auxiliary view omitted —
+    the cheapest maintenance mode the paper enables."""
+    from repro.engine.deltas import Delta, Transaction
+
+    database = build_snowflake_database(days=30, sales_per_day=50)
+    view = revenue_view(Column("id", "product"), "by_key")
+    maintainer = SelfMaintainer(view, database)
+    next_id = max(database.relation("sale").column("id")) + 1
+    counter = {"id": next_id}
+
+    def one_insert():
+        sale_id = counter["id"]
+        counter["id"] += 1
+        maintainer.apply(
+            Transaction.of(
+                Delta.insertion("sale", [(sale_id, 1, 1, 1, 100)])
+            )
+        )
+
+    benchmark(one_insert)

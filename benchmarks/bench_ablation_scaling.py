@@ -1,0 +1,183 @@
+"""A6 — ablation: maintenance cost vs fact-table size.
+
+The case for self-maintenance is asymptotic: recomputation scales with
+the detail size, incremental maintenance with the delta (plus the size
+of the *touched groups* for non-CSMAS aggregates).  This bench sweeps
+the fact-table size and reports per-insert latency for both strategies,
+plus the deferred-refresh mode where buffered churn cancels before any
+maintenance work happens.
+"""
+
+import time
+
+from repro.core.maintenance import SelfMaintainer
+from repro.engine.deltas import Delta, Transaction
+from repro.warehouse.baselines import FullReplicationMaintainer
+from repro.warehouse.deferred import DeferredMaintainer
+from repro.workloads.retail import RetailConfig, build_retail_database
+
+from conftest import banner
+from bench_ablation_maintenance_speed import csmas_only_view
+
+SCALES = (2, 8, 32)  # products_sold_per_day multipliers
+
+
+def _database(scale: int):
+    return build_retail_database(
+        RetailConfig(
+            days=30,
+            stores=2,
+            products=max(60, scale * 10),
+            products_sold_per_day=scale * 10,
+            transactions_per_product=2,
+            start_year=1997,
+            seed=scale,
+        )
+    )
+
+
+def _inserts(database, count):
+    next_id = max(database.relation("sale").column("id")) + 1
+    return [
+        Transaction.of(
+            Delta.insertion(
+                "sale", [(next_id + i, 1 + i % 30, 1 + i % 50, 1, 100)]
+            )
+        )
+        for i in range(count)
+    ]
+
+
+def _per_insert_seconds(maintainer, transactions, recompute=False):
+    started = time.perf_counter()
+    for transaction in transactions:
+        maintainer.apply(transaction)
+        if recompute:
+            maintainer.current_view()
+    return (time.perf_counter() - started) / len(transactions)
+
+
+def test_latency_scaling(benchmark):
+    view = csmas_only_view()
+
+    def sweep():
+        rows = []
+        for scale in SCALES:
+            database = _database(scale)
+            incremental = SelfMaintainer(view, database)
+            recompute = FullReplicationMaintainer(view, database)
+            transactions = _inserts(database, 20)
+            rows.append(
+                (
+                    len(database.relation("sale")),
+                    _per_insert_seconds(incremental, transactions),
+                    _per_insert_seconds(recompute, transactions, recompute=True),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print(banner("A6 - per-insert latency vs fact-table size (CSMAS view)"))
+    print(f"{'fact rows':<12}{'incremental':<15}{'recompute':<15}{'ratio':<8}")
+    for fact_rows, inc, rec in rows:
+        print(
+            f"{fact_rows:<12,}{inc * 1e6:<15,.0f}{rec * 1e6:<15,.0f}"
+            f"{rec / inc:<8.0f}"
+        )
+    print("(latencies in microseconds)")
+
+    # Recompute cost grows with the fact table; incremental must not
+    # grow anywhere near proportionally.
+    growth_recompute = rows[-1][2] / rows[0][2]
+    growth_incremental = rows[-1][1] / rows[0][1]
+    assert growth_recompute > 4 * growth_incremental
+
+
+def test_deferred_refresh_with_churn(benchmark):
+    """Buffered insert+delete churn cancels at refresh: the deferred
+    warehouse does no maintenance work for it at all."""
+    database = _database(8)
+    view = csmas_only_view()
+    deferred = DeferredMaintainer(SelfMaintainer(view, database))
+    next_id = max(database.relation("sale").column("id")) + 1
+    churn_rows = [(next_id + i, 1 + i % 30, 1, 1, 100) for i in range(200)]
+
+    def buffer_churn_and_refresh():
+        for row in churn_rows:
+            deferred.apply(Transaction.of(Delta.insertion("sale", [row])))
+        for row in churn_rows:
+            deferred.apply(Transaction.of(Delta.deletion("sale", [row])))
+        return deferred.refresh()
+
+    stats = benchmark.pedantic(buffer_churn_and_refresh, rounds=1, iterations=1)
+    print(banner("A6 - deferred refresh with pure churn"))
+    print(f"transactions buffered: {stats.transactions}")
+    print(f"rows buffered:         {stats.buffered_rows}")
+    print(f"rows propagated:       {stats.propagated_rows}")
+    assert stats.propagated_rows == 0
+    assert stats.cancelled_rows == 400
+
+
+def test_dimension_update_latency_with_indexes(benchmark):
+    """Dimension updates probe the root auxiliary view through its
+    incrementally-maintained hash index instead of re-hashing it."""
+    from repro.core.view import JoinCondition, make_view
+    from repro.engine.aggregates import AggregateFunction
+    from repro.engine.expressions import Column
+    from repro.engine.operators import AggregateItem, GroupByItem
+
+    view = make_view(
+        "prod_rev",
+        ("sale", "product"),
+        [
+            GroupByItem(Column("category", "product")),
+            AggregateItem(AggregateFunction.SUM, Column("price", "sale"), alias="rev"),
+            AggregateItem(AggregateFunction.COUNT, None, alias="n"),
+        ],
+        joins=[JoinCondition("sale", "productid", "product", "id")],
+    )
+
+    def measure(restrict):
+        database = build_retail_database(
+            RetailConfig(
+                days=40,
+                stores=2,
+                products=400,
+                products_sold_per_day=200,
+                transactions_per_product=2,
+                start_year=1997,
+                seed=5,
+            )
+        )
+        maintainer = SelfMaintainer(view, database)
+        if not restrict:
+            maintainer._restrict_ancestor_path = lambda *a, **k: None
+        products = list(database.relation("product").rows)
+        transactions = []
+        for i in range(30):
+            old = products[i]
+            new = (old[0], old[1], f"cat_{i % 4}")
+            transactions.append(
+                Transaction.of(Delta.update("product", [old], [new]))
+            )
+            products[i] = new
+        for transaction in transactions:
+            database.apply(transaction)
+        started = time.perf_counter()
+        for transaction in transactions:
+            maintainer.apply(transaction)
+        per_update = (time.perf_counter() - started) / len(transactions)
+        assert maintainer.current_view().same_bag(view.evaluate(database))
+        return per_update
+
+    with_index = benchmark.pedantic(
+        lambda: measure(True), rounds=1, iterations=1
+    )
+    without = measure(False)
+
+    print(banner("A6 - dimension-update latency: indexed vs full hash join"))
+    print(f"with index probe:   {with_index * 1e6:8.0f} us/update")
+    print(f"full hash join:     {without * 1e6:8.0f} us/update")
+    print(f"speedup:            {without / with_index:.1f}x")
+    assert with_index < without

@@ -1,0 +1,231 @@
+"""A5 — ablation: shared detail data for classes of summary tables.
+
+Section 4's future-work item, implemented in ``repro.core.sharing``.
+Two regimes emerge, and this bench measures both:
+
+* **Overlapping class** — views grouping on the same fact attributes
+  (different filters/aggregates): the merged view stores the shared
+  groups once and sharing wins roughly linearly in the class size.
+
+* **Orthogonal class** — views grouping on *different* dimensions: the
+  merged view must group on the union of the attributes, whose group
+  count approaches the cross product of the individual group counts —
+  the same phenomenon that makes full data-cube materialization
+  expensive.  Sharing can then *lose*, which the analyzer reports
+  honestly so a warehouse designer can decide per class.
+
+Either way the rollup is lossless: every view's own auxiliary views are
+recoverable from the shared detail tuple-for-tuple.
+"""
+
+from repro.core.derivation import derive_auxiliary_views
+from repro.core.sharing import (
+    materialize_from_merged,
+    merge_views,
+    sharing_report,
+)
+from repro.core.view import JoinCondition, make_view
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.expressions import Column, Comparison, Literal
+from repro.engine.operators import AggregateItem, GroupByItem
+from repro.workloads.retail import product_sales_view
+
+from conftest import banner
+
+
+def overlapping_class():
+    """Three views all grouping sales by (timeid, productid) structure:
+    the paper's product_sales plus two filtered/re-aggregated variants."""
+
+    def monthly(name, month_op, month_value, agg):
+        return make_view(
+            name,
+            ("sale", "time", "product"),
+            [
+                GroupByItem(Column("month", "time")),
+                agg,
+                AggregateItem(AggregateFunction.COUNT, None, alias="n"),
+            ],
+            selection=[
+                Comparison("=", Column("year", "time"), Literal(1997)),
+                Comparison(month_op, Column("month", "time"), Literal(month_value)),
+            ],
+            joins=[
+                JoinCondition("sale", "timeid", "time", "id"),
+                JoinCondition("sale", "productid", "product", "id"),
+            ],
+        )
+
+    return [
+        product_sales_view(1997),
+        monthly(
+            "h1_revenue",
+            "<=",
+            6,
+            AggregateItem(AggregateFunction.SUM, Column("price", "sale"), alias="rev"),
+        ),
+        monthly(
+            "h2_avg_price",
+            ">",
+            6,
+            AggregateItem(AggregateFunction.AVG, Column("price", "sale"), alias="avg_p"),
+        ),
+    ]
+
+
+def orthogonal_class():
+    """Views grouping on different dimensions: time, store, product."""
+    monthly = make_view(
+        "monthly_revenue",
+        ("sale", "time"),
+        [
+            GroupByItem(Column("month", "time")),
+            AggregateItem(AggregateFunction.SUM, Column("price", "sale"), alias="rev"),
+            AggregateItem(AggregateFunction.COUNT, None, alias="n"),
+        ],
+        selection=[Comparison("=", Column("year", "time"), Literal(1997))],
+        joins=[JoinCondition("sale", "timeid", "time", "id")],
+    )
+    per_store = make_view(
+        "store_revenue",
+        ("sale", "store"),
+        [
+            GroupByItem(Column("city", "store")),
+            AggregateItem(AggregateFunction.SUM, Column("price", "sale"), alias="rev"),
+            AggregateItem(AggregateFunction.COUNT, None, alias="n"),
+        ],
+        joins=[JoinCondition("sale", "storeid", "store", "id")],
+    )
+    per_category = make_view(
+        "category_counts",
+        ("sale", "product"),
+        [
+            GroupByItem(Column("category", "product")),
+            AggregateItem(AggregateFunction.COUNT, None, alias="n"),
+            AggregateItem(AggregateFunction.AVG, Column("price", "sale"), alias="avg_p"),
+        ],
+        joins=[JoinCondition("sale", "productid", "product", "id")],
+    )
+    return [monthly, per_store, per_category]
+
+
+def _report(views, database):
+    aux_sets = [derive_auxiliary_views(v, database) for v in views]
+    return sharing_report(views, aux_sets, database)
+
+
+def test_sharing_wins_on_overlapping_classes(benchmark, retail_database):
+    views = overlapping_class()
+    report = benchmark.pedantic(
+        lambda: _report(views, retail_database), rounds=1, iterations=1
+    )
+    print(banner("A5 - sharing: overlapping class (same grouping structure)"))
+    for name, size in report.individual_bytes.items():
+        print(f"  {name:<20}{size:>12,} B")
+    print(f"  {'TOTAL individual':<20}{report.total_individual:>12,} B")
+    print(f"  {'shared (merged)':<20}{report.shared_bytes:>12,} B")
+    print(f"  sharing saves {report.savings_factor:.2f}x")
+    assert report.savings_factor > 1.5
+
+
+def test_sharing_can_lose_on_orthogonal_classes(benchmark, retail_database):
+    views = orthogonal_class()
+    report = benchmark.pedantic(
+        lambda: _report(views, retail_database), rounds=1, iterations=1
+    )
+    print(banner("A5 - sharing: orthogonal class (cross-grouping inflation)"))
+    for name, size in report.individual_bytes.items():
+        print(f"  {name:<20}{size:>12,} B")
+    print(f"  {'TOTAL individual':<20}{report.total_individual:>12,} B")
+    print(f"  {'shared (merged)':<20}{report.shared_bytes:>12,} B")
+    print(f"  sharing factor {report.savings_factor:.2f}x "
+          "(< 1: the union grouping approaches the cross product)")
+    # The analyzer must report the inflation rather than hide it.
+    assert report.shared_bytes > max(report.individual_bytes.values())
+
+
+def test_sharing_is_lossless(benchmark, retail_database):
+    """Every view's auxiliary views must be recoverable from the shared
+    detail by selection + rollup, tuple for tuple — in both regimes."""
+    views = overlapping_class() + orthogonal_class()
+    shared = merge_views(views, retail_database)
+    shared_relations = shared.materialize(retail_database)
+
+    def recover_all():
+        recovered = {}
+        for view in views:
+            aux_set = derive_auxiliary_views(view, retail_database)
+            recovered[view.name] = (
+                aux_set,
+                materialize_from_merged(aux_set, shared, shared_relations),
+            )
+        return recovered
+
+    recovered = benchmark.pedantic(recover_all, rounds=1, iterations=1)
+
+    mismatches = 0
+    for view in views:
+        aux_set, from_shared = recovered[view.name]
+        direct = aux_set.materialize(retail_database)
+        for table in direct:
+            if not from_shared[table].same_bag(direct[table]):
+                mismatches += 1
+    print(f"\nrollup recovered every auxiliary view exactly: {mismatches == 0}")
+    assert mismatches == 0
+
+
+def test_shared_warehouse_tradeoff(benchmark, retail_database):
+    """The operational tradeoff of shared detail: single-pass delta
+    folding (cheap writes) against reconstruct-on-read summaries."""
+    import time
+
+    from repro.core.maintenance import SelfMaintainer
+    from repro.engine.deltas import Delta, Transaction
+    from repro.warehouse.shared import SharedDetailWarehouse
+
+    views = overlapping_class()
+    shared_wh = SharedDetailWarehouse(views, retail_database)
+    solo = [SelfMaintainer(v, retail_database) for v in views]
+
+    next_id = max(retail_database.relation("sale").column("id")) + 1
+    transactions = [
+        Transaction.of(
+            Delta.insertion("sale", [(next_id + i, 1 + i % 30, 1 + i % 50, 1, 9)])
+        )
+        for i in range(50)
+    ]
+
+    def shared_write_path():
+        for transaction in transactions:
+            shared_wh.apply(transaction)
+        return shared_wh
+
+    started = time.perf_counter()
+    benchmark.pedantic(shared_write_path, rounds=1, iterations=1)
+    shared_write = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for transaction in transactions:
+        for maintainer in solo:
+            maintainer.apply(transaction)
+    solo_write = time.perf_counter() - started
+
+    started = time.perf_counter()
+    shared_summaries = {v.name: shared_wh.summary(v.name) for v in views}
+    shared_read = time.perf_counter() - started
+
+    started = time.perf_counter()
+    solo_summaries = {m.view.name: m.current_view() for m in solo}
+    solo_read = time.perf_counter() - started
+
+    for name in shared_summaries:
+        assert shared_summaries[name].same_bag(solo_summaries[name])
+
+    print(banner("A5 - shared warehouse vs per-view maintainers (runtime)"))
+    print(f"write 50 txns:  shared {shared_write * 1e3:7.1f} ms   "
+          f"per-view {solo_write * 1e3:7.1f} ms")
+    print(f"read summaries: shared {shared_read * 1e3:7.1f} ms   "
+          f"per-view {solo_read * 1e3:7.1f} ms")
+    shared_detail = shared_wh.detail_size_bytes()
+    solo_detail = sum(m.detail_size_bytes() for m in solo)
+    print(f"detail bytes:   shared {shared_detail:10,}   per-view {solo_detail:10,}")

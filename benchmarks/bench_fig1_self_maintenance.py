@@ -1,0 +1,95 @@
+"""E6 — Figure 1: the warehouse framework, exercised end to end.
+
+Streams referential-integrity-preserving transactions through a
+warehouse whose sources are *sealed* (any base-table read raises), then
+verifies the maintained summary against recomputation.  The benchmark
+times maintenance per transaction — the operation Figure 1's
+architecture performs continuously.
+"""
+
+from repro.core.maintenance import SelfMaintainer
+from repro.warehouse.sources import SealedSource
+from repro.workloads.retail import product_sales_view
+from repro.workloads.snowflake import build_snowflake_database, category_sales_view
+from repro.workloads.streams import TransactionGenerator
+
+from conftest import banner
+
+
+def test_sealed_maintenance_star(benchmark, retail_database):
+    view = product_sales_view(1997)
+    source = SealedSource(retail_database)
+    maintainer = SelfMaintainer(view, source)
+    source.seal()
+    generator = TransactionGenerator(retail_database, seed=2024)
+    transactions = [generator.step() for __ in range(60)]
+
+    def maintain_all():
+        for transaction in transactions:
+            maintainer.apply(transaction)
+        return maintainer.current_view()
+
+    # Streams are not idempotent, so run the batch exactly once and time it.
+    result = benchmark.pedantic(maintain_all, rounds=1, iterations=1)
+
+    assert source.blocked_reads == 0
+    source.unseal()
+    expected = view.evaluate(retail_database)
+    assert result.same_bag(expected)
+
+    print(banner("Figure 1 - self-maintenance with sealed sources (star)"))
+    print(f"transactions applied:     {len(transactions)}")
+    print(f"base-table reads blocked: {source.blocked_reads}")
+    print(f"summary groups:           {len(result)}")
+    print(f"current detail bytes:     {maintainer.detail_size_bytes():,}")
+    print(
+        f"fact table bytes:         "
+        f"{retail_database.relation('sale').size_bytes():,}"
+    )
+
+
+def test_sealed_maintenance_snowflake(benchmark):
+    database = build_snowflake_database(
+        categories=6, products_per_category=10, days=40, sales_per_day=60
+    )
+    view = category_sales_view()
+    source = SealedSource(database)
+    maintainer = SelfMaintainer(view, source)
+    source.seal()
+    generator = TransactionGenerator(database, seed=77)
+    transactions = [generator.step() for __ in range(60)]
+
+    def maintain_all():
+        for transaction in transactions:
+            maintainer.apply(transaction)
+        return maintainer.current_view()
+
+    result = benchmark.pedantic(maintain_all, rounds=1, iterations=1)
+    assert source.blocked_reads == 0
+    source.unseal()
+    assert result.same_bag(view.evaluate(database))
+
+    print(banner("Figure 1 - self-maintenance with sealed sources (snowflake)"))
+    print(f"transactions applied: {len(transactions)}")
+    print(f"summary groups:       {len(result)}")
+
+
+def test_single_transaction_latency(benchmark, retail_database):
+    """Median latency of applying one small fact-insertion delta."""
+    from repro.engine.deltas import Delta, Transaction
+
+    view = product_sales_view(1997)
+    maintainer = SelfMaintainer(view, retail_database)
+    next_id = max(retail_database.relation("sale").column("id")) + 1
+    counter = {"id": next_id}
+
+    def one_insert():
+        sale_id = counter["id"]
+        counter["id"] += 1
+        maintainer.apply(
+            Transaction.of(
+                Delta.insertion("sale", [(sale_id, 1, 1, 1, 100)])
+            )
+        )
+
+    benchmark(one_insert)

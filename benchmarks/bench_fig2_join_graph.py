@@ -1,0 +1,97 @@
+"""E4 — Figure 2: the extended join graph of ``product_sales``.
+
+Rebuilds and renders the annotated graph, checks it against the figure,
+and times graph construction plus Need-set computation on star,
+snowflake, and deep-chain shapes.
+"""
+
+from repro.core.joingraph import Annotation, ExtendedJoinGraph
+from repro.core.view import JoinCondition, make_view
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.expressions import Column
+from repro.engine.operators import AggregateItem, GroupByItem
+from repro.engine.types import AttributeType
+from repro.catalog.database import BaseTable, Database
+from repro.workloads.retail import paper_mini_database, product_sales_view
+from repro.workloads.snowflake import build_snowflake_database, category_sales_view
+
+from conftest import banner
+
+
+def test_figure2_structure(benchmark):
+    database = paper_mini_database()
+    view = product_sales_view(1997)
+
+    graph = benchmark(lambda: ExtendedJoinGraph(view, database))
+
+    print(banner("Figure 2 - extended join graph for product_sales"))
+    print(graph.render())
+    print("\nNeed sets:")
+    for table in view.tables:
+        print(f"  Need({table}) = {sorted(graph.need(table))}")
+
+    assert graph.root == "sale"
+    assert graph.annotation("time") is Annotation.GROUP
+    assert graph.annotation("product") is Annotation.NONE
+    assert graph.render().splitlines()[0] == "sale"
+
+
+def test_snowflake_graph_and_needs(benchmark):
+    database = build_snowflake_database()
+    view = category_sales_view()
+
+    def build_and_query():
+        graph = ExtendedJoinGraph(view, database)
+        return graph, {t: graph.need(t) for t in view.tables}
+
+    graph, needs = benchmark(build_and_query)
+    print(banner("Snowflake extended join graph"))
+    print(graph.render())
+    for table, need in needs.items():
+        print(f"  Need({table}) = {sorted(need)}")
+    assert needs["category"] >= {"product", "sale"}
+
+
+def deep_chain_database(depth: int) -> tuple[Database, "object"]:
+    """A chain t0 -> t1 -> ... -> t{depth-1} for scaling measurements."""
+    database = Database()
+    for level in reversed(range(depth)):
+        columns = {"id": AttributeType.INT, "v": AttributeType.INT}
+        references = {}
+        if level + 1 < depth:
+            columns[f"fk{level + 1}"] = AttributeType.INT
+            references[f"fk{level + 1}"] = f"t{level + 1}"
+        database.add_table(
+            BaseTable(
+                f"t{level}",
+                columns,
+                key="id",
+                references=references,
+            )
+        )
+    view = make_view(
+        "chain",
+        tuple(f"t{i}" for i in range(depth)),
+        [
+            GroupByItem(Column("v", f"t{depth - 1}")),
+            AggregateItem(AggregateFunction.COUNT, None, alias="c"),
+        ],
+        joins=[
+            JoinCondition(f"t{i}", f"fk{i + 1}", f"t{i + 1}", "id")
+            for i in range(depth - 1)
+        ],
+    )
+    return database, view
+
+
+def test_need_computation_scales_on_deep_chains(benchmark):
+    database, view = deep_chain_database(depth=12)
+
+    def compute_all_needs():
+        graph = ExtendedJoinGraph(view, database)
+        return {t: graph.need(t) for t in view.tables}
+
+    needs = benchmark(compute_all_needs)
+    # The deepest table carries the only group-by attribute: the root
+    # needs the whole chain down to it.
+    assert needs["t0"] == frozenset(f"t{i}" for i in range(1, 12))

@@ -1,0 +1,148 @@
+"""E5 — Section 1.1: the storage analysis (245 GB -> 167 MB).
+
+Two reproductions:
+
+* **Analytic, paper scale** — runs the paper's arithmetic through the
+  storage model and asserts the published figures exactly
+  (13.14 G tuples / 245 GB vs 10.95 M tuples / 167 MB).
+
+* **Measured, reduced scale** — builds the synthetic warehouse, derives
+  the auxiliary views, and measures live sizes, confirming the *shape*
+  of the claim, including the paper's worst case where every product
+  sells every day.
+"""
+
+from repro.core.derivation import derive_auxiliary_views
+from repro.storage.model import (
+    GIB,
+    MIB,
+    format_bytes,
+    paper_auxiliary_view_estimate,
+    paper_fact_table_estimate,
+    relation_estimate,
+)
+from repro.workloads.retail import (
+    RetailConfig,
+    build_retail_database,
+    product_sales_view,
+)
+
+from conftest import banner
+
+
+def analytic_reproduction():
+    return paper_fact_table_estimate(), paper_auxiliary_view_estimate()
+
+
+def test_paper_scale_analytic(benchmark):
+    fact, aux = benchmark(analytic_reproduction)
+
+    print(banner("Section 1.1 storage analysis - paper scale (analytic)"))
+    print("paper:    fact table  13,140,000,000 tuples, 245 GB")
+    print(f"measured: {fact}")
+    print("paper:    saledtl         10,950,000 tuples, 167 MB")
+    print(f"measured: {aux}")
+    print(f"reduction factor: {aux.ratio_to(fact):,.0f}x")
+
+    assert fact.tuples == 13_140_000_000
+    assert round(fact.total_bytes / GIB) == 245
+    assert aux.tuples == 10_950_000
+    assert round(aux.total_bytes / MIB) == 167
+    assert aux.ratio_to(fact) > 1_000
+
+
+def measured_reproduction():
+    """The paper's setup scaled down: 2 years of which the view selects
+    one, multiple stores, and the worst case of every product selling in
+    every store every day."""
+    config = RetailConfig(
+        days=60,                     # "2 years" -> the view selects half
+        stores=4,
+        products=25,
+        products_sold_per_day=25,    # worst case: all products daily
+        transactions_per_product=5,
+        start_year=1996,             # days 1..30 are 1996, 31..60 are 1997
+        seed=11,
+    )
+    # Make day 31+ fall into 1997 so the year filter halves time: use a
+    # custom time table by shifting the year split.
+    database = build_retail_database(config)
+    time = database.table("time").relation
+    adjusted = [
+        (tid, day, month, 1997 if tid > config.days // 2 else 1996)
+        for tid, day, month, __ in time.rows
+    ]
+    time.rows[:] = adjusted
+    view = product_sales_view(1997)
+    aux = derive_auxiliary_views(view, database)
+    relations = aux.materialize(database)
+    return database, relations
+
+
+def test_reduced_scale_measured(benchmark):
+    database, relations = benchmark(measured_reproduction)
+
+    fact = relation_estimate("sale (fact)", database.relation("sale"))
+    aux = relation_estimate("saledtl", relations["sale"])
+    others = {
+        name: relation_estimate(f"{name}dtl", rel)
+        for name, rel in relations.items()
+        if name != "sale"
+    }
+
+    print(banner("Section 1.1 storage analysis - measured at reduced scale"))
+    print(f"fact table: {fact}")
+    print(f"saledtl:    {aux}")
+    for estimate in others.values():
+        print(f"            {estimate}")
+    print(f"measured reduction factor: {aux.ratio_to(fact):.1f}x")
+
+    # Shape check (same arithmetic as the paper):
+    # fact rows = days x stores x sold/day x txns = 60*4*25*5 = 30,000
+    # saledtl <= selected_days x products = 30 x 25 = 750 groups
+    assert fact.tuples == 30_000
+    assert aux.tuples <= 30 * 25
+    # Expected analytic factor at this scale:
+    #   (30000 x 5 fields) / (750 x 4 fields) = 50; measured must agree.
+    expected_factor = (30_000 * 5) / (750 * 4)
+    assert abs(aux.ratio_to(fact) - expected_factor) / expected_factor < 0.05
+    print(f"analytic factor at this scale: {expected_factor:.1f}x")
+
+
+def test_scaling_sweep(benchmark):
+    """Reduction factor vs scale: the factor grows linearly with the
+    duplicate multiplicity (stores x transactions), as the paper's
+    arithmetic predicts."""
+
+    def sweep():
+        results = []
+        for stores, txns in ((1, 2), (2, 3), (4, 5)):
+            config = RetailConfig(
+                days=20,
+                stores=stores,
+                products=15,
+                products_sold_per_day=15,
+                transactions_per_product=txns,
+                start_year=1997,
+                seed=5,
+            )
+            database = build_retail_database(config)
+            view = product_sales_view(1997)
+            aux = derive_auxiliary_views(view, database)
+            saledtl = aux.materialize(database)["sale"]
+            fact_bytes = database.relation("sale").size_bytes()
+            results.append(
+                (
+                    stores * txns,
+                    fact_bytes / saledtl.size_bytes(),
+                )
+            )
+        return results
+
+    results = benchmark(sweep)
+    print(banner("Reduction factor vs duplicate multiplicity"))
+    print(f"{'stores x txns':<15} {'fact/saledtl':<12}")
+    for multiplicity, factor in results:
+        print(f"{multiplicity:<15} {factor:<12.1f}")
+    factors = [factor for __, factor in results]
+    assert factors == sorted(factors)  # grows with multiplicity

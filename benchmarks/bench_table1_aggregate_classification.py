@@ -1,0 +1,98 @@
+"""E1 — Table 1: classification of SQL aggregates (SMA / SMAS).
+
+Rather than restating the table, this bench *derives* it empirically by
+probing the engine's incremental aggregate states with insertion-only
+and insertion+deletion workloads, then prints the observed
+classification next to the paper's and asserts they coincide.
+"""
+
+import random
+
+from repro.core.aggregates import classification_table, classify_aggregate
+from repro.engine.aggregates import (
+    AggregateFunction,
+    MaintenanceError,
+    compute_aggregate,
+    make_aggregate_state,
+)
+
+from conftest import banner
+
+PAPER_TABLE1 = {
+    # aggregate: (SMA insert, SMA/SMAS delete achievable with companions)
+    "COUNT": (True, True),
+    "SUM": (True, True),    # with COUNT included
+    "AVG": (True, True),    # via SUM and COUNT
+    "MIN": (True, False),
+    "MAX": (True, False),
+}
+
+
+def probe_aggregate(func: AggregateFunction, rng: random.Random) -> tuple[bool, bool]:
+    """Empirically test insert- and delete-maintainability of ``func``."""
+    insert_ok = True
+    delete_ok = True
+    for __ in range(100):
+        state = make_aggregate_state(func)
+        live: list[int] = []
+        for __step in range(30):
+            if live and rng.random() < 0.4:
+                value = live.pop(rng.randrange(len(live)))
+                try:
+                    state.delete(value)
+                except MaintenanceError:
+                    delete_ok = False
+                    live.append(value)
+                    break
+            else:
+                value = rng.randint(-50, 50)
+                try:
+                    state.insert(value)
+                except MaintenanceError:
+                    insert_ok = False
+                    break
+                live.append(value)
+            if live and state.result() != compute_aggregate(func, live):
+                raise AssertionError(f"{func} state diverged from recomputation")
+    return insert_ok, delete_ok
+
+
+def derive_table1() -> dict[str, tuple[bool, bool]]:
+    rng = random.Random(1998)
+    return {
+        func.value: probe_aggregate(func, rng) for func in AggregateFunction
+    }
+
+
+def test_table1_probe_matches_paper(benchmark):
+    observed = benchmark(derive_table1)
+
+    print(banner("Table 1 - classification of SQL aggregates (observed vs paper)"))
+    print(f"{'aggregate':<10} {'ins (obs/paper)':<18} {'del (obs/paper)':<18}")
+    for name, (ins, dele) in observed.items():
+        p_ins, p_del = PAPER_TABLE1[name]
+        print(f"{name:<10} {str(ins):<7}/{str(p_ins):<10} {str(dele):<7}/{str(p_del):<10}")
+        assert ins == p_ins
+        assert dele == p_del
+
+    print(banner("Table 1/2 summary as printed by the library"))
+    for row in classification_table():
+        print(
+            f"{row['aggregate']:<6} SMA={row['sma']} SMAS={row['smas']} "
+            f"replaced_by={row['replaced_by']:<14} class={row['class']}"
+        )
+
+
+def test_classification_throughput(benchmark):
+    def classify_everything():
+        results = []
+        for func in AggregateFunction:
+            for distinct in (False, True):
+                for append_only in (False, True):
+                    results.append(
+                        classify_aggregate(func, distinct, append_only)
+                    )
+        return results
+
+    results = benchmark(classify_everything)
+    assert len(results) == 20

@@ -1,0 +1,100 @@
+"""E2 — Table 2: CSMAS classification and replacement by distributive
+aggregates.
+
+Regenerates the table from the library's classification rules and
+verifies each replacement is *semantically correct*: evaluating the
+replacement aggregates over disjoint partitions and merging reproduces
+the original aggregate over the whole input.
+"""
+
+import random
+
+from repro.core.aggregates import classification_table, replacement_aggregates
+from repro.engine.aggregates import (
+    AggregateFunction,
+    compute_aggregate,
+    merge_distributive,
+)
+from repro.engine.expressions import Column
+from repro.engine.operators import AggregateItem
+
+from conftest import banner
+
+PAPER_TABLE2 = {
+    "COUNT": ("COUNT(*)", "CSMAS"),
+    "SUM": ("SUM, COUNT(*)", "CSMAS"),
+    "AVG": ("SUM, COUNT(*)", "CSMAS"),
+    "MIN": ("Not replaced", "non-CSMAS"),
+    "MAX": ("Not replaced", "non-CSMAS"),
+}
+
+
+def verify_replacement_semantics(func: AggregateFunction, rng: random.Random) -> bool:
+    """Partition random input, aggregate per partition via the Table 2
+    replacements, merge, and compare against direct evaluation."""
+    values = [rng.randint(-30, 30) for __ in range(rng.randint(2, 60))]
+    split = rng.randint(1, len(values) - 1) if len(values) > 1 else 1
+    partitions = [values[:split], values[split:]] if values[split:] else [values]
+    expected = compute_aggregate(func, values)
+
+    if func is AggregateFunction.COUNT:
+        merged = merge_distributive(
+            AggregateFunction.COUNT, [len(p) for p in partitions]
+        )
+        return merged == expected
+    if func in (AggregateFunction.SUM, AggregateFunction.AVG):
+        total = merge_distributive(
+            AggregateFunction.SUM, [sum(p) for p in partitions]
+        )
+        count = merge_distributive(
+            AggregateFunction.COUNT, [len(p) for p in partitions]
+        )
+        if func is AggregateFunction.SUM:
+            return total == expected
+        return abs(total / count - expected) < 1e-9
+    # MIN/MAX are distributive themselves (but non-CSMAS for deletions).
+    merged = merge_distributive(
+        func, [compute_aggregate(func, p) for p in partitions]
+    )
+    return merged == expected
+
+
+def regenerate_table2():
+    rows = classification_table()
+    rng = random.Random(7)
+    checks = {
+        func: all(verify_replacement_semantics(func, rng) for __ in range(50))
+        for func in AggregateFunction
+    }
+    return rows, checks
+
+
+def test_table2_matches_paper(benchmark):
+    rows, checks = benchmark(regenerate_table2)
+
+    print(banner("Table 2 - CSMAS classification (library vs paper)"))
+    print(f"{'aggregate':<10} {'replaced by':<16} {'class':<10} partition-check")
+    for row in rows:
+        name = row["aggregate"]
+        paper_replacement, paper_class = PAPER_TABLE2[name]
+        print(
+            f"{name:<10} {row['replaced_by']:<16} {row['class']:<10} "
+            f"{checks[AggregateFunction(name)]}"
+        )
+        assert row["replaced_by"] == paper_replacement
+        assert row["class"] == paper_class
+        assert checks[AggregateFunction(name)]
+
+
+def test_replacement_throughput(benchmark):
+    items = [
+        AggregateItem(func, Column("a", "t"), distinct)
+        for func in AggregateFunction
+        for distinct in (False, True)
+    ]
+
+    def replace_all():
+        return [replacement_aggregates(item) for item in items]
+
+    replaced = benchmark(replace_all)
+    assert len(replaced) == 10

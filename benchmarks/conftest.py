@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` file regenerates one artifact of the paper (a table,
+figure, or analysis) and times the machinery behind it; the regenerated
+artifact is printed so ``pytest benchmarks/ --benchmark-only -s`` shows
+the paper-vs-measured comparison that EXPERIMENTS.md records.
+"""
+
+import pytest
+
+from repro.workloads.retail import RetailConfig, build_retail_database
+
+
+@pytest.fixture(scope="session")
+def retail_database():
+    """A mid-size retail warehouse: the paper's schema at 1/10^4 scale."""
+    return build_retail_database(
+        RetailConfig(
+            days=73,
+            stores=3,
+            products=300,
+            products_sold_per_day=30,
+            transactions_per_product=2,
+            start_year=1997,
+            seed=42,
+        )
+    )
+
+
+def banner(title: str) -> str:
+    rule = "=" * len(title)
+    return f"\n{rule}\n{title}\n{rule}"

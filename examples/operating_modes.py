@@ -1,0 +1,99 @@
+"""Warehouse operating modes: eager, deferred, and shared detail.
+
+The same class of summary tables run three ways:
+
+1. **Eager** — one SelfMaintainer per view, every transaction propagated
+   immediately (lowest read latency).
+2. **Deferred** — transactions buffered and coalesced, propagated at
+   refresh time; churn between refreshes is never propagated at all.
+3. **Shared detail** — one merged detail set maintained once for the
+   whole class; summaries reconstructed on read (single-copy storage).
+
+All three stay exact; they differ in where the work and the bytes go.
+
+Run:  python examples/operating_modes.py
+"""
+
+import time
+
+from repro import RetailConfig, SelfMaintainer, build_retail_database
+from repro.storage.model import format_bytes
+from repro.warehouse.deferred import DeferredMaintainer
+from repro.warehouse.shared import SharedDetailWarehouse
+from repro.workloads.retail import product_sales_max_view, product_sales_view
+from repro.workloads.streams import TransactionGenerator
+
+
+def main() -> None:
+    database = build_retail_database(
+        RetailConfig(
+            days=40,
+            stores=3,
+            products=100,
+            products_sold_per_day=25,
+            transactions_per_product=2,
+            start_year=1997,
+            seed=6,
+        )
+    )
+    views = [product_sales_view(1997), product_sales_max_view()]
+    print(f"sources: {len(database.relation('sale')):,} sales; "
+          f"views: {[v.name for v in views]}\n")
+
+    eager = [SelfMaintainer(v, database) for v in views]
+    deferred = [
+        DeferredMaintainer(SelfMaintainer(v, database)) for v in views
+    ]
+    shared = SharedDetailWarehouse(views, database)
+
+    generator = TransactionGenerator(database, seed=31)
+    transactions = [generator.step() for __ in range(60)]
+
+    started = time.perf_counter()
+    for transaction in transactions:
+        for maintainer in eager:
+            maintainer.apply(transaction)
+    eager_time = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for transaction in transactions:
+        for maintainer in deferred:
+            maintainer.apply(transaction)
+    stats = [maintainer.refresh() for maintainer in deferred]
+    deferred_time = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for transaction in transactions:
+        shared.apply(transaction)
+    shared_time = time.perf_counter() - started
+
+    print("write path (60 transactions):")
+    print(f"  eager     {eager_time * 1e3:8.1f} ms")
+    print(f"  deferred  {deferred_time * 1e3:8.1f} ms "
+          f"(coalescing cancelled "
+          f"{sum(s.cancelled_rows for s in stats)} rows)")
+    print(f"  shared    {shared_time * 1e3:8.1f} ms (detail only; "
+          "summaries reconstructed on read)")
+
+    print("\ncurrent-detail storage:")
+    eager_bytes = sum(m.detail_size_bytes() for m in eager)
+    print(f"  per-view  {format_bytes(eager_bytes)}")
+    print(f"  shared    {format_bytes(shared.detail_size_bytes())}")
+
+    print("\nexactness audit (vs recomputation from the live sources):")
+    for index, view in enumerate(views):
+        truth = view.evaluate(database)
+        checks = [
+            ("eager", eager[index].current_view()),
+            ("deferred", deferred[index].current_view()),
+            ("shared", shared.summary(view.name)),
+        ]
+        verdicts = ", ".join(
+            f"{name}: {'OK' if relation.same_bag(truth) else 'MISMATCH'}"
+            for name, relation in checks
+        )
+        print(f"  {view.name}: {verdicts}")
+
+
+if __name__ == "__main__":
+    main()

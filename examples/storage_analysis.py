@@ -1,0 +1,75 @@
+"""Section 1.1's storage analysis, analytic and measured.
+
+Reproduces the paper's arithmetic at full scale (245 GB fact table vs
+167 MB auxiliary view) and then validates the shape of the claim by
+actually building a scaled-down warehouse and measuring live relation
+sizes, including a sweep over the duplicate factor.
+
+Run:  python examples/storage_analysis.py
+"""
+
+from repro import derive_auxiliary_views
+from repro.storage.model import (
+    format_bytes,
+    paper_auxiliary_view_estimate,
+    paper_fact_table_estimate,
+    relation_estimate,
+)
+from repro.workloads.retail import (
+    RetailConfig,
+    build_retail_database,
+    product_sales_view,
+)
+
+
+def paper_scale() -> None:
+    print("=" * 64)
+    print("Paper scale (analytic, Section 1.1)")
+    print("=" * 64)
+    fact = paper_fact_table_estimate()
+    aux = paper_auxiliary_view_estimate()
+    print(f"  {fact}")
+    print(f"  {aux}")
+    print(f"  reduction: {format_bytes(fact.total_bytes)} -> "
+          f"{format_bytes(aux.total_bytes)} "
+          f"({aux.ratio_to(fact):,.0f}x smaller)")
+
+
+def measured_scale() -> None:
+    print()
+    print("=" * 64)
+    print("Measured at reduced scale (same shape)")
+    print("=" * 64)
+    for transactions in (1, 5, 20):
+        config = RetailConfig(
+            days=30,
+            stores=3,
+            products=40,
+            products_sold_per_day=40,   # the paper's worst case
+            transactions_per_product=transactions,
+            start_year=1997,
+            seed=4,
+        )
+        database = build_retail_database(config)
+        view = product_sales_view(1997)
+        aux = derive_auxiliary_views(view, database)
+        saledtl = aux.materialize(database)["sale"]
+        fact = relation_estimate("sale", database.relation("sale"))
+        compressed = relation_estimate("saledtl", saledtl)
+        print(
+            f"  txns/product={transactions:>2}: fact "
+            f"{fact.tuples:>6,} rows ({format_bytes(fact.total_bytes)})  ->  "
+            f"saledtl {compressed.tuples:>5,} rows "
+            f"({format_bytes(compressed.total_bytes)}), "
+            f"{compressed.ratio_to(fact):5.1f}x smaller"
+        )
+    print(
+        "\n  saledtl is capped at one tuple per (day, product): its size\n"
+        "  is independent of transaction volume, exactly the worst-case\n"
+        "  bound the paper computes (365 x 30,000 at full scale)."
+    )
+
+
+if __name__ == "__main__":
+    paper_scale()
+    measured_scale()

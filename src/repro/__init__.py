@@ -1,0 +1,89 @@
+"""repro — Minimizing Detail Data in Data Warehouses (EDBT 1998).
+
+A faithful reproduction of Akinde, Jensen & Böhlen's algorithm for making
+generalized project-select-join (GPSJ) views self-maintainable by
+materializing the unique minimal set of auxiliary views, built on an
+in-memory relational engine, a SQL front-end, and a warehouse runtime.
+
+Quickstart::
+
+    from repro import (
+        SelfMaintainer, derive_auxiliary_views,
+        build_retail_database, product_sales_view,
+    )
+
+    db = build_retail_database()
+    view = product_sales_view(year=1996)
+    aux = derive_auxiliary_views(view, db)
+    print(aux.to_sql())                    # the paper's auxiliary views
+    maintainer = SelfMaintainer(view, db)  # initialize once...
+    # ...then maintain from deltas without ever reading db again.
+"""
+
+from repro.catalog import BaseTable, Database, IntegrityError, ReferentialConstraint
+from repro.core import (
+    AuxiliaryView,
+    AuxiliaryViewSet,
+    ExtendedJoinGraph,
+    JoinCondition,
+    SelfMaintainer,
+    ViewDefinition,
+    classify_aggregate,
+    derive_auxiliary_views,
+)
+from repro.core.rewrite import Reconstructor
+from repro.engine import (
+    AggregateFunction,
+    Attribute,
+    AttributeType,
+    Column,
+    Comparison,
+    Delta,
+    Literal,
+    Relation,
+    Schema,
+    Transaction,
+)
+from repro.engine.operators import AggregateItem, GroupByItem
+from repro.workloads import (
+    RetailConfig,
+    TransactionGenerator,
+    build_retail_database,
+    build_snowflake_database,
+    product_sales_view,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateFunction",
+    "AggregateItem",
+    "Attribute",
+    "AttributeType",
+    "AuxiliaryView",
+    "AuxiliaryViewSet",
+    "BaseTable",
+    "Column",
+    "Comparison",
+    "Database",
+    "Delta",
+    "ExtendedJoinGraph",
+    "GroupByItem",
+    "IntegrityError",
+    "JoinCondition",
+    "Literal",
+    "Reconstructor",
+    "ReferentialConstraint",
+    "Relation",
+    "RetailConfig",
+    "Schema",
+    "SelfMaintainer",
+    "Transaction",
+    "TransactionGenerator",
+    "ViewDefinition",
+    "build_retail_database",
+    "build_snowflake_database",
+    "classify_aggregate",
+    "derive_auxiliary_views",
+    "product_sales_view",
+]

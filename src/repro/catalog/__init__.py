@@ -1,0 +1,6 @@
+"""Catalog: base-table metadata and the source database container."""
+
+from repro.catalog.constraints import ReferentialConstraint
+from repro.catalog.database import BaseTable, Database, IntegrityError
+
+__all__ = ["ReferentialConstraint", "BaseTable", "Database", "IntegrityError"]

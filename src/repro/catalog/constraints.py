@@ -1,0 +1,30 @@
+"""Key and referential-integrity constraint declarations.
+
+The paper's join reductions and auxiliary-view elimination hinge on three
+pieces of metadata per base table: its (single-attribute) key, the
+referential-integrity constraints from its foreign keys to other tables'
+keys, and whether it has *exposed updates* — updates that may change
+attributes involved in selection or join conditions (Section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ReferentialConstraint:
+    """``referencing.attribute`` references ``referenced.key``.
+
+    Under such a constraint every tuple of the referencing table joins
+    with exactly one tuple of the referenced table, and insertions into
+    the referenced table can never join with pre-existing referencing
+    tuples — the two facts that make join reductions sound (Section 2.2).
+    """
+
+    referencing: str
+    attribute: str
+    referenced: str
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"{self.referencing}.{self.attribute} -> {self.referenced}"

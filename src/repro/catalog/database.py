@@ -1,0 +1,192 @@
+"""Base tables and the source-side database.
+
+:class:`BaseTable` couples a relation with its warehouse-relevant
+metadata (key, referential constraints, exposed-update flag).
+:class:`Database` is the *operational data store* of Figure 1: it owns
+the live base tables, validates integrity, and is the ground truth that
+warehouse maintenance must reproduce without reading it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.catalog.constraints import ReferentialConstraint
+from repro.engine.deltas import Delta, Transaction
+from repro.engine.relation import Relation
+from repro.engine.schema import Attribute, Schema
+from repro.engine.types import AttributeType
+
+
+class IntegrityError(Exception):
+    """Raised when a change would violate key or referential integrity."""
+
+
+class BaseTable:
+    """A source base table: schema + key + constraints + live rows."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Mapping[str, AttributeType],
+        key: str,
+        references: Mapping[str, str] | None = None,
+        exposed_updates: bool = False,
+        rows: Iterable[tuple] = (),
+    ):
+        """``references`` maps foreign-key attribute -> referenced table name."""
+        if key not in columns:
+            raise ValueError(f"key {key!r} is not a column of {name!r}")
+        self.name = name
+        self.key = key
+        self.exposed_updates = exposed_updates
+        self.schema = Schema(
+            Attribute(column, atype, qualifier=name)
+            for column, atype in columns.items()
+        )
+        references = dict(references or {})
+        for attribute in references:
+            if attribute not in columns:
+                raise ValueError(
+                    f"foreign key {attribute!r} is not a column of {name!r}"
+                )
+        self.references = tuple(
+            ReferentialConstraint(name, attribute, referenced)
+            for attribute, referenced in references.items()
+        )
+        self.relation = Relation(self.schema, rows)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return self.schema.names()
+
+    def key_index(self) -> int:
+        return self.schema.index_of(self.key)
+
+    def key_values(self) -> set[object]:
+        index = self.key_index()
+        return {row[index] for row in self.relation}
+
+    def reference_for(self, attribute: str) -> ReferentialConstraint | None:
+        for constraint in self.references:
+            if constraint.attribute == attribute:
+                return constraint
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return f"BaseTable({self.name}, {len(self.relation)} rows)"
+
+
+class Database:
+    """The operational data store: a named collection of base tables."""
+
+    def __init__(self, tables: Iterable[BaseTable] = ()):
+        self._tables: dict[str, BaseTable] = {}
+        for table in tables:
+            self.add_table(table)
+
+    def add_table(self, table: BaseTable) -> None:
+        if table.name in self._tables:
+            raise ValueError(f"duplicate table {table.name!r}")
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> BaseTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(f"no table named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def tables(self) -> tuple[BaseTable, ...]:
+        return tuple(self._tables.values())
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    def relation(self, name: str) -> Relation:
+        return self.table(name).relation
+
+    def validate_integrity(self) -> None:
+        """Check all key and referential constraints on the current state."""
+        key_sets = {
+            table.name: table.key_values() for table in self._tables.values()
+        }
+        for table in self._tables.values():
+            if len(key_sets[table.name]) != len(table.relation):
+                raise IntegrityError(f"duplicate key values in {table.name!r}")
+            for constraint in table.references:
+                if constraint.referenced not in self._tables:
+                    continue
+                index = table.schema.index_of(constraint.attribute)
+                referenced_keys = key_sets[constraint.referenced]
+                for row in table.relation:
+                    if row[index] not in referenced_keys:
+                        raise IntegrityError(
+                            f"{constraint}: dangling value {row[index]!r}"
+                        )
+
+    def apply(self, transaction: Transaction, validate: bool = True) -> None:
+        """Apply a transaction in the RI-safe order.
+
+        Deletions run first in referencing-before-referenced order,
+        insertions second in referenced-before-referencing order, so no
+        intermediate state dangles.
+        """
+        order = self._dependency_order()
+        for name in order:
+            delta = transaction.delta_for(name)
+            if delta.deleted:
+                self.table(name).relation.delete_all(delta.deleted)
+        for name in reversed(order):
+            delta = transaction.delta_for(name)
+            if delta.inserted:
+                self.table(name).relation.insert_all(delta.inserted)
+        for delta in transaction:
+            if delta.table not in self._tables and not delta.empty:
+                raise KeyError(f"transaction touches unknown table {delta.table!r}")
+        if validate:
+            self.validate_integrity()
+
+    def apply_delta(self, delta: Delta, validate: bool = True) -> None:
+        self.apply(Transaction.of(delta), validate=validate)
+
+    def _dependency_order(self) -> list[str]:
+        """Table names ordered so each table precedes the tables it references."""
+        order: list[str] = []
+        visiting: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in order or name not in self._tables:
+                return
+            if name in visiting:
+                raise IntegrityError("cyclic referential constraints")
+            visiting.add(name)
+            # Tables referencing this one must be deleted from first.
+            for other in self._tables.values():
+                if any(c.referenced == name for c in other.references):
+                    visit(other.name)
+            visiting.discard(name)
+            order.append(name)
+
+        for name in self._tables:
+            visit(name)
+        return order
+
+    def snapshot(self) -> "Database":
+        """A deep copy of the current state (used by recompute baselines)."""
+        copied = Database()
+        for table in self._tables.values():
+            clone = BaseTable(
+                table.name,
+                {a.name: a.atype for a in table.schema},
+                table.key,
+                {c.attribute: c.referenced for c in table.references},
+                table.exposed_updates,
+            )
+            clone.relation = table.relation.copy()
+            copied.add_table(clone)
+        return copied

@@ -1,0 +1,246 @@
+"""Command-line interface: derive and inspect minimal detail data.
+
+Usage (``python -m repro <command> ...``)::
+
+    python -m repro classify [--append-only]
+        Print the aggregate classification (Tables 1 and 2).
+
+    python -m repro graph --schema schema.sql --view view.sql
+        Print the extended join graph, annotations, Need sets, and
+        dependence relation (Figure 2 and Definitions 2-4).
+
+    python -m repro derive --schema schema.sql --view view.sql
+                     [--append-only]
+        Run Algorithm 3.2: print the auxiliary views as SQL, which views
+        were eliminated and why, and the reconstruction query.
+
+    python -m repro storage [--days N --stores N --products N
+                             --sold-per-day N --transactions N]
+        Print the Section 1.1 storage analysis for the given (default:
+        the paper's) cardinalities.
+
+``schema.sql`` holds CREATE TABLE statements (see ``repro.sql.ddl``);
+``view.sql`` holds one CREATE VIEW statement in the GPSJ dialect.  Pass
+``-`` to read from stdin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.derivation import derive_auxiliary_views
+from repro.core.joingraph import ExtendedJoinGraph
+from repro.core.rewrite import ReconstructionError, Reconstructor
+from repro.core.aggregates import classification_table
+from repro.sql.ddl import parse_schema
+from repro.sql.parser import parse_view
+from repro.storage.model import (
+    paper_auxiliary_view_estimate,
+    paper_fact_table_estimate,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    try:
+        return args.handler(args)
+    except Exception as error:  # CLI boundary: surface, don't trace
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Minimizing Detail Data in Data Warehouses (EDBT 1998)",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+    parser.set_defaults(command=None)
+
+    classify = subparsers.add_parser(
+        "classify", help="print the aggregate classification (Tables 1-2)"
+    )
+    classify.add_argument(
+        "--append-only",
+        action="store_true",
+        help="apply the old-detail-data relaxation (Section 4)",
+    )
+    classify.set_defaults(handler=_cmd_classify)
+
+    for name, handler, description in (
+        ("graph", _cmd_graph, "print the extended join graph and Need sets"),
+        ("derive", _cmd_derive, "derive the minimal auxiliary views"),
+        ("explain", _cmd_explain, "narrate every derivation decision"),
+    ):
+        sub = subparsers.add_parser(name, help=description)
+        sub.add_argument("--schema", required=True, help="CREATE TABLE file ('-' for stdin)")
+        sub.add_argument("--view", required=True, help="CREATE VIEW file ('-' for stdin)")
+        if name in ("derive", "explain"):
+            sub.add_argument(
+                "--append-only",
+                action="store_true",
+                help="derive for append-only (old) detail data",
+            )
+        sub.set_defaults(handler=handler)
+
+    share = subparsers.add_parser(
+        "share",
+        help="merge the auxiliary views of several views (Section 4)",
+    )
+    share.add_argument("--schema", required=True, help="CREATE TABLE file")
+    share.add_argument(
+        "--views",
+        required=True,
+        nargs="+",
+        help="CREATE VIEW files forming the class",
+    )
+    share.set_defaults(handler=_cmd_share)
+
+    storage = subparsers.add_parser(
+        "storage", help="print the Section 1.1 storage analysis"
+    )
+    storage.add_argument("--days", type=int, default=730)
+    storage.add_argument("--stores", type=int, default=300)
+    storage.add_argument("--products", type=int, default=30_000)
+    storage.add_argument("--sold-per-day", type=int, default=3_000)
+    storage.add_argument("--transactions", type=int, default=20)
+    storage.add_argument(
+        "--selected-days",
+        type=int,
+        default=None,
+        help="days passing the view's time condition (default: half)",
+    )
+    storage.set_defaults(handler=_cmd_storage)
+    return parser
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def _load(args) -> tuple:
+    database = parse_schema(_read(args.schema))
+    view = parse_view(_read(args.view), database, name="view")
+    return database, view
+
+
+def _cmd_classify(args) -> int:
+    mode = " (append-only relaxation)" if args.append_only else ""
+    print(f"Classification of SQL aggregates{mode}:")
+    print(f"{'aggregate':<10}{'SMA ins/del':<14}{'SMAS ins/del':<15}"
+          f"{'replaced by':<16}{'class'}")
+    for row in classification_table(append_only=args.append_only):
+        sma = "/".join("yes" if x else "no" for x in row["sma"])
+        smas = "/".join("yes" if x else "no" for x in row["smas"])
+        print(
+            f"{row['aggregate']:<10}{sma:<14}{smas:<15}"
+            f"{row['replaced_by']:<16}{row['class']}"
+        )
+    return 0
+
+
+def _cmd_graph(args) -> int:
+    database, view = _load(args)
+    graph = ExtendedJoinGraph(view, database)
+    print("Extended join graph (g = group-by attributes, k = key grouped):")
+    print(graph.render())
+    print(f"\nroot table: {graph.root}")
+    print("\nNeed sets (Definition 3):")
+    for table in view.tables:
+        print(f"  Need({table}) = {sorted(graph.need(table)) or '{}'}")
+    print("\nDependence (join reductions, Section 2.2):")
+    for table in view.tables:
+        deps = graph.depends_on(table)
+        if deps:
+            print(f"  {table} depends on {sorted(deps)}")
+    return 0
+
+
+def _cmd_derive(args) -> int:
+    database, view = _load(args)
+    aux = derive_auxiliary_views(
+        view, database, append_only=args.append_only
+    )
+    print("-- view ----------------------------------------------------")
+    print(view.to_sql())
+    print()
+    print("-- minimal auxiliary views (Algorithm 3.2) -----------------")
+    if aux.auxiliary:
+        print(aux.to_sql())
+    else:
+        print("-- none required: the view is self-maintainable alone")
+    if aux.eliminated:
+        print()
+        for table, reason in aux.eliminated.items():
+            print(f"-- X_{table} omitted: {reason}")
+    print()
+    print("-- reconstruction of the view over the auxiliary views -----")
+    try:
+        print(Reconstructor(view, aux, database).to_sql())
+    except ReconstructionError:
+        print(
+            "-- not reconstructable from auxiliary views alone "
+            "(an auxiliary view was eliminated); the view is maintained "
+            "directly from deltas"
+        )
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from repro.core.explain import explain_derivation
+
+    database, view = _load(args)
+    report = explain_derivation(
+        view, database, append_only=args.append_only
+    )
+    print(report.render())
+    return 0
+
+
+def _cmd_share(args) -> int:
+    from repro.core.sharing import merge_views
+
+    database = parse_schema(_read(args.schema))
+    views = []
+    for index, path in enumerate(args.views):
+        views.append(
+            parse_view(_read(path), database, name=f"view_{index}")
+        )
+    shared = merge_views(views, database)
+    print("-- shared auxiliary views for the class --------------------")
+    print(shared.to_sql())
+    for merged in shared.merged:
+        print("\n-- " + merged.name + " serves: " + ", ".join(merged.serves))
+    return 0
+
+
+def _cmd_storage(args) -> int:
+    fact = paper_fact_table_estimate(
+        days=args.days,
+        stores=args.stores,
+        products_sold_per_day=args.sold_per_day,
+        transactions_per_product=args.transactions,
+    )
+    selected = (
+        args.selected_days if args.selected_days is not None else args.days // 2
+    )
+    aux = paper_auxiliary_view_estimate(
+        days=selected, distinct_products_per_day=args.products
+    )
+    print("Storage analysis (Section 1.1 model):")
+    print(f"  {fact}")
+    print(f"  {aux}")
+    print(f"  reduction: {aux.ratio_to(fact):,.0f}x")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

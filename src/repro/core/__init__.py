@@ -1,0 +1,37 @@
+"""The paper's primary contribution: minimal self-maintainable GPSJ views.
+
+Public surface:
+
+* :class:`~repro.core.view.ViewDefinition` — a GPSJ view
+  ``Π_A σ_S (R1 ⋈ ... ⋈ Rn)``.
+* :func:`~repro.core.derivation.derive_auxiliary_views` — Algorithm 3.2:
+  the unique minimal set of auxiliary views making ``{V} ∪ X``
+  self-maintainable.
+* :class:`~repro.core.maintenance.SelfMaintainer` — maintains ``V`` and
+  ``X`` under source deltas without base-table access.
+"""
+
+from repro.core.view import JoinCondition, ViewDefinition, ViewError
+from repro.core.aggregates import (
+    AggregateClass,
+    classify_aggregate,
+    replacement_aggregates,
+)
+from repro.core.joingraph import ExtendedJoinGraph, JoinGraphError
+from repro.core.derivation import AuxiliaryView, AuxiliaryViewSet, derive_auxiliary_views
+from repro.core.maintenance import SelfMaintainer
+
+__all__ = [
+    "ViewDefinition",
+    "JoinCondition",
+    "ViewError",
+    "AggregateClass",
+    "classify_aggregate",
+    "replacement_aggregates",
+    "ExtendedJoinGraph",
+    "JoinGraphError",
+    "AuxiliaryView",
+    "AuxiliaryViewSet",
+    "derive_auxiliary_views",
+    "SelfMaintainer",
+]

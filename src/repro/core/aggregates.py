@@ -1,0 +1,177 @@
+"""Classification of SQL aggregates (Section 3.1, Tables 1 and 2).
+
+An aggregate ``f(a)`` is *self-maintainable* (SMA) w.r.t. a change kind
+when its new value is computable from its old value plus the change.  A
+*self-maintainable aggregate set* (SMAS) may lean on companion aggregates
+(SUM needs a COUNT to witness group existence under deletions).  A
+*completely self-maintainable aggregate set* (CSMAS, Definition 1) is a
+SMAS for both insertions and deletions.
+
+Table 2 replaces every CSMAS-able aggregate by distributive aggregates:
+``COUNT → COUNT(*)``, ``SUM → SUM, COUNT(*)``, ``AVG → SUM, COUNT(*)``.
+MIN/MAX and any DISTINCT aggregate are non-CSMAS and are never replaced.
+
+The ``append_only`` flag implements the paper's future-work relaxation
+for *old detail data* (Section 4): under insert-only streams only
+insertions matter, so MIN and MAX join the completely self-maintainable
+club.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.operators import AggregateItem
+
+
+class AggregateClass(enum.Enum):
+    """Table 2's verdict for one aggregate."""
+
+    CSMAS = "CSMAS"
+    NON_CSMAS = "non-CSMAS"
+
+
+@dataclass(frozen=True)
+class AggregateClassification:
+    """Everything Tables 1 and 2 record about one aggregate occurrence."""
+
+    func: AggregateFunction
+    distinct: bool
+    sma_insert: bool
+    sma_delete: bool
+    smas_insert: bool
+    smas_delete: bool
+    companions: tuple[AggregateFunction, ...]
+    aggregate_class: AggregateClass
+
+    @property
+    def is_csmas(self) -> bool:
+        return self.aggregate_class is AggregateClass.CSMAS
+
+
+def classify_aggregate(
+    func: AggregateFunction,
+    distinct: bool = False,
+    append_only: bool = False,
+) -> AggregateClassification:
+    """Classify one aggregate per Tables 1 and 2 of the paper."""
+    if distinct:
+        # The DISTINCT keyword makes any aggregate non-distributive and
+        # therefore non-CSMAS (Section 3.1).
+        return AggregateClassification(
+            func,
+            True,
+            sma_insert=False,
+            sma_delete=False,
+            smas_insert=False,
+            smas_delete=False,
+            companions=(),
+            aggregate_class=AggregateClass.NON_CSMAS,
+        )
+    if func is AggregateFunction.COUNT:
+        return AggregateClassification(
+            func,
+            False,
+            sma_insert=True,
+            sma_delete=True,
+            smas_insert=True,
+            smas_delete=True,
+            companions=(),
+            aggregate_class=AggregateClass.CSMAS,
+        )
+    if func is AggregateFunction.SUM:
+        return AggregateClassification(
+            func,
+            False,
+            sma_insert=True,
+            sma_delete=False,
+            smas_insert=True,
+            smas_delete=True,  # with COUNT included (Table 1)
+            companions=(AggregateFunction.COUNT,),
+            aggregate_class=AggregateClass.CSMAS,
+        )
+    if func is AggregateFunction.AVG:
+        return AggregateClassification(
+            func,
+            False,
+            sma_insert=False,
+            sma_delete=False,
+            smas_insert=True,
+            smas_delete=True,  # with COUNT and SUM included (Table 1)
+            companions=(AggregateFunction.SUM, AggregateFunction.COUNT),
+            aggregate_class=AggregateClass.CSMAS,
+        )
+    # MIN / MAX.
+    maintainable_on_delete = append_only
+    return AggregateClassification(
+        func,
+        False,
+        sma_insert=True,
+        sma_delete=maintainable_on_delete,
+        smas_insert=True,
+        smas_delete=maintainable_on_delete,
+        companions=(),
+        aggregate_class=(
+            AggregateClass.CSMAS if append_only else AggregateClass.NON_CSMAS
+        ),
+    )
+
+
+def is_csmas(item: AggregateItem, append_only: bool = False) -> bool:
+    """Whether an aggregate occurrence is completely self-maintainable."""
+    return classify_aggregate(item.func, item.distinct, append_only).is_csmas
+
+
+def replacement_aggregates(item: AggregateItem) -> tuple[AggregateItem, ...]:
+    """Table 2's replacement of a CSMAS aggregate by distributive ones.
+
+    ``COUNT(a)`` becomes ``COUNT(*)`` (no nulls, Section 3.1); ``SUM(a)``
+    and ``AVG(a)`` become ``SUM(a), COUNT(*)``.  Non-CSMAS aggregates are
+    returned unchanged.  Output aliases are derived from the argument so
+    repeated replacements of aggregates over the same attribute coincide.
+    """
+    if not is_csmas(item):
+        return (item,)
+    if item.func is AggregateFunction.COUNT:
+        return (count_star_item(),)
+    # SUM and AVG both decompose into SUM + COUNT(*).
+    sum_item = AggregateItem(
+        AggregateFunction.SUM,
+        item.column,
+        distinct=False,
+        alias=f"sum_{item.column.qualifier}_{item.column.name}",
+    )
+    return (sum_item, count_star_item())
+
+
+def count_star_item(alias: str = "cnt") -> AggregateItem:
+    """The ``COUNT(*)`` aggregate that smart duplicate compression adds."""
+    return AggregateItem(AggregateFunction.COUNT, None, distinct=False, alias=alias)
+
+
+def classification_table(append_only: bool = False) -> list[dict[str, object]]:
+    """Rows of Tables 1 and 2, for the benchmark harness to print."""
+    rows = []
+    for func in AggregateFunction:
+        info = classify_aggregate(func, append_only=append_only)
+        if func is AggregateFunction.COUNT:
+            replaced = "COUNT(*)"
+        elif info.is_csmas and func in (AggregateFunction.SUM, AggregateFunction.AVG):
+            replaced = "SUM, COUNT(*)"
+        elif info.is_csmas:
+            replaced = func.value  # append-only MIN/MAX maintain themselves
+        else:
+            replaced = "Not replaced"
+        rows.append(
+            {
+                "aggregate": func.value,
+                "sma": (info.sma_insert, info.sma_delete),
+                "smas": (info.smas_insert, info.smas_delete),
+                "companions": tuple(c.value for c in info.companions),
+                "replaced_by": replaced,
+                "class": info.aggregate_class.value,
+            }
+        )
+    return rows

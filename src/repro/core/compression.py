@@ -1,0 +1,214 @@
+"""Local reduction and smart duplicate compression (Section 3.2, Alg. 3.1).
+
+*Local reduction* keeps, for base table ``Ri``, only the attributes
+preserved in ``V`` or involved in join conditions, and only the tuples
+passing ``Ri``'s local selection conditions.
+
+*Smart duplicate compression* then exploits the duplicate-eliminating
+generalized projection: a ``COUNT(*)`` is added (unless superfluous) and
+every attribute used *only* in CSMAS aggregates is replaced by the
+distributive aggregates of Table 2 — in practice a single ``SUM`` per
+attribute, since COUNT folds into the shared ``COUNT(*)``.  Attributes
+used in non-CSMAS aggregates, join conditions, or group-by clauses stay
+as regular (grouping) attributes.
+
+When the auxiliary view retains the key of its base table every group
+holds exactly one tuple, all added aggregates would be superfluous, and
+the view *degenerates* into a PSJ auxiliary view (no compression) — the
+situation of every dimension table joined on its key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.aggregates import is_csmas
+from repro.core.view import ViewDefinition
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.expressions import Column
+from repro.engine.operators import AggregateItem, GroupByItem, ProjectionItem
+
+
+@dataclass(frozen=True)
+class CompressionPlan:
+    """The shape of one auxiliary view after local reduction + Alg. 3.1.
+
+    ``pinned`` attributes remain regular (and thus group the view);
+    ``folded_sums`` are attributes whose CSMAS occurrences were replaced
+    by ``SUM(attribute)``; ``include_count`` adds the shared ``COUNT(*)``.
+    ``degenerate`` marks the PSJ degeneration (key retained, no
+    compression).  ``dropped`` lists locally-reduced-in attributes whose
+    only use was a CSMAS ``COUNT`` — the count column subsumes them
+    entirely, so they are not stored at all.
+    """
+
+    table: str
+    pinned: tuple[str, ...]
+    folded_sums: tuple[str, ...]
+    include_count: bool
+    count_alias: str
+    degenerate: bool
+    dropped: tuple[str, ...] = ()
+    folded_mins: tuple[str, ...] = ()
+    folded_maxs: tuple[str, ...] = ()
+
+    @property
+    def is_compressed(self) -> bool:
+        return self.include_count or bool(self.folded_sums)
+
+    def sum_alias(self, attribute: str) -> str:
+        return f"sum_{attribute}"
+
+    def min_alias(self, attribute: str) -> str:
+        return f"min_{attribute}"
+
+    def max_alias(self, attribute: str) -> str:
+        return f"max_{attribute}"
+
+    def projection_items(self) -> tuple[ProjectionItem, ...]:
+        """The generalized projection ``Π_{A_Ri}`` defining the aux view."""
+        items: list[ProjectionItem] = [
+            GroupByItem(Column(attribute, self.table))
+            for attribute in self.pinned
+        ]
+        items.extend(
+            AggregateItem(
+                AggregateFunction.SUM,
+                Column(attribute, self.table),
+                alias=self.sum_alias(attribute),
+            )
+            for attribute in self.folded_sums
+        )
+        items.extend(
+            AggregateItem(
+                AggregateFunction.MIN,
+                Column(attribute, self.table),
+                alias=self.min_alias(attribute),
+            )
+            for attribute in self.folded_mins
+        )
+        items.extend(
+            AggregateItem(
+                AggregateFunction.MAX,
+                Column(attribute, self.table),
+                alias=self.max_alias(attribute),
+            )
+            for attribute in self.folded_maxs
+        )
+        if self.include_count:
+            items.append(
+                AggregateItem(
+                    AggregateFunction.COUNT, None, alias=self.count_alias
+                )
+            )
+        return tuple(items)
+
+
+def attribute_roles(
+    view: ViewDefinition, table: str, append_only: bool = False
+) -> tuple[tuple[str, ...], dict[str, set[str]]]:
+    """Locally-reduced attribute list of ``table`` and each one's roles.
+
+    Returns ``(kept, roles)`` where ``kept`` is the ordered attribute
+    list after local reduction (preserved in V or in join conditions)
+    and ``roles[attr] ⊆ {"join", "group-by", "non-csmas", "csmas-sum",
+    "csmas-count", "csmas-min", "csmas-max"}``.  Under ``append_only``
+    (the paper's old-detail-data relaxation) MIN and MAX become CSMAS
+    and contribute the extremum roles instead of pinning.
+    """
+    roles: dict[str, set[str]] = {}
+    order: list[str] = []
+
+    def touch(attribute: str, role: str) -> None:
+        if attribute not in roles:
+            roles[attribute] = set()
+            order.append(attribute)
+        roles[attribute].add(role)
+
+    for attribute in view.join_attributes(table):
+        touch(attribute, "join")
+    for attribute in view.group_by_attributes(table):
+        touch(attribute, "group-by")
+    for item in view.aggregated_attributes(table):
+        if not is_csmas(item, append_only):
+            touch(item.column.name, "non-csmas")
+        elif item.func is AggregateFunction.COUNT:
+            touch(item.column.name, "csmas-count")
+        elif item.func is AggregateFunction.MIN:
+            touch(item.column.name, "csmas-min")
+        elif item.func is AggregateFunction.MAX:
+            touch(item.column.name, "csmas-max")
+        else:
+            touch(item.column.name, "csmas-sum")
+    return tuple(order), roles
+
+
+_PINNING_ROLES = frozenset({"join", "group-by", "non-csmas"})
+
+
+def plan_compression(
+    view: ViewDefinition,
+    table: str,
+    key: str,
+    count_alias: str = "cnt",
+    append_only: bool = False,
+) -> CompressionPlan:
+    """Apply Algorithm 3.1 to the locally-reduced attributes of ``table``.
+
+    ``append_only`` applies the paper's old-detail-data relaxation:
+    MIN/MAX become completely self-maintainable under insert-only
+    streams and fold into per-group extrema instead of pinning.
+    """
+    kept, roles = attribute_roles(view, table, append_only)
+    pinned = tuple(a for a in kept if roles[a] & _PINNING_ROLES)
+
+    if key in pinned:
+        # The key pins every group to a single tuple: COUNT(*) and all
+        # replacement aggregates would be superfluous, so the view
+        # degenerates into a PSJ auxiliary view storing raw attributes.
+        return CompressionPlan(
+            table,
+            pinned=kept,
+            folded_sums=(),
+            include_count=False,
+            count_alias=count_alias,
+            degenerate=True,
+        )
+
+    folded = tuple(
+        a for a in kept if a not in pinned and "csmas-sum" in roles[a]
+    )
+    folded_mins = tuple(
+        a for a in kept if a not in pinned and "csmas-min" in roles[a]
+    )
+    folded_maxs = tuple(
+        a for a in kept if a not in pinned and "csmas-max" in roles[a]
+    )
+    dropped = tuple(
+        a
+        for a in kept
+        if a not in pinned
+        and a not in folded
+        and a not in folded_mins
+        and a not in folded_maxs
+    )
+    alias = count_alias
+    taken = (
+        set(pinned)
+        | {f"sum_{a}" for a in folded}
+        | {f"min_{a}" for a in folded_mins}
+        | {f"max_{a}" for a in folded_maxs}
+    )
+    while alias in taken:
+        alias += "_"
+    return CompressionPlan(
+        table,
+        pinned=pinned,
+        folded_sums=folded,
+        include_count=True,
+        count_alias=alias,
+        degenerate=False,
+        dropped=dropped,
+        folded_mins=folded_mins,
+        folded_maxs=folded_maxs,
+    )

@@ -1,0 +1,302 @@
+"""Algorithm 3.2: derivation of the minimal auxiliary-view set.
+
+For a GPSJ view ``V`` over base tables ``R``, each auxiliary view is
+
+``X_Ri = (Π_{A_Ri} σ_S Ri) ⋉C1 X_Rj1 ⋉C2 ... ⋉Cn X_Rjn``
+
+— a local reduction and smart duplicate compression of ``Ri`` followed by
+semijoins with the auxiliary views of the tables ``Ri`` depends on.  An
+auxiliary view is *omitted* when ``Ri`` transitively depends on every
+other base table, is in no other table's Need set, and none of its
+attributes feed non-CSMAS aggregates (Section 3.3); Theorem 1 states the
+resulting set is the unique minimal one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.catalog.database import Database
+from repro.core.aggregates import is_csmas
+from repro.core.compression import CompressionPlan, plan_compression
+from repro.core.joingraph import ExtendedJoinGraph
+from repro.engine.aggregates import AggregateFunction
+from repro.core.view import JoinCondition, ViewDefinition, ViewError
+from repro.engine.expressions import Expression, conjoin
+from repro.engine.operators import (
+    generalized_project,
+    projection_schema,
+    select,
+    semijoin,
+)
+from repro.engine.relation import Relation
+from repro.engine.schema import Schema
+
+
+@dataclass(frozen=True)
+class AuxiliaryView:
+    """The definition (not the data) of one auxiliary view ``X_Ri``."""
+
+    table: str
+    name: str
+    plan: CompressionPlan
+    local_conditions: tuple[Expression, ...]
+    reduced_by: tuple[JoinCondition, ...]
+    base_schema: Schema
+
+    @property
+    def is_compressed(self) -> bool:
+        return self.plan.is_compressed
+
+    @property
+    def count_column(self) -> str | None:
+        """Qualified name of the COUNT(*) column, if compression added one."""
+        if not self.plan.include_count:
+            return None
+        return f"{self.table}.{self.plan.count_alias}"
+
+    def sum_column(self, attribute: str) -> str | None:
+        """Qualified name of the folded SUM column for ``attribute``."""
+        if attribute not in self.plan.folded_sums:
+            return None
+        return f"{self.table}.{self.plan.sum_alias(attribute)}"
+
+    def extremum_column(self, attribute: str, func: "AggregateFunction") -> str | None:
+        """Qualified name of a folded MIN/MAX column (append-only mode)."""
+        if func is AggregateFunction.MIN and attribute in self.plan.folded_mins:
+            return f"{self.table}.{self.plan.min_alias(attribute)}"
+        if func is AggregateFunction.MAX and attribute in self.plan.folded_maxs:
+            return f"{self.table}.{self.plan.max_alias(attribute)}"
+        return None
+
+    def output_schema(self) -> Schema:
+        """Schema of the materialized view, qualified by the base table."""
+        return projection_schema(
+            self.plan.projection_items(), self.base_schema, qualifier=self.table
+        )
+
+    def compute(
+        self,
+        database: Database,
+        aux_relations: Mapping[str, "Relation | AuxiliaryView"] | None = None,
+        aux_set: "AuxiliaryViewSet | None" = None,
+    ) -> Relation:
+        """Materialize the defining expression from the live base tables.
+
+        ``aux_relations`` supplies already-materialized dependency views
+        for the semijoins; dependencies not present there are computed
+        recursively from ``aux_set`` (falling back to the raw base table
+        only when the dependency's definition is unknown).
+        """
+        relation = database.relation(self.table)
+        if self.local_conditions:
+            relation = select(relation, conjoin(self.local_conditions))
+        for join in self.reduced_by:
+            if aux_relations is not None and join.right_table in aux_relations:
+                other = aux_relations[join.right_table]
+            elif aux_set is not None and aux_set.has_view(join.right_table):
+                other = aux_set.for_table(join.right_table).compute(
+                    database, aux_relations, aux_set
+                )
+            else:
+                other = database.relation(join.right_table)
+            relation = semijoin(
+                relation,
+                other,
+                [
+                    (
+                        f"{self.table}.{join.left_attribute}",
+                        f"{join.right_table}.{join.right_attribute}",
+                    )
+                ],
+            )
+        return generalized_project(
+            relation, self.plan.projection_items(), qualifier=self.table
+        )
+
+    def to_sql(self, aux_names: Mapping[str, str] | None = None) -> str:
+        """Render as a CREATE VIEW in the paper's style (with IN subqueries)."""
+        aux_names = aux_names or {}
+        select_list = ", ".join(
+            item.to_sql() for item in self.plan.projection_items()
+        )
+        lines = [
+            f"CREATE VIEW {self.name} AS",
+            f"SELECT {select_list}",
+            f"FROM {self.table}",
+        ]
+        where = [c.to_sql() for c in self.local_conditions]
+        for join in self.reduced_by:
+            dep = aux_names.get(join.right_table, f"{join.right_table}dtl")
+            where.append(
+                f"{join.left_attribute} IN "
+                f"(SELECT {join.right_attribute} FROM {dep})"
+            )
+        if where:
+            lines.append("WHERE " + "\n  AND ".join(where))
+        group_by = list(self.plan.pinned)
+        if self.is_compressed and group_by:
+            lines.append("GROUP BY " + ", ".join(group_by))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.to_sql()
+
+
+@dataclass(frozen=True)
+class AuxiliaryViewSet:
+    """The derived set ``X`` plus the record of eliminated views."""
+
+    view: ViewDefinition
+    auxiliary: tuple[AuxiliaryView, ...]
+    eliminated: Mapping[str, str]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "eliminated", dict(self.eliminated))
+
+    @property
+    def tables(self) -> tuple[str, ...]:
+        return tuple(aux.table for aux in self.auxiliary)
+
+    def for_table(self, table: str) -> AuxiliaryView:
+        for aux in self.auxiliary:
+            if aux.table == table:
+                return aux
+        raise KeyError(
+            f"no auxiliary view for {table!r} "
+            f"(eliminated: {self.eliminated.get(table, 'not a view table')})"
+        )
+
+    def has_view(self, table: str) -> bool:
+        return any(aux.table == table for aux in self.auxiliary)
+
+    def aux_names(self) -> dict[str, str]:
+        return {aux.table: aux.name for aux in self.auxiliary}
+
+    def materialize(self, database: Database) -> dict[str, Relation]:
+        """Compute every auxiliary view's contents in dependency order."""
+        relations: dict[str, Relation] = {}
+        remaining = list(self.auxiliary)
+        while remaining:
+            progressed = False
+            for aux in list(remaining):
+                ready = all(
+                    join.right_table in relations
+                    or not self.has_view(join.right_table)
+                    for join in aux.reduced_by
+                )
+                if ready:
+                    relations[aux.table] = aux.compute(database, relations, self)
+                    remaining.remove(aux)
+                    progressed = True
+            if not progressed:
+                raise ViewError(
+                    "cyclic dependencies among auxiliary views "
+                    f"{[aux.table for aux in remaining]!r}"
+                )
+        return relations
+
+    def to_sql(self) -> str:
+        names = self.aux_names()
+        return "\n\n".join(aux.to_sql(names) for aux in self.auxiliary)
+
+    def __iter__(self):
+        return iter(self.auxiliary)
+
+
+def derive_auxiliary_views(
+    view: ViewDefinition,
+    database: Database,
+    graph: ExtendedJoinGraph | None = None,
+    append_only: bool = False,
+    allow_elimination: bool = True,
+) -> AuxiliaryViewSet:
+    """Run Algorithm 3.2 for ``view`` against ``database``'s catalog.
+
+    ``append_only`` derives auxiliary views for old detail data under
+    the paper's Section 4 relaxation: only insertions are expected, so
+    MIN/MAX count as completely self-maintainable and fold into the
+    compressed views.  ``allow_elimination=False`` materializes every
+    table's auxiliary view even when Section 3.3 would omit it (useful
+    when the views serve as reconstruction sources, e.g. shared detail).
+    """
+    graph = graph or ExtendedJoinGraph(view, database)
+    auxiliary: list[AuxiliaryView] = []
+    eliminated: dict[str, str] = {}
+    for table in view.tables:
+        reason = (
+            retention_reason(view, graph, table, append_only)
+            if allow_elimination
+            else "elimination disabled by caller"
+        )
+        if reason is None:
+            eliminated[table] = _elimination_summary(view, graph, table)
+            continue
+        auxiliary.append(
+            _build_auxiliary_view(view, database, graph, table, append_only)
+        )
+    return AuxiliaryViewSet(view, tuple(auxiliary), eliminated)
+
+
+def retention_reason(
+    view: ViewDefinition,
+    graph: ExtendedJoinGraph,
+    table: str,
+    append_only: bool = False,
+) -> str | None:
+    """Why ``X_table`` must be materialized — ``None`` when it is omittable.
+
+    Implements the three conditions of Algorithm 3.2 step 2 and returns
+    the first failing one as a human-readable reason.
+    """
+    if not graph.transitively_depends_on_all(table):
+        missing = (
+            set(view.tables) - {table} - set(graph.transitively_depends_on(table))
+        )
+        return (
+            f"{table} does not transitively depend on {sorted(missing)!r}"
+        )
+    needed_by = graph.needed_by(table)
+    if needed_by:
+        return f"{table} is in the Need set of {sorted(needed_by)!r}"
+    non_csmas = [
+        item.to_sql()
+        for item in view.aggregated_attributes(table)
+        if not is_csmas(item, append_only)
+    ]
+    if non_csmas:
+        return f"attributes of {table} feed non-CSMAS aggregates {non_csmas!r}"
+    return None
+
+
+def _elimination_summary(
+    view: ViewDefinition, graph: ExtendedJoinGraph, table: str
+) -> str:
+    return (
+        f"{table} transitively depends on all other base tables, is in no "
+        "Need set, and feeds no non-CSMAS aggregate"
+    )
+
+
+def _build_auxiliary_view(
+    view: ViewDefinition,
+    database: Database,
+    graph: ExtendedJoinGraph,
+    table: str,
+    append_only: bool = False,
+) -> AuxiliaryView:
+    base = database.table(table)
+    plan = plan_compression(view, table, base.key, append_only=append_only)
+    dependencies = set(graph.depends_on(table))
+    reduced_by = tuple(
+        join for join in view.joins_from(table) if join.right_table in dependencies
+    )
+    return AuxiliaryView(
+        table=table,
+        name=f"{table}dtl",
+        plan=plan,
+        local_conditions=view.local_conditions(table),
+        reduced_by=reduced_by,
+        base_schema=base.schema,
+    )

@@ -1,0 +1,279 @@
+"""The extended join graph and Need functions (Definitions 2-4).
+
+Vertices are the base tables of a GPSJ view; there is a directed edge
+``Ri -> Rj`` for every join condition ``Ri.b = Rj.a`` where ``a`` is the
+key of ``Rj``.  A vertex is annotated ``k`` when a group-by attribute is
+its key, otherwise ``g`` when it contributes group-by attributes at all
+(Definition 2).  The paper assumes the graph is a tree with no
+self-joins, which covers star and snowflake schemas; the constructor
+enforces this.
+
+``Need(Ri)`` is the minimal set of base tables ``Ri`` must join with so
+that the tuples of ``V`` affected by a change to ``Ri`` can be
+identified (Definition 3); ``Need0`` finds the group-by attributes that
+form a combined key of ``V`` by depth-first traversal from the root
+(Definition 4).  *Dependence* (Section 2.2) is the separate relation
+that drives join reductions: ``Ri`` depends on ``Rj`` when they join on
+``Rj``'s key, referential integrity holds from ``Ri`` to ``Rj``, and
+``Rj`` has no exposed updates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.catalog.database import Database
+from repro.core.view import ViewDefinition
+
+
+class JoinGraphError(Exception):
+    """Raised when a view's join structure falls outside the paper's class."""
+
+
+class Annotation(enum.Enum):
+    """Vertex annotations of the extended join graph (Definition 2)."""
+
+    NONE = ""
+    GROUP = "g"
+    KEY = "k"
+
+
+@dataclass(frozen=True)
+class Vertex:
+    """One base table in the extended join graph."""
+
+    table: str
+    annotation: Annotation
+    parent: str | None
+    children: tuple[str, ...]
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+
+class ExtendedJoinGraph:
+    """The extended join graph ``G(V)`` of a GPSJ view over a catalog."""
+
+    def __init__(self, view: ViewDefinition, database: Database):
+        self.view = view
+        self._database = database
+        self._validate_joins()
+        parents, children = self._build_edges()
+        self._vertices = {
+            table: Vertex(
+                table,
+                self._annotate(table),
+                parents.get(table),
+                tuple(children.get(table, ())),
+            )
+            for table in view.tables
+        }
+        self._root = self._find_root()
+        self._dependencies = self._build_dependencies()
+
+    # ------------------------------------------------------------------
+    # Construction and validation.
+    # ------------------------------------------------------------------
+
+    def _validate_joins(self) -> None:
+        for join in self.view.joins:
+            right = self._database.table(join.right_table)
+            if right.key != join.right_attribute:
+                raise JoinGraphError(
+                    f"join {join} does not target the key of {join.right_table!r} "
+                    f"(key is {right.key!r}); GPSJ views join on keys"
+                )
+
+    def _build_edges(self) -> tuple[dict[str, str], dict[str, list[str]]]:
+        parents: dict[str, str] = {}
+        children: dict[str, list[str]] = {}
+        for join in self.view.joins:
+            if join.right_table in parents:
+                raise JoinGraphError(
+                    f"{join.right_table!r} has two incoming edges; the extended "
+                    "join graph must be a tree"
+                )
+            parents[join.right_table] = join.left_table
+            children.setdefault(join.left_table, []).append(join.right_table)
+        return parents, children
+
+    def _annotate(self, table: str) -> Annotation:
+        group_attributes = self.view.group_by_attributes(table)
+        if not group_attributes:
+            return Annotation.NONE
+        key = self._database.table(table).key
+        if key in group_attributes:
+            return Annotation.KEY
+        return Annotation.GROUP
+
+    def _find_root(self) -> str:
+        roots = [v.table for v in self._vertices.values() if v.is_root]
+        if len(roots) != 1:
+            raise JoinGraphError(
+                f"extended join graph must be a tree with a single root; "
+                f"found roots {roots!r}"
+            )
+        root = roots[0]
+        reached: set[str] = set()
+        stack = [root]
+        while stack:
+            table = stack.pop()
+            if table in reached:
+                raise JoinGraphError("cycle in extended join graph")
+            reached.add(table)
+            stack.extend(self._vertices[table].children)
+        if reached != set(self.view.tables):
+            missing = set(self.view.tables) - reached
+            raise JoinGraphError(
+                f"extended join graph is disconnected; unreachable: {missing!r}"
+            )
+        return root
+
+    def _build_dependencies(self) -> dict[str, tuple[str, ...]]:
+        """``Ri -> tables Ri depends on`` (Section 2.2)."""
+        dependencies: dict[str, list[str]] = {t: [] for t in self.view.tables}
+        for join in self.view.joins:
+            referencing = self._database.table(join.left_table)
+            referenced = self._database.table(join.right_table)
+            constraint = referencing.reference_for(join.left_attribute)
+            has_integrity = (
+                constraint is not None
+                and constraint.referenced == join.right_table
+            )
+            if has_integrity and not referenced.exposed_updates:
+                dependencies[join.left_table].append(join.right_table)
+        return {table: tuple(deps) for table, deps in dependencies.items()}
+
+    # ------------------------------------------------------------------
+    # Accessors.
+    # ------------------------------------------------------------------
+
+    @property
+    def root(self) -> str:
+        """The root table ``R0`` (the fact table in a star schema)."""
+        return self._root
+
+    @property
+    def tables(self) -> tuple[str, ...]:
+        return self.view.tables
+
+    def vertex(self, table: str) -> Vertex:
+        return self._vertices[table]
+
+    def annotation(self, table: str) -> Annotation:
+        return self._vertices[table].annotation
+
+    def children(self, table: str) -> tuple[str, ...]:
+        return self._vertices[table].children
+
+    def parent(self, table: str) -> str | None:
+        return self._vertices[table].parent
+
+    def subtree(self, table: str) -> tuple[str, ...]:
+        """All tables in the subtree rooted at ``table`` (inclusive)."""
+        collected: list[str] = []
+        stack = [table]
+        while stack:
+            current = stack.pop()
+            collected.append(current)
+            stack.extend(self._vertices[current].children)
+        return tuple(collected)
+
+    def depends_on(self, table: str) -> tuple[str, ...]:
+        """Tables ``table`` directly depends on (join reduction targets)."""
+        return self._dependencies[table]
+
+    def transitively_depends_on(self, table: str) -> frozenset[str]:
+        """All tables reachable from ``table`` via dependence edges."""
+        reached: set[str] = set()
+        stack = list(self._dependencies[table])
+        while stack:
+            current = stack.pop()
+            if current in reached:
+                continue
+            reached.add(current)
+            stack.extend(self._dependencies[current])
+        return frozenset(reached)
+
+    def transitively_depends_on_all(self, table: str) -> bool:
+        """Whether ``table`` transitively depends on every other base table."""
+        others = set(self.view.tables) - {table}
+        return others <= self.transitively_depends_on(table)
+
+    # ------------------------------------------------------------------
+    # Need functions (Definitions 3 and 4).
+    # ------------------------------------------------------------------
+
+    def need(self, table: str) -> frozenset[str]:
+        """``Need(Ri, G(V))`` per Definition 3."""
+        vertex = self._vertices[table]
+        if vertex.annotation is Annotation.KEY:
+            return frozenset()
+        if vertex.parent is not None and table != self._root:
+            return frozenset({vertex.parent}) | self.need(vertex.parent)
+        return self.need_zero(self._root)
+
+    def need_zero(self, table: str) -> frozenset[str]:
+        """``Need0(Ri, G(V))`` per Definition 4.
+
+        Collects, below ``table``, the minimal set of tables whose
+        group-by attributes form a combined key to ``V``: recursion stops
+        at (and below) vertices annotated ``k`` because grouping on a key
+        already pins every tuple of that subtree.
+        """
+        vertex = self._vertices[table]
+        if vertex.annotation is Annotation.KEY:
+            return frozenset()
+        needed: set[str] = set()
+        for child in vertex.children:
+            if self._subtree_has_annotation(child):
+                needed.add(child)
+                needed |= self.need_zero(child)
+        return frozenset(needed)
+
+    def _subtree_has_annotation(self, table: str) -> bool:
+        return any(
+            self._vertices[t].annotation is not Annotation.NONE
+            for t in self.subtree(table)
+        )
+
+    def needed_by(self, table: str) -> frozenset[str]:
+        """The other tables whose Need set contains ``table``."""
+        return frozenset(
+            other
+            for other in self.view.tables
+            if other != table and table in self.need(other)
+        )
+
+    # ------------------------------------------------------------------
+    # Rendering (Figure 2).
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        """ASCII rendering of the annotated graph, as in Figure 2."""
+        lines: list[str] = []
+
+        def label(table: str) -> str:
+            annotation = self._vertices[table].annotation
+            if annotation is Annotation.NONE:
+                return table
+            return f"{table} [{annotation.value}]"
+
+        def walk(table: str, prefix: str, tail: bool, top: bool) -> None:
+            if top:
+                lines.append(label(table))
+            else:
+                connector = "└── " if tail else "├── "
+                lines.append(prefix + connector + label(table))
+            children = self._vertices[table].children
+            for index, child in enumerate(children):
+                extension = "" if top else ("    " if tail else "│   ")
+                walk(child, prefix + extension, index == len(children) - 1, False)
+
+        walk(self._root, "", True, True)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.render()

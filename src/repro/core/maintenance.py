@@ -1,0 +1,989 @@
+"""Incremental self-maintenance of ``{V} ∪ X`` (Sections 2.2 and 3.2).
+
+The :class:`SelfMaintainer` materializes the auxiliary views and the
+summary view once, at initialization, and from then on updates both from
+source deltas **without any base-table access**:
+
+* Deltas are *locally reduced* (local selection conditions) and
+  *join-reduced* (semijoined with the auxiliary views of the tables the
+  changed table depends on).
+* The surviving delta rows are joined with the other auxiliary views via
+  the same compiled row program that full reconstruction uses, yielding
+  per-group contributions; CSMAS aggregates are updated incrementally
+  with the ``f(a * cnt0)`` duplicate correction.
+* Non-CSMAS aggregates (MIN/MAX, DISTINCT) are updated incrementally
+  where Table 1 allows (insertions) and recomputed *from the auxiliary
+  views* — never from base tables — where it does not (Section 3.2's
+  maintenance discussion).  Aggregates over tables pinned by a key
+  group-by are constant within each group and never need recomputation,
+  which is what makes root-elimination safe in their presence.
+
+Transactions are processed with deletions flowing root-to-leaves and
+insertions leaves-to-root, so every semijoin sees the auxiliary state
+the paper's reduction arguments assume.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.catalog.database import Database
+from repro.core.derivation import (
+    AuxiliaryView,
+    AuxiliaryViewSet,
+    derive_auxiliary_views,
+)
+from repro.core.joingraph import Annotation, ExtendedJoinGraph
+from repro.core.rewrite import (
+    AggregateCategory,
+    GroupAccumulator,
+    Reconstructor,
+)
+from repro.core.view import ViewDefinition
+from repro.engine.deltas import Transaction
+from repro.engine.expressions import conjoin
+from repro.engine.operators import AggregateItem, select
+from repro.engine.relation import Relation
+from repro.engine.schema import Schema
+
+
+class SelfMaintenanceError(Exception):
+    """Raised when a delta is inconsistent with the maintained state."""
+
+
+class AuxMaterialization:
+    """Live contents of one auxiliary view."""
+
+    def __init__(self, aux: AuxiliaryView):
+        self.aux = aux
+        self.schema = aux.output_schema()
+        self._key_cache: dict[str, set] = {}
+
+    def load(self, relation: Relation) -> None:
+        raise NotImplementedError
+
+    def relation(self) -> Relation:
+        raise NotImplementedError
+
+    def apply(self, base_rows: list[tuple], sign: int) -> None:
+        """Fold reduced base-table rows in (+1) or out (-1)."""
+        raise NotImplementedError
+
+    def key_values(self, column: str) -> set:
+        """Distinct values of ``column``, cached between changes.
+
+        Join reductions probe the same (key) column on every delta of a
+        referencing table; the cache makes that probe O(1) amortized.
+        """
+        cached = self._key_cache.get(column)
+        if cached is None:
+            cached = self._key_cache[column] = set(
+                self.relation().column(column)
+            )
+        return cached
+
+    def _invalidate_keys(self) -> None:
+        self._key_cache.clear()
+
+    def rows_matching(self, column: str, values: set) -> list[tuple]:
+        """Output rows whose ``column`` value is in ``values``.
+
+        Served from an incrementally-maintained hash index, so probing a
+        large compressed root view with a handful of dimension keys does
+        not pay a full scan (or a full hash build in the join).
+        """
+        raise NotImplementedError
+
+    def size_bytes(self) -> int:
+        return self.relation().size_bytes()
+
+    def __len__(self) -> int:
+        return len(self.relation())
+
+
+class ProjectionMaterialization(AuxMaterialization):
+    """A degenerate (PSJ) auxiliary view: raw projected rows, key retained."""
+
+    def __init__(self, aux: AuxiliaryView):
+        super().__init__(aux)
+        self._indexes = [
+            aux.base_schema.index_of(name) for name in aux.plan.pinned
+        ]
+        self._relation = Relation(self.schema)
+        self._hash_indexes: dict[str, dict] = {}
+
+    def load(self, relation: Relation) -> None:
+        if relation.schema != self.schema:
+            raise SelfMaintenanceError(
+                f"loaded relation does not match {self.aux.name} schema"
+            )
+        self._relation = relation.copy()
+        self._invalidate_keys()
+        self._hash_indexes.clear()
+
+    def relation(self) -> Relation:
+        return self._relation
+
+    def apply(self, base_rows: list[tuple], sign: int) -> None:
+        projected = [tuple(row[i] for i in self._indexes) for row in base_rows]
+        if sign > 0:
+            self._relation.insert_all(projected)
+        else:
+            self._relation.delete_all(projected)
+        self._invalidate_keys()
+        for column, index in self._hash_indexes.items():
+            position = self.schema.index_of(column)
+            for row in projected:
+                bucket = index.setdefault(row[position], Counter())
+                bucket[row] += sign
+                if bucket[row] <= 0:
+                    del bucket[row]
+                    if not bucket:
+                        del index[row[position]]
+
+    def rows_matching(self, column: str, values: set) -> list[tuple]:
+        index = self._hash_indexes.get(column)
+        if index is None:
+            index = self._hash_indexes[column] = {}
+            position = self.schema.index_of(column)
+            for row in self._relation:
+                index.setdefault(row[position], Counter())[row] += 1
+        rows: list[tuple] = []
+        for value in values:
+            bucket = index.get(value)
+            if bucket:
+                rows.extend(bucket.elements())
+        return rows
+
+
+class CompressedMaterialization(AuxMaterialization):
+    """A duplicate-compressed auxiliary view: grouped sums plus COUNT(*).
+
+    Kept as a dictionary from pinned-attribute values to running
+    ``[sum..., count]`` vectors; groups vanish when their count drops to
+    zero, so the materialization is always exactly ``Π_{A_Ri}`` of the
+    reduced detail data.
+    """
+
+    def __init__(self, aux: AuxiliaryView):
+        super().__init__(aux)
+        plan = aux.plan
+        self._pin_indexes = [
+            aux.base_schema.index_of(name) for name in plan.pinned
+        ]
+        self._sum_indexes = [
+            aux.base_schema.index_of(name) for name in plan.folded_sums
+        ]
+        self._min_indexes = [
+            aux.base_schema.index_of(name) for name in plan.folded_mins
+        ]
+        self._max_indexes = [
+            aux.base_schema.index_of(name) for name in plan.folded_maxs
+        ]
+        self._groups: dict[tuple, list] = {}
+        self._cache: Relation | None = None
+        self._hash_indexes: dict[str, dict] = {}
+        self._pin_slots = {
+            name: slot for slot, name in enumerate(plan.pinned)
+        }
+
+    def load(self, relation: Relation) -> None:
+        if relation.schema != self.schema:
+            raise SelfMaintenanceError(
+                f"loaded relation does not match {self.aux.name} schema"
+            )
+        width = len(self.aux.plan.pinned)
+        self._groups = {
+            row[:width]: list(row[width:]) for row in relation
+        }
+        self._cache = None
+        self._invalidate_keys()
+        self._hash_indexes.clear()
+
+    def relation(self) -> Relation:
+        if self._cache is None:
+            rows = [
+                key + tuple(totals) for key, totals in self._groups.items()
+            ]
+            self._cache = Relation(self.schema, rows, validate=False)
+        return self._cache
+
+    def apply(self, base_rows: list[tuple], sign: int) -> None:
+        if not base_rows:
+            return
+        if sign < 0 and (self._min_indexes or self._max_indexes):
+            raise SelfMaintenanceError(
+                f"{self.aux.name} holds folded MIN/MAX (append-only mode) "
+                "and cannot absorb deletions"
+            )
+        self._cache = None
+        self._invalidate_keys()
+        n_sums = len(self._sum_indexes)
+        n_extrema = len(self._min_indexes) + len(self._max_indexes)
+        count_slot = n_sums + n_extrema
+        for row in base_rows:
+            key = tuple(row[i] for i in self._pin_indexes)
+            totals = self._groups.get(key)
+            if totals is None:
+                if sign < 0:
+                    raise SelfMaintenanceError(
+                        f"{self.aux.name}: deletion from absent group {key!r}"
+                    )
+                totals = self._groups[key] = (
+                    [0] * n_sums
+                    + [row[i] for i in self._min_indexes]
+                    + [row[i] for i in self._max_indexes]
+                    + [0]
+                )
+            for slot, index in enumerate(self._sum_indexes):
+                totals[slot] += sign * row[index]
+            slot = n_sums
+            for index in self._min_indexes:
+                totals[slot] = min(totals[slot], row[index])
+                slot += 1
+            for index in self._max_indexes:
+                totals[slot] = max(totals[slot], row[index])
+                slot += 1
+            if totals[count_slot] == 0 and sign > 0:
+                self._index_group(key, add=True)
+            totals[count_slot] += sign
+            if totals[count_slot] == 0:
+                del self._groups[key]
+                self._index_group(key, add=False)
+            elif totals[count_slot] < 0:
+                raise SelfMaintenanceError(
+                    f"{self.aux.name}: negative count in group {key!r}"
+                )
+
+
+    def _index_group(self, key: tuple, add: bool) -> None:
+        for column, index in self._hash_indexes.items():
+            value = key[self._pin_slots[column.split(".", 1)[1]]]
+            if add:
+                index.setdefault(value, set()).add(key)
+            else:
+                bucket = index.get(value)
+                if bucket is not None:
+                    bucket.discard(key)
+                    if not bucket:
+                        del index[value]
+
+    def rows_matching(self, column: str, values: set) -> list[tuple]:
+        index = self._hash_indexes.get(column)
+        if index is None:
+            slot = self._pin_slots.get(column.split(".", 1)[1])
+            if slot is None:
+                raise SelfMaintenanceError(
+                    f"{self.aux.name} has no pinned column {column!r} to index"
+                )
+            index = self._hash_indexes[column] = {}
+            for key in self._groups:
+                index.setdefault(key[slot], set()).add(key)
+        rows: list[tuple] = []
+        for value in values:
+            for key in index.get(value, ()):
+                rows.append(key + tuple(self._groups[key]))
+        return rows
+
+
+def make_materialization(aux: AuxiliaryView) -> AuxMaterialization:
+    if aux.is_compressed:
+        return CompressedMaterialization(aux)
+    return ProjectionMaterialization(aux)
+
+
+@dataclass
+class GroupState:
+    """Maintained state of one group of ``V``."""
+
+    count: int
+    sums: dict[int, float] = field(default_factory=dict)
+    values: dict[int, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class _TableInfo:
+    """Precompiled delta-processing plan for one base table."""
+
+    table: str
+    schema: Schema
+    local_predicate: object  # compiled predicate or None
+    reductions: tuple[tuple[int, str, str], ...]  # (fk index, dep table, dep key)
+
+
+@dataclass(frozen=True)
+class _RewriteInfo:
+    """How an update of one dimension row rewrites groups of ``V`` when
+    the root auxiliary view was eliminated."""
+
+    table: str
+    key_index: int
+    anchor: str                      # nearest key-annotated ancestor
+    anchor_position: int             # its key's slot in the group key
+    path: tuple[tuple[str, str, str], ...]  # upward (parent, fk, key) hops
+    group_positions: tuple[tuple[int, int], ...]   # (key slot, attr index)
+    aggregate_rewrites: tuple[tuple[int, int], ...]  # (item index, attr index)
+
+
+class SelfMaintainer:
+    """Maintains ``V`` and ``X`` from deltas, never touching base tables."""
+
+    def __init__(
+        self,
+        view: ViewDefinition,
+        database: Database,
+        aux_set: AuxiliaryViewSet | None = None,
+        graph: ExtendedJoinGraph | None = None,
+        append_only: bool = False,
+        initialize: bool = True,
+    ):
+        """``append_only`` maintains the view as *old detail data*
+        (Section 4): only insertions are accepted, in exchange for
+        folding MIN/MAX into the compressed auxiliary views.
+        ``initialize=False`` skips the one-time base-table load; the
+        caller must then populate the maintainer via
+        :meth:`load_state` (warehouse restart from a checkpoint)."""
+        self.view = view
+        self.append_only = append_only
+        self.graph = graph or ExtendedJoinGraph(view, database)
+        self.aux_set = aux_set or derive_auxiliary_views(
+            view, database, self.graph, append_only=append_only
+        )
+        self.reconstructor = Reconstructor(view, self.aux_set, database)
+        self._materializations: dict[str, AuxMaterialization] = {
+            aux.table: make_materialization(aux) for aux in self.aux_set
+        }
+        self._eliminated = frozenset(self.aux_set.eliminated)
+        self._root = self.graph.root
+        self._order = self._processing_order()
+        self._tables = {
+            table: self._table_info(view, database, table)
+            for table in view.tables
+        }
+        self._key_indexes = {
+            table: database.table(table).key_index() for table in view.tables
+        }
+        self._key_names = {
+            table: database.table(table).key for table in view.tables
+        }
+        self._constant_tables = self._group_constant_tables()
+        self._varying_items = frozenset(
+            index
+            for index, category in self.reconstructor.categories.items()
+            if category in (AggregateCategory.EXTREMUM, AggregateCategory.DISTINCT)
+            and self._item_table(index) not in self._constant_tables
+        )
+        self._constant_items = frozenset(
+            index
+            for index, category in self.reconstructor.categories.items()
+            if category in (AggregateCategory.EXTREMUM, AggregateCategory.DISTINCT)
+            and index not in self._varying_items
+        )
+        if (
+            self._varying_items
+            and self._root in self._eliminated
+            and not append_only
+        ):
+            raise SelfMaintenanceError(
+                "internal invariant violated: root eliminated with varying "
+                "non-CSMAS aggregates present"
+            )
+        self._rewrite_info = self._build_rewrite_info(database)
+        self._groups: dict[tuple, GroupState] = {}
+        if initialize:
+            self._initialize(database)
+
+    # ------------------------------------------------------------------
+    # Setup.
+    # ------------------------------------------------------------------
+
+    def _processing_order(self) -> tuple[str, ...]:
+        """Tables root-to-leaves (deletion order; reversed for insertions)."""
+        order: list[str] = []
+        stack = [self._root]
+        while stack:
+            table = stack.pop()
+            order.append(table)
+            stack.extend(reversed(self.graph.children(table)))
+        return tuple(order)
+
+    def _table_info(
+        self, view: ViewDefinition, database: Database, table: str
+    ) -> _TableInfo:
+        schema = database.table(table).schema
+        conditions = view.local_conditions(table)
+        predicate = (
+            conjoin(conditions).compile(schema) if conditions else None
+        )
+        reductions = []
+        if table not in self._eliminated:
+            for join in self.aux_set.for_table(table).reduced_by:
+                reductions.append(
+                    (
+                        schema.index_of(join.left_attribute),
+                        join.right_table,
+                        f"{join.right_table}.{join.right_attribute}",
+                    )
+                )
+        else:
+            for join in view.joins_from(table):
+                reductions.append(
+                    (
+                        schema.index_of(join.left_attribute),
+                        join.right_table,
+                        f"{join.right_table}.{join.right_attribute}",
+                    )
+                )
+        return _TableInfo(table, schema, predicate, tuple(reductions))
+
+    def _group_constant_tables(self) -> frozenset[str]:
+        """Tables whose attributes are constant within every group of V:
+        every table in the subtree of a key-annotated vertex."""
+        constant: set[str] = set()
+        for table in self.view.tables:
+            if self.graph.annotation(table) is Annotation.KEY:
+                constant.update(self.graph.subtree(table))
+        return frozenset(constant)
+
+    def _item_table(self, index: int) -> str:
+        item = self.view.projection[index]
+        if not isinstance(item, AggregateItem) or item.column is None:
+            return self._root
+        return item.column.qualifier
+
+    def _build_rewrite_info(
+        self, database: Database
+    ) -> dict[str, "_RewriteInfo"]:
+        """Precompute, for each contributing dimension table, how a
+        delete+insert of one of its rows (an update) rewrites the groups
+        of ``V`` when the root auxiliary view was eliminated.
+
+        Elimination guarantees every contributing dimension lies in the
+        subtree of a key-annotated vertex (otherwise the root would be in
+        its Need set), so each affected group is pinned by that anchor's
+        key in the group key and can be rewritten in place — exactly the
+        "Need(Ri) identifies the affected view tuples" argument of
+        Section 3.3.
+        """
+        if self._root not in self._eliminated:
+            return {}
+        group_items = [
+            (position, item)
+            for position, item in enumerate(self.view.group_by_items)
+        ]
+        info: dict[str, _RewriteInfo] = {}
+        for table in self.view.tables:
+            if table == self._root:
+                continue
+            schema = database.table(table).schema
+            group_positions = tuple(
+                (position, schema.index_of(item.column.name))
+                for position, item in group_items
+                if item.column.qualifier == table
+            )
+            aggregate_rewrites = tuple(
+                (index, schema.index_of(self.view.projection[index].column.name))
+                for index in self.reconstructor.categories
+                if self._item_table(index) == table
+            )
+            if not group_positions and not aggregate_rewrites:
+                continue
+            anchor, path = self._anchor_path(table, database)
+            anchor_position = next(
+                position
+                for position, item in group_items
+                if item.column.qualifier == anchor
+                and item.column.name == database.table(anchor).key
+            )
+            info[table] = _RewriteInfo(
+                table=table,
+                key_index=database.table(table).key_index(),
+                anchor=anchor,
+                anchor_position=anchor_position,
+                path=path,
+                group_positions=group_positions,
+                aggregate_rewrites=aggregate_rewrites,
+            )
+        return info
+
+    def _anchor_path(
+        self, table: str, database: Database
+    ) -> tuple[str, tuple[tuple[str, str, str], ...]]:
+        """The nearest key-annotated ancestor of ``table`` (inclusive) and
+        the chain of (parent table, qualified foreign key, qualified
+        parent key) hops walking *upward* from ``table`` to that anchor."""
+        chain: list[tuple[str, str, str]] = []
+        current = table
+        while True:
+            if self.graph.annotation(current) is Annotation.KEY:
+                return current, tuple(chain)
+            parent = self.graph.parent(current)
+            if parent is None or parent == self._root:
+                raise SelfMaintenanceError(
+                    "internal invariant violated: contributing table "
+                    f"{table!r} has no key-annotated anchor although the "
+                    "root auxiliary view was eliminated"
+                )
+            join = next(
+                j for j in self.view.joins_from(parent)
+                if j.right_table == current
+            )
+            chain.append(
+                (
+                    parent,
+                    f"{parent}.{join.left_attribute}",
+                    f"{parent}.{database.table(parent).key}",
+                )
+            )
+            current = parent
+
+    def _initialize(self, database: Database) -> None:
+        """One-time materialization from the live base tables."""
+        relations: dict[str, Relation] = {}
+        for table in reversed(self._order):  # leaves first: deps available
+            if table in self._eliminated:
+                continue
+            aux = self.aux_set.for_table(table)
+            computed = aux.compute(database, relations)
+            self._materializations[table].load(computed)
+            relations[table] = self._materializations[table].relation()
+        mapping = self._current_relations()
+        for table in self._eliminated:
+            relation = database.relation(table)
+            conditions = self.view.local_conditions(table)
+            if conditions:
+                relation = select(relation, conjoin(conditions))
+            mapping[table] = relation
+        for key, acc in self.reconstructor.accumulate(mapping).items():
+            if acc.multiplicity > 0:
+                self._groups[key] = self._state_from_accumulator(acc)
+
+    def _state_from_accumulator(self, acc: GroupAccumulator) -> GroupState:
+        values: dict[int, object] = {}
+        for index, value in acc.extrema.items():
+            values[index] = value
+        for index, collected in acc.distincts.items():
+            item = self.view.projection[index]
+            values[index] = self.reconstructor.finalize_distinct(item, collected)
+        return GroupState(acc.multiplicity, dict(acc.sums), values)
+
+    # ------------------------------------------------------------------
+    # Accessors.
+    # ------------------------------------------------------------------
+
+    @property
+    def eliminated_tables(self) -> frozenset[str]:
+        return self._eliminated
+
+    def aux_relation(self, table: str) -> Relation:
+        return self._materializations[table].relation()
+
+    def aux_relations(self) -> dict[str, Relation]:
+        return self._current_relations()
+
+    def _current_relations(self) -> dict[str, Relation]:
+        return {
+            table: materialization.relation()
+            for table, materialization in self._materializations.items()
+        }
+
+    def detail_size_bytes(self) -> int:
+        """Total current-detail storage under the paper's size model."""
+        return sum(m.size_bytes() for m in self._materializations.values())
+
+    def current_view(self) -> Relation:
+        """The maintained summary table ``V``."""
+        rows = [
+            self._state_row(key, state) for key, state in self._groups.items()
+        ]
+        result = Relation(self.reconstructor.output_schema, rows, validate=False)
+        if self.view.having is not None:
+            result = select(result, self.view.having)
+        return result
+
+    def _state_row(self, key: tuple, state: GroupState) -> tuple:
+        out: list[object] = []
+        key_iter = iter(key)
+        categories = self.reconstructor.categories
+        for index, item in enumerate(self.view.projection):
+            if not isinstance(item, AggregateItem):
+                out.append(next(key_iter))
+                continue
+            category = categories[index]
+            if category is AggregateCategory.COUNT:
+                out.append(state.count)
+            elif category is AggregateCategory.SUM:
+                out.append(state.sums[index])
+            elif category is AggregateCategory.AVG:
+                out.append(state.sums[index] / state.count)
+            else:
+                out.append(state.values[index])
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    # Delta processing.
+    # ------------------------------------------------------------------
+
+    def apply(self, transaction: Transaction) -> None:
+        """Maintain ``V`` and ``X`` under one source transaction."""
+        if self.append_only:
+            offenders = [
+                delta.table
+                for delta in transaction
+                if delta.deleted and delta.table in self.view.tables
+            ]
+            if offenders:
+                raise SelfMaintenanceError(
+                    f"append-only detail data received deletions on "
+                    f"{offenders!r}"
+                )
+        dirty: set[tuple] = set()
+        rewrites = self._plan_rewrites(transaction)
+        for table in self._order:
+            delta = transaction.delta_for(table)
+            if delta.deleted:
+                self._process_delta(table, list(delta.deleted), -1, dirty)
+        self._apply_rewrites(rewrites)
+        for table in reversed(self._order):
+            delta = transaction.delta_for(table)
+            if delta.inserted:
+                self._process_delta(table, list(delta.inserted), +1, dirty)
+        if dirty:
+            self._recompute_groups(dirty)
+
+    # ------------------------------------------------------------------
+    # Dimension updates under an eliminated root (Section 3.3).
+    #
+    # With no root auxiliary view, a dimension delete+insert of the same
+    # key (an update) cannot flow through the generic join path.  The
+    # Need-set argument guarantees each affected group is pinned by the
+    # key of the dimension's nearest key-annotated ancestor, so the
+    # groups are located through the group key, their dimension-derived
+    # group-by values and group-constant aggregates rewritten in place,
+    # and their counts carried over unchanged (no detail rows moved).
+    # ------------------------------------------------------------------
+
+    def _plan_rewrites(
+        self, transaction: Transaction
+    ) -> dict[tuple, list[tuple["_RewriteInfo", tuple | None]]]:
+        """Match deleted-to-inserted dimension rows by key and locate the
+        affected live groups — all against pre-transaction state."""
+        if not self._rewrite_info:
+            return {}
+        planned: dict[tuple, list[tuple[_RewriteInfo, tuple | None]]] = {}
+        for table, info in self._rewrite_info.items():
+            delta = transaction.delta_for(table)
+            if not delta.deleted:
+                continue
+            table_info = self._tables[table]
+            replacements: dict[object, tuple | None] = {}
+            for row in delta.inserted:
+                validated = table_info.schema.validate_row(row)
+                replacements[validated[info.key_index]] = validated
+            for row in delta.deleted:
+                validated = table_info.schema.validate_row(row)
+                if table_info.local_predicate is not None and not (
+                    table_info.local_predicate(validated)
+                ):
+                    continue  # contributed nothing before the change
+                new_row = replacements.get(validated[info.key_index])
+                if new_row is not None and not self._row_survives(
+                    table_info, new_row
+                ):
+                    new_row = None
+                anchor_ids = self._anchor_ids(info, validated[info.key_index])
+                if not anchor_ids:
+                    continue
+                for key in self._groups:
+                    if key[info.anchor_position] in anchor_ids:
+                        planned.setdefault(key, []).append((info, new_row))
+        return planned
+
+    def _row_survives(self, table_info: "_TableInfo", row: tuple) -> bool:
+        """Local + join reductions for a single replacement row."""
+        if table_info.local_predicate is not None and not (
+            table_info.local_predicate(row)
+        ):
+            return False
+        for fk_index, dep_table, dep_key in table_info.reductions:
+            keys = self._materializations[dep_table].key_values(dep_key)
+            if row[fk_index] not in keys:
+                return False
+        return True
+
+    def _anchor_ids(self, info: "_RewriteInfo", key_value: object) -> set:
+        """Keys of the anchor table whose join chain reaches ``key_value``
+        (computed from the dimension auxiliary views, pre-transaction)."""
+        ids = {key_value}
+        for parent, fk_column, key_column in info.path:
+            relation = self._materializations[parent].relation()
+            fk_index = relation.schema.index_of(fk_column)
+            key_index = relation.schema.index_of(key_column)
+            ids = {
+                row[key_index] for row in relation if row[fk_index] in ids
+            }
+            if not ids:
+                break
+        return ids
+
+    def _apply_rewrites(
+        self,
+        rewrites: dict[tuple, list[tuple["_RewriteInfo", tuple | None]]],
+    ) -> None:
+        for old_key, operations in rewrites.items():
+            state = self._groups.pop(old_key, None)
+            if state is None:
+                continue  # the group died during the deletion phase
+            if any(new_row is None for __, new_row in operations):
+                # The dimension row was not (validly) re-inserted: with
+                # referential integrity this cannot happen for a live
+                # group, so drop it defensively.
+                continue
+            new_key = list(old_key)
+            for info, new_row in operations:
+                for key_slot, attr_index in info.group_positions:
+                    new_key[key_slot] = new_row[attr_index]
+                self._rewrite_state(state, info, new_row)
+            restored = tuple(new_key)
+            if restored in self._groups:
+                raise SelfMaintenanceError(
+                    f"group rewrite collision at {restored!r}"
+                )
+            self._groups[restored] = state
+
+    def _rewrite_state(
+        self, state: GroupState, info: "_RewriteInfo", new_row: tuple
+    ) -> None:
+        categories = self.reconstructor.categories
+        for item_index, attr_index in info.aggregate_rewrites:
+            value = new_row[attr_index]
+            category = categories[item_index]
+            if category is AggregateCategory.COUNT:
+                continue
+            if category in (AggregateCategory.SUM, AggregateCategory.AVG):
+                # Group-constant attribute: the sum is value x multiplicity.
+                state.sums[item_index] = value * state.count
+            elif category is AggregateCategory.EXTREMUM:
+                state.values[item_index] = value
+            else:
+                item = self.view.projection[item_index]
+                state.values[item_index] = self.reconstructor.finalize_distinct(
+                    item, {value}
+                )
+
+    def _process_delta(
+        self, table: str, rows: list[tuple], sign: int, dirty: set[tuple]
+    ) -> None:
+        info = self._tables[table]
+        reduced = [info.schema.validate_row(row) for row in rows]
+        if info.local_predicate is not None:
+            reduced = [row for row in reduced if info.local_predicate(row)]
+        for fk_index, dep_table, dep_key in info.reductions:
+            keys = self._materializations[dep_table].key_values(dep_key)
+            reduced = [row for row in reduced if row[fk_index] in keys]
+        if not reduced:
+            return
+        skip_view = (
+            self._root in self._eliminated and table != self._root
+        )
+        if not skip_view:
+            self._propagate_to_view(table, reduced, sign, dirty)
+        if table not in self._eliminated:
+            self._materializations[table].apply(reduced, sign)
+
+    def _propagate_to_view(
+        self, table: str, reduced: list[tuple], sign: int, dirty: set[tuple]
+    ) -> None:
+        # The changed table's own auxiliary view is replaced by the delta
+        # relation, so skip materializing it — for compressed views this
+        # keeps fact-only streams from paying an O(|X_root|) relation
+        # rebuild on every transaction.
+        mapping: dict[str, Relation] = {
+            other: materialization.relation()
+            for other, materialization in self._materializations.items()
+            if other != table
+        }
+        mapping[table] = Relation(
+            self._tables[table].schema, reduced, validate=False
+        )
+        self._restrict_ancestor_path(table, reduced, mapping)
+        joined = self.reconstructor.join_all(mapping, start=table)
+        if not joined:
+            return
+        program = self.reconstructor.compile_program(joined.schema)
+        contributions: dict[tuple, GroupAccumulator] = {}
+        self.reconstructor.run_program(program, joined.rows, contributions)
+        for key, acc in contributions.items():
+            self._merge_group(key, acc, sign, dirty)
+
+    def _restrict_ancestor_path(
+        self, table: str, reduced: list[tuple], mapping: dict[str, Relation]
+    ) -> None:
+        """Shrink the ancestors of a changed dimension to the rows that
+        can join the delta, probing the materializations' hash indexes.
+
+        Only rows referencing the delta's keys can contribute, so the
+        join over the restricted relations is unchanged — but the hash
+        join no longer builds over the full (typically compressed-root)
+        relation on every dimension delta.
+        """
+        keys = {
+            row[self._key_indexes[table]] for row in reduced
+        }
+        current = table
+        while keys:
+            parent = self.graph.parent(current)
+            if parent is None or parent not in self._materializations:
+                return
+            join = next(
+                j for j in self.view.joins_from(parent)
+                if j.right_table == current
+            )
+            materialization = self._materializations[parent]
+            rows = materialization.rows_matching(
+                f"{parent}.{join.left_attribute}", keys
+            )
+            mapping[parent] = Relation(
+                materialization.schema, rows, validate=False
+            )
+            parent_key = f"{parent}.{self._key_names[parent]}"
+            if not materialization.schema.has(parent_key):
+                return  # the parent's key is not stored: stop climbing
+            index = materialization.schema.index_of(parent_key)
+            keys = {row[index] for row in rows}
+            current = parent
+
+    def _merge_group(
+        self, key: tuple, acc: GroupAccumulator, sign: int, dirty: set[tuple]
+    ) -> None:
+        state = self._groups.get(key)
+        if sign > 0:
+            if state is None:
+                self._groups[key] = self._state_from_accumulator(acc)
+                dirty.discard(key)
+                return
+            state.count += acc.multiplicity
+            for index, value in acc.sums.items():
+                state.sums[index] = state.sums.get(index, 0) + value
+            # Aggregates over key-pinned tables are constant within the
+            # group; only varying extrema need combining.
+            for index, value in acc.extrema.items():
+                if index in self._varying_items:
+                    combiner = self.reconstructor.combiner(index)
+                    state.values[index] = combiner(state.values[index], value)
+            for index in acc.distincts:
+                if index in self._varying_items:
+                    dirty.add(key)
+            return
+        if state is None:
+            raise SelfMaintenanceError(
+                f"deletion touches unknown group {key!r} of {self.view.name}"
+            )
+        state.count -= acc.multiplicity
+        if state.count == 0:
+            del self._groups[key]
+            dirty.discard(key)
+            return
+        if state.count < 0:
+            raise SelfMaintenanceError(
+                f"negative multiplicity in group {key!r} of {self.view.name}"
+            )
+        for index, value in acc.sums.items():
+            state.sums[index] = state.sums.get(index, 0) - value
+        for index, value in acc.extrema.items():
+            if index in self._varying_items and value == state.values[index]:
+                dirty.add(key)
+        for index in acc.distincts:
+            if index in self._varying_items:
+                dirty.add(key)
+
+    # ------------------------------------------------------------------
+    # Checkpointing (restart without base-table access).
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """A JSON-serializable snapshot of ``X`` and the maintained ``V``.
+
+        Together with the (re-derivable) view definition this is all the
+        warehouse needs to resume after a restart — crucially *without*
+        reading the sealed sources.
+        """
+        return {
+            "view": self.view.name,
+            "view_sql": self.view.to_sql(),
+            "append_only": self.append_only,
+            "auxiliary": {
+                table: [list(row) for row in materialization.relation()]
+                for table, materialization in self._materializations.items()
+            },
+            "groups": [
+                {
+                    "key": list(key),
+                    "count": state.count,
+                    "sums": {str(i): v for i, v in state.sums.items()},
+                    "values": {str(i): v for i, v in state.values.items()},
+                }
+                for key, state in self._groups.items()
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`."""
+        if state.get("view") != self.view.name:
+            raise SelfMaintenanceError(
+                f"checkpoint is for view {state.get('view')!r}, "
+                f"not {self.view.name!r}"
+            )
+        if bool(state.get("append_only")) != self.append_only:
+            raise SelfMaintenanceError(
+                "checkpoint append-only mode does not match this maintainer"
+            )
+        recorded = set(state.get("auxiliary", {}))
+        expected = set(self._materializations)
+        if recorded != expected:
+            raise SelfMaintenanceError(
+                f"checkpoint auxiliary views {sorted(recorded)} do not "
+                f"match the derivation {sorted(expected)}"
+            )
+        for table, rows in state["auxiliary"].items():
+            materialization = self._materializations[table]
+            materialization.load(
+                Relation(
+                    materialization.schema,
+                    [tuple(row) for row in rows],
+                )
+            )
+        self._groups = {}
+        for entry in state["groups"]:
+            key = tuple(entry["key"])
+            self._groups[key] = GroupState(
+                count=entry["count"],
+                sums={int(i): v for i, v in entry["sums"].items()},
+                values={int(i): v for i, v in entry["values"].items()},
+            )
+
+    def _recompute_groups(self, dirty: set[tuple]) -> None:
+        """Refresh non-CSMAS aggregates of dirty groups from X (never from
+        base tables) — the paper's recomputation-from-auxiliary-views."""
+        live = {key for key in dirty if key in self._groups}
+        if not live:
+            return
+        accumulators = self.reconstructor.accumulate(
+            self._current_relations(), frozenset(live)
+        )
+        for key in live:
+            acc = accumulators.get(key)
+            if acc is None or acc.multiplicity == 0:
+                raise SelfMaintenanceError(
+                    f"group {key!r} survives in V but not in X"
+                )
+            refreshed = self._state_from_accumulator(acc)
+            state = self._groups[key]
+            if state.count != refreshed.count:
+                raise SelfMaintenanceError(
+                    f"group {key!r}: maintained count {state.count} disagrees "
+                    f"with auxiliary views ({refreshed.count})"
+                )
+            state.values = refreshed.values
+            state.sums = refreshed.sums

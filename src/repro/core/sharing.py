@@ -1,0 +1,367 @@
+"""Shared detail data for classes of summary tables (Section 4).
+
+The paper's final future-work item: extend the derivation "to determine
+the minimal set of detail data for *classes* of summary data".  This
+module implements the natural construction.  Given several GPSJ views
+over the same base tables, the per-table auxiliary views are *merged*:
+
+* pinned attributes — the union of every view's pinned attributes plus
+  every attribute appearing in a local condition (conditions must remain
+  evaluable on the shared view);
+* folded sums — the union of the views' folded attributes, minus
+  anything pinned;
+* local condition — the *disjunction* of the views' local conjunctions
+  (a tuple useless to every view need not be stored); a view without
+  local conditions on the table forces the filter open;
+* join reductions — dropped (a merged view serves views with different
+  reduction structures; keeping a superset of tuples is always sound).
+
+Because the merged view groups at least as finely as each individual
+view and CSMAS aggregates are distributive, **every individual auxiliary
+view is a selection + rollup of the merged one** —
+:func:`materialize_from_merged` performs exactly that and the test suite
+checks it reproduces the per-view derivation tuple-for-tuple.  The
+shared detail is therefore sufficient for maintaining the whole class of
+views while storing overlapping attributes and groups only once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.database import Database
+from repro.core.compression import CompressionPlan, attribute_roles
+from repro.core.derivation import AuxiliaryView, AuxiliaryViewSet
+from repro.core.view import ViewDefinition
+from repro.engine.expressions import Expression, Or, conjoin
+from repro.engine.operators import generalized_project, select, semijoin
+from repro.engine.relation import Relation
+from repro.engine.schema import Schema
+
+
+class SharingError(Exception):
+    """Raised when views cannot share detail data."""
+
+
+@dataclass(frozen=True)
+class MergedAuxiliaryView:
+    """One shared auxiliary view serving several summary tables."""
+
+    table: str
+    name: str
+    plan: CompressionPlan
+    local_condition: Expression | None
+    serves: tuple[str, ...]
+    base_schema: Schema
+
+    @property
+    def is_compressed(self) -> bool:
+        return self.plan.is_compressed
+
+    def output_schema(self) -> Schema:
+        from repro.engine.operators import projection_schema
+
+        return projection_schema(
+            self.plan.projection_items(), self.base_schema, qualifier=self.table
+        )
+
+    def compute(self, database: Database) -> Relation:
+        relation = database.relation(self.table)
+        if self.local_condition is not None:
+            relation = select(relation, self.local_condition)
+        return generalized_project(
+            relation, self.plan.projection_items(), qualifier=self.table
+        )
+
+    def to_sql(self) -> str:
+        select_list = ", ".join(
+            item.to_sql() for item in self.plan.projection_items()
+        )
+        lines = [
+            f"CREATE VIEW {self.name} AS",
+            f"SELECT {select_list}",
+            f"FROM {self.table}",
+        ]
+        if self.local_condition is not None:
+            lines.append(f"WHERE {self.local_condition.to_sql()}")
+        if self.is_compressed and self.plan.pinned:
+            lines.append("GROUP BY " + ", ".join(self.plan.pinned))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class SharedDetailSet:
+    """The merged auxiliary views for a class of summary tables."""
+
+    views: tuple[ViewDefinition, ...]
+    merged: tuple[MergedAuxiliaryView, ...]
+
+    def for_table(self, table: str) -> MergedAuxiliaryView:
+        for merged in self.merged:
+            if merged.table == table:
+                return merged
+        raise KeyError(f"no shared auxiliary view for {table!r}")
+
+    def materialize(self, database: Database) -> dict[str, Relation]:
+        return {m.table: m.compute(database) for m in self.merged}
+
+    def to_sql(self) -> str:
+        return "\n\n".join(m.to_sql() for m in self.merged)
+
+
+def merge_views(
+    views: list[ViewDefinition], database: Database
+) -> SharedDetailSet:
+    """Build the shared auxiliary-view set for a class of views."""
+    if not views:
+        raise SharingError("no views to merge")
+    names = [view.name for view in views]
+    if len(set(names)) != len(names):
+        raise SharingError(f"duplicate view names {names!r}")
+    tables: list[str] = []
+    for view in views:
+        for table in view.tables:
+            if table not in tables:
+                tables.append(table)
+    merged = tuple(
+        _merge_for_table(views, database, table) for table in tables
+    )
+    return SharedDetailSet(tuple(views), merged)
+
+
+def _merge_for_table(
+    views: list[ViewDefinition], database: Database, table: str
+) -> MergedAuxiliaryView:
+    base = database.table(table)
+    relevant = [view for view in views if table in view.tables]
+    order: list[str] = []
+    pinning: set[str] = set()
+    folding: set[str] = set()
+
+    def keep(attribute: str) -> None:
+        if attribute not in order:
+            order.append(attribute)
+
+    unfiltered = False
+    conditions: list[Expression] = []
+    for view in relevant:
+        kept, roles = attribute_roles(view, table)
+        for attribute in kept:
+            keep(attribute)
+            if roles[attribute] & {"join", "group-by", "non-csmas"}:
+                pinning.add(attribute)
+            if "csmas-sum" in roles[attribute]:
+                folding.add(attribute)
+        view_conditions = view.local_conditions(table)
+        if view_conditions:
+            for condition in view_conditions:
+                for column in condition.columns():
+                    keep(column.name)
+                    pinning.add(column.name)
+            conditions.append(conjoin(view_conditions))
+        else:
+            unfiltered = True
+
+    local_condition: Expression | None
+    if unfiltered or not conditions:
+        local_condition = None
+    elif len(conditions) == 1:
+        local_condition = conditions[0]
+    else:
+        local_condition = Or(*conditions)
+
+    serves = tuple(view.name for view in relevant)
+    name = f"{table}shared"
+    if base.key in pinning:
+        plan = CompressionPlan(
+            table,
+            pinned=tuple(order),
+            folded_sums=(),
+            include_count=False,
+            count_alias="cnt",
+            degenerate=True,
+        )
+    else:
+        pinned = tuple(a for a in order if a in pinning)
+        folded = tuple(
+            a for a in order if a in folding and a not in pinning
+        )
+        alias = "cnt"
+        taken = set(pinned) | {f"sum_{a}" for a in folded}
+        while alias in taken:
+            alias += "_"
+        plan = CompressionPlan(
+            table,
+            pinned=pinned,
+            folded_sums=folded,
+            include_count=True,
+            count_alias=alias,
+            degenerate=False,
+            dropped=tuple(
+                a for a in order if a not in pinning and a not in folding
+            ),
+        )
+    return MergedAuxiliaryView(
+        table=table,
+        name=name,
+        plan=plan,
+        local_condition=local_condition,
+        serves=serves,
+        base_schema=base.schema,
+    )
+
+
+# ----------------------------------------------------------------------
+# Deriving each view's own auxiliary views from the shared detail.
+# ----------------------------------------------------------------------
+
+
+def materialize_from_merged(
+    aux_set: AuxiliaryViewSet,
+    shared: SharedDetailSet,
+    shared_relations: dict[str, Relation],
+) -> dict[str, Relation]:
+    """Rebuild one view's auxiliary views from the shared detail only.
+
+    Selection (the view's local conditions), rollup (distributive
+    re-aggregation onto the view's coarser grouping), and the view's
+    join reductions are applied — never touching base tables.  The
+    result is tuple-identical to deriving from the sources directly.
+    """
+    results: dict[str, Relation] = {}
+    remaining = list(aux_set.auxiliary)
+    while remaining:
+        progressed = False
+        for aux in list(remaining):
+            ready = all(
+                join.right_table in results
+                or not aux_set.has_view(join.right_table)
+                for join in aux.reduced_by
+            )
+            if not ready:
+                continue
+            results[aux.table] = _project_view_aux(
+                aux, shared.for_table(aux.table), shared_relations[aux.table], results
+            )
+            remaining.remove(aux)
+            progressed = True
+        if not progressed:
+            raise SharingError("cyclic auxiliary-view dependencies")
+    return results
+
+
+def _project_view_aux(
+    aux: AuxiliaryView,
+    merged: MergedAuxiliaryView,
+    merged_relation: Relation,
+    dep_relations: dict[str, Relation],
+) -> Relation:
+    relation = merged_relation
+    # 1. The view's local conditions (attributes are pinned in merged).
+    if aux.local_conditions:
+        relation = select(relation, conjoin(aux.local_conditions))
+    # 2. The view's join reductions against its (already projected) deps.
+    for join in aux.reduced_by:
+        dep = dep_relations.get(join.right_table)
+        if dep is None:
+            continue
+        relation = semijoin(
+            relation,
+            dep,
+            [
+                (
+                    f"{aux.table}.{join.left_attribute}",
+                    f"{join.right_table}.{join.right_attribute}",
+                )
+            ],
+        )
+    # 3. Rollup onto the view's grouping, using distributivity.
+    return _rollup(aux, merged, relation)
+
+
+def _rollup(
+    aux: AuxiliaryView,
+    merged: MergedAuxiliaryView,
+    relation: Relation,
+) -> Relation:
+    schema = relation.schema
+    plan = aux.plan
+    pin_indexes = [schema.index_of(f"{aux.table}.{a}") for a in plan.pinned]
+
+    if not plan.is_compressed:
+        # Degenerate target: merged is degenerate too (its pinned set is
+        # a superset containing the key), so rows project directly.
+        rows = {tuple(row[i] for i in pin_indexes) for row in relation}
+        return Relation(aux.output_schema(), sorted(rows), validate=False)
+
+    count_index = None
+    if merged.plan.include_count:
+        count_index = schema.index_of(f"{aux.table}.{merged.plan.count_alias}")
+
+    def multiplicity(row: tuple) -> int:
+        return 1 if count_index is None else row[count_index]
+
+    sum_getters = []
+    for attribute in plan.folded_sums:
+        if attribute in merged.plan.folded_sums:
+            index = schema.index_of(
+                f"{aux.table}.{merged.plan.sum_alias(attribute)}"
+            )
+            sum_getters.append(lambda row, i=index: row[i])
+        else:  # pinned raw in merged: weight by the merged count
+            index = schema.index_of(f"{aux.table}.{attribute}")
+            sum_getters.append(
+                lambda row, i=index: row[i] * multiplicity(row)
+            )
+
+    groups: dict[tuple, list] = {}
+    for row in relation:
+        key = tuple(row[i] for i in pin_indexes)
+        totals = groups.get(key)
+        if totals is None:
+            totals = groups[key] = [0] * len(sum_getters) + [0]
+        for slot, getter in enumerate(sum_getters):
+            totals[slot] += getter(row)
+        totals[-1] += multiplicity(row)
+    rows = [key + tuple(totals) for key, totals in groups.items()]
+    return Relation(aux.output_schema(), rows, validate=False)
+
+
+# ----------------------------------------------------------------------
+# Storage analysis.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SharingReport:
+    """Bytes stored with and without sharing for a class of views."""
+
+    individual_bytes: dict[str, int]
+    shared_bytes: int
+
+    @property
+    def total_individual(self) -> int:
+        return sum(self.individual_bytes.values())
+
+    @property
+    def savings_factor(self) -> float:
+        if self.shared_bytes == 0:
+            return float("inf")
+        return self.total_individual / self.shared_bytes
+
+
+def sharing_report(
+    views: list[ViewDefinition],
+    aux_sets: list[AuxiliaryViewSet],
+    database: Database,
+) -> SharingReport:
+    """Measure per-view vs shared current-detail storage."""
+    individual = {}
+    for view, aux_set in zip(views, aux_sets):
+        relations = aux_set.materialize(database)
+        individual[view.name] = sum(r.size_bytes() for r in relations.values())
+    shared = merge_views(views, database)
+    shared_bytes = sum(
+        r.size_bytes() for r in shared.materialize(database).values()
+    )
+    return SharingReport(individual, shared_bytes)

@@ -1,0 +1,320 @@
+"""GPSJ view definitions: ``V = Π_A σ_S (R1 ⋈C1 R2 ⋈C2 ... ⋈Cn-1 Rn)``.
+
+A GPSJ view (Section 2.1 of the paper) is a generalized projection — a
+projection enhanced with aggregation and grouping — over a conjunctive
+selection over key/foreign-key equijoins of base tables.  Join conditions
+``Ri.b = Rj.a`` must target the key ``a`` of ``Rj``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from repro.catalog.database import Database
+from repro.engine.expressions import Column, Expression
+from repro.engine.operators import (
+    AggregateItem,
+    GroupByItem,
+    ProjectionItem,
+    equijoin,
+    generalized_project,
+    select,
+)
+from repro.engine.relation import Relation
+
+
+class ViewError(Exception):
+    """Raised for malformed GPSJ view definitions."""
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """``left_table.left_attribute = right_table.right_attribute``.
+
+    The right side must be the key of ``right_table``; the derivation
+    layer validates this against the catalog.
+    """
+
+    left_table: str
+    left_attribute: str
+    right_table: str
+    right_attribute: str
+
+    @property
+    def left_column(self) -> Column:
+        return Column(self.left_attribute, self.left_table)
+
+    @property
+    def right_column(self) -> Column:
+        return Column(self.right_attribute, self.right_table)
+
+    def to_sql(self) -> str:
+        return (
+            f"{self.left_table}.{self.left_attribute} = "
+            f"{self.right_table}.{self.right_attribute}"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.to_sql()
+
+
+@dataclass(frozen=True)
+class ViewDefinition:
+    """An immutable GPSJ view.
+
+    ``projection`` holds :class:`GroupByItem` and :class:`AggregateItem`
+    entries whose columns are qualified by table name.  ``selection``
+    holds only *local* conjuncts (each referencing a single table); join
+    conditions live in ``joins``.  ``having`` is the paper's sketched
+    future-work extension and is applied after aggregation.
+    """
+
+    name: str
+    tables: tuple[str, ...]
+    projection: tuple[ProjectionItem, ...]
+    selection: tuple[Expression, ...] = ()
+    joins: tuple[JoinCondition, ...] = ()
+    having: Expression | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tables", tuple(self.tables))
+        object.__setattr__(self, "projection", tuple(self.projection))
+        object.__setattr__(self, "selection", tuple(self.selection))
+        object.__setattr__(self, "joins", tuple(self.joins))
+        self._validate_structure()
+
+    def _validate_structure(self) -> None:
+        if not self.tables:
+            raise ViewError(f"view {self.name!r} references no tables")
+        if len(set(self.tables)) != len(self.tables):
+            raise ViewError(
+                f"view {self.name!r} references a table twice (no self-joins)"
+            )
+        if not self.projection:
+            raise ViewError(f"view {self.name!r} projects nothing")
+        known = set(self.tables)
+        for item in self.projection:
+            for column in self._item_columns(item):
+                self._check_column(column, known)
+        for condition in self.selection:
+            qualifiers = condition.qualifiers()
+            for column in condition.columns():
+                self._check_column(column, known)
+            if len(qualifiers) > 1:
+                raise ViewError(
+                    f"selection condition {condition.to_sql()!r} spans several "
+                    "tables; join conditions belong in `joins`"
+                )
+        for join in self.joins:
+            if join.left_table not in known or join.right_table not in known:
+                raise ViewError(f"join {join} references an unknown table")
+            if join.left_table == join.right_table:
+                raise ViewError(f"self-join {join} is not supported")
+        names = [item.output_name for item in self.projection]
+        if len(set(names)) != len(names):
+            raise ViewError(f"duplicate output names in view {self.name!r}: {names}")
+
+    @staticmethod
+    def _item_columns(item: ProjectionItem) -> tuple[Column, ...]:
+        if isinstance(item, GroupByItem):
+            return (item.column,)
+        if item.column is None:
+            return ()
+        return (item.column,)
+
+    @staticmethod
+    def _check_column(column: Column, known: set[str]) -> None:
+        if column.qualifier is None:
+            raise ViewError(
+                f"column {column.name!r} must be qualified with its table"
+            )
+        if column.qualifier not in known:
+            raise ViewError(
+                f"column {column.qualified_name!r} references an unknown table"
+            )
+
+    # ------------------------------------------------------------------
+    # Structure accessors used throughout the derivation algorithm.
+    # ------------------------------------------------------------------
+
+    @property
+    def group_by_items(self) -> tuple[GroupByItem, ...]:
+        return tuple(
+            item for item in self.projection if isinstance(item, GroupByItem)
+        )
+
+    @property
+    def aggregate_items(self) -> tuple[AggregateItem, ...]:
+        return tuple(
+            item for item in self.projection if isinstance(item, AggregateItem)
+        )
+
+    def group_by_attributes(self, table: str) -> tuple[str, ...]:
+        """Names of ``table``'s attributes used as group-by attributes."""
+        return tuple(
+            item.column.name
+            for item in self.group_by_items
+            if item.column.qualifier == table
+        )
+
+    def aggregated_attributes(self, table: str) -> tuple[AggregateItem, ...]:
+        """Aggregates over attributes of ``table`` (excluding COUNT(*))."""
+        return tuple(
+            item
+            for item in self.aggregate_items
+            if item.column is not None and item.column.qualifier == table
+        )
+
+    def preserved_attributes(self, table: str) -> tuple[str, ...]:
+        """Attributes of ``table`` appearing in A — as regular attributes
+        or inside aggregates (Section 2.1: "preserved in V")."""
+        seen: dict[str, None] = {}
+        for item in self.projection:
+            for column in self._item_columns(item):
+                if column.qualifier == table:
+                    seen.setdefault(column.name)
+        return tuple(seen)
+
+    def join_attributes(self, table: str) -> tuple[str, ...]:
+        """Attributes of ``table`` involved in join conditions."""
+        seen: dict[str, None] = {}
+        for join in self.joins:
+            if join.left_table == table:
+                seen.setdefault(join.left_attribute)
+            if join.right_table == table:
+                seen.setdefault(join.right_attribute)
+        return tuple(seen)
+
+    def local_conditions(self, table: str) -> tuple[Expression, ...]:
+        """Selection conjuncts that reference only ``table``."""
+        return tuple(
+            condition
+            for condition in self.selection
+            if condition.qualifiers() == {table}
+        )
+
+    def joins_from(self, table: str) -> tuple[JoinCondition, ...]:
+        """Join conditions whose foreign-key side is ``table``."""
+        return tuple(j for j in self.joins if j.left_table == table)
+
+    def joins_to(self, table: str) -> tuple[JoinCondition, ...]:
+        """Join conditions whose key side is ``table``."""
+        return tuple(j for j in self.joins if j.right_table == table)
+
+    def with_name(self, name: str) -> "ViewDefinition":
+        return replace(self, name=name)
+
+    # ------------------------------------------------------------------
+    # Evaluation over the live database (ground truth for every test).
+    # ------------------------------------------------------------------
+
+    def evaluate(self, database: Database) -> Relation:
+        """Compute V over the base tables (recomputation semantics).
+
+        A group exists only when at least one tuple contributes to it, so
+        a view with no group-by attributes over an empty join result is
+        empty — the convention the maintenance runtime also follows.
+        """
+        joined = self._join_tables(database)
+        result = generalized_project(joined, self.projection, qualifier=self.name)
+        if self.having is not None:
+            result = select(result, self.having)
+        return result
+
+    def _join_tables(self, database: Database) -> Relation:
+        remaining = list(self.tables)
+        first = remaining.pop(0)
+        current = self._reduced_table(database, first)
+        placed = {first}
+        while remaining:
+            progressed = False
+            for table in list(remaining):
+                pairs = self._join_pairs(table, placed)
+                if pairs is None:
+                    continue
+                right = self._reduced_table(database, table)
+                current = equijoin(current, right, pairs)
+                placed.add(table)
+                remaining.remove(table)
+                progressed = True
+            if not progressed:
+                # Disconnected tables: fall back to cross product semantics.
+                table = remaining.pop(0)
+                current = equijoin(
+                    current, self._reduced_table(database, table), []
+                )
+                placed.add(table)
+        return current
+
+    def _join_pairs(
+        self, table: str, placed: set[str]
+    ) -> list[tuple[str, str]] | None:
+        pairs = []
+        for join in self.joins:
+            if join.left_table == table and join.right_table in placed:
+                pairs.append(
+                    (
+                        f"{join.right_table}.{join.right_attribute}",
+                        f"{join.left_table}.{join.left_attribute}",
+                    )
+                )
+            elif join.right_table == table and join.left_table in placed:
+                pairs.append(
+                    (
+                        f"{join.left_table}.{join.left_attribute}",
+                        f"{join.right_table}.{join.right_attribute}",
+                    )
+                )
+        return pairs or None
+
+    def _reduced_table(self, database: Database, table: str) -> Relation:
+        relation = database.relation(table)
+        for condition in self.local_conditions(table):
+            relation = select(relation, condition)
+        return relation
+
+    # ------------------------------------------------------------------
+    # Rendering.
+    # ------------------------------------------------------------------
+
+    def to_sql(self) -> str:
+        """Render as the CREATE VIEW statement style used in the paper."""
+        select_list = ",\n       ".join(item.to_sql() for item in self.projection)
+        lines = [
+            f"CREATE VIEW {self.name} AS",
+            f"SELECT {select_list}",
+            f"FROM {', '.join(self.tables)}",
+        ]
+        where = [c.to_sql() for c in self.selection]
+        where += [j.to_sql() for j in self.joins]
+        if where:
+            lines.append("WHERE " + "\n  AND ".join(where))
+        group_by = [item.column.to_sql() for item in self.group_by_items]
+        if group_by:
+            lines.append("GROUP BY " + ", ".join(group_by))
+        if self.having is not None:
+            lines.append(f"HAVING {self.having.to_sql()}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.to_sql()
+
+
+def make_view(
+    name: str,
+    tables: Sequence[str],
+    projection: Iterable[ProjectionItem],
+    selection: Iterable[Expression] = (),
+    joins: Iterable[JoinCondition] = (),
+    having: Expression | None = None,
+) -> ViewDefinition:
+    """Convenience constructor with plain iterables."""
+    return ViewDefinition(
+        name,
+        tuple(tables),
+        tuple(projection),
+        tuple(selection),
+        tuple(joins),
+        having,
+    )

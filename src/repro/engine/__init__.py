@@ -1,0 +1,52 @@
+"""In-memory relational engine used as the data-warehouse substrate.
+
+The engine provides typed schemas, relations, an expression language,
+classic relational operators plus the *generalized projection* operator of
+Gupta, Harinarayan & Quass (VLDB 1995) that the paper builds on, and
+incremental aggregate state machines used both by the maintenance runtime
+and by the Table-1 classification probes.
+"""
+
+from repro.engine.types import AttributeType
+from repro.engine.schema import Attribute, Schema
+from repro.engine.relation import Relation
+from repro.engine.expressions import (
+    And,
+    Arithmetic,
+    Column,
+    Comparison,
+    Expression,
+    InList,
+    Literal,
+    Not,
+    Or,
+)
+from repro.engine.aggregates import (
+    AggregateFunction,
+    compute_aggregate,
+    make_aggregate_state,
+)
+from repro.engine.deltas import Delta, Transaction
+from repro.engine import operators
+
+__all__ = [
+    "AttributeType",
+    "Attribute",
+    "Schema",
+    "Relation",
+    "Expression",
+    "Column",
+    "Literal",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "InList",
+    "Arithmetic",
+    "AggregateFunction",
+    "compute_aggregate",
+    "make_aggregate_state",
+    "Delta",
+    "Transaction",
+    "operators",
+]

@@ -1,0 +1,135 @@
+"""Change sets flowing from sources to the warehouse.
+
+A :class:`Delta` carries the inserted and deleted rows of one base table;
+a :class:`Transaction` groups per-table deltas that are applied together.
+Updates are represented as deletion + insertion pairs, which is how the
+paper propagates *exposed* updates (Section 2.1); the warehouse runtime
+applies the same discipline to all updates for uniformity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+
+@dataclass(frozen=True)
+class Delta:
+    """Inserted and deleted rows for one base table (full tuples)."""
+
+    table: str
+    inserted: tuple[tuple, ...] = ()
+    deleted: tuple[tuple, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "inserted", tuple(tuple(r) for r in self.inserted))
+        object.__setattr__(self, "deleted", tuple(tuple(r) for r in self.deleted))
+
+    @property
+    def empty(self) -> bool:
+        return not self.inserted and not self.deleted
+
+    def inverted(self) -> "Delta":
+        """The delta that undoes this one."""
+        return Delta(self.table, self.deleted, self.inserted)
+
+    @classmethod
+    def insertion(cls, table: str, rows: Iterable[tuple]) -> "Delta":
+        return cls(table, inserted=tuple(rows))
+
+    @classmethod
+    def deletion(cls, table: str, rows: Iterable[tuple]) -> "Delta":
+        return cls(table, deleted=tuple(rows))
+
+    @classmethod
+    def update(
+        cls, table: str, old_rows: Iterable[tuple], new_rows: Iterable[tuple]
+    ) -> "Delta":
+        """An update propagated as deletions followed by insertions."""
+        return cls(table, inserted=tuple(new_rows), deleted=tuple(old_rows))
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A set of per-table deltas applied atomically at the sources.
+
+    Within a transaction the referential-integrity discipline is:
+    deletions cascade bottom-up (referencing tables first) and insertions
+    apply top-down (referenced tables first), so every intermediate state
+    the warehouse observes satisfies the declared constraints.
+    """
+
+    deltas: tuple[Delta, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "deltas", tuple(self.deltas))
+        seen: set[str] = set()
+        for delta in self.deltas:
+            if delta.table in seen:
+                raise ValueError(
+                    f"transaction holds multiple deltas for table {delta.table!r}"
+                )
+            seen.add(delta.table)
+
+    def __iter__(self) -> Iterator[Delta]:
+        return iter(self.deltas)
+
+    @property
+    def empty(self) -> bool:
+        return all(delta.empty for delta in self.deltas)
+
+    @property
+    def tables(self) -> tuple[str, ...]:
+        return tuple(delta.table for delta in self.deltas)
+
+    def delta_for(self, table: str) -> Delta:
+        for delta in self.deltas:
+            if delta.table == table:
+                return delta
+        return Delta(table)
+
+    @classmethod
+    def of(cls, *deltas: Delta) -> "Transaction":
+        return cls(tuple(delta for delta in deltas if not delta.empty))
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, tuple[Iterable, Iterable]]) -> "Transaction":
+        """Build from ``{table: (inserted_rows, deleted_rows)}``."""
+        return cls.of(
+            *(
+                Delta(table, tuple(ins), tuple(dels))
+                for table, (ins, dels) in mapping.items()
+            )
+        )
+
+
+def coalesce(transactions: "Iterable[Transaction]") -> Transaction:
+    """Merge a sequence of transactions into one net transaction.
+
+    Rows both inserted and deleted across the sequence cancel (multiset
+    arithmetic), so a deferred-refresh warehouse propagates only the net
+    change.  The result reaches the same final state as applying the
+    sequence in order, which is all exact view maintenance depends on.
+    """
+    from collections import Counter
+
+    inserted: dict[str, Counter] = {}
+    deleted: dict[str, Counter] = {}
+    for transaction in transactions:
+        for delta in transaction:
+            table_ins = inserted.setdefault(delta.table, Counter())
+            table_del = deleted.setdefault(delta.table, Counter())
+            for row in delta.deleted:
+                if table_ins[row] > 0:
+                    table_ins[row] -= 1  # cancels an earlier insertion
+                else:
+                    table_del[row] += 1
+            for row in delta.inserted:
+                table_ins[row] += 1
+    deltas = []
+    for table in inserted:
+        ins = tuple(inserted[table].elements())
+        dels = tuple(deleted[table].elements())
+        if ins or dels:
+            deltas.append(Delta(table, ins, dels))
+    return Transaction.of(*deltas)

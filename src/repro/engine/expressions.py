@@ -1,0 +1,315 @@
+"""A small expression language over relation rows.
+
+Expressions are immutable trees compiled against a :class:`Schema` into
+plain Python closures, so predicates evaluated millions of times during
+maintenance pay name resolution only once.  The language covers what GPSJ
+selection conditions need: column references, literals, comparisons,
+arithmetic, conjunction/disjunction/negation, and ``IN`` lists.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.engine.schema import Schema
+
+RowPredicate = Callable[[tuple], object]
+
+
+class ExpressionError(Exception):
+    """Raised for malformed expressions."""
+
+
+class Expression:
+    """Base class for expression nodes."""
+
+    def compile(self, schema: Schema) -> RowPredicate:
+        """Return a closure evaluating this expression on rows of ``schema``."""
+        raise NotImplementedError
+
+    def columns(self) -> tuple["Column", ...]:
+        """All column references in this expression, in tree order."""
+        raise NotImplementedError
+
+    def qualifiers(self) -> set[str]:
+        """The set of table qualifiers referenced by this expression."""
+        return {c.qualifier for c in self.columns() if c.qualifier is not None}
+
+    def substitute(self, mapping: dict["Column", "Expression"]) -> "Expression":
+        """Return a copy with column references rewritten via ``mapping``."""
+        raise NotImplementedError
+
+    def to_sql(self) -> str:
+        """Render the expression as SQL text."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.to_sql()
+
+
+@dataclass(frozen=True)
+class Column(Expression):
+    """A reference to an attribute, optionally qualified by table name."""
+
+    name: str
+    qualifier: str | None = None
+
+    @property
+    def qualified_name(self) -> str:
+        if self.qualifier is None:
+            return self.name
+        return f"{self.qualifier}.{self.name}"
+
+    @classmethod
+    def parse(cls, reference: str) -> "Column":
+        """Build a column from ``name`` or ``table.name`` text."""
+        if "." in reference:
+            qualifier, __, name = reference.partition(".")
+            return cls(name, qualifier)
+        return cls(reference)
+
+    def compile(self, schema: Schema) -> RowPredicate:
+        index = schema.index_of(self.name, self.qualifier)
+        return lambda row: row[index]
+
+    def columns(self) -> tuple["Column", ...]:
+        return (self,)
+
+    def substitute(self, mapping: dict["Column", Expression]) -> Expression:
+        return mapping.get(self, self)
+
+    def to_sql(self) -> str:
+        return self.qualified_name
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value."""
+
+    value: object
+
+    def compile(self, schema: Schema) -> RowPredicate:
+        value = self.value
+        return lambda row: value
+
+    def columns(self) -> tuple[Column, ...]:
+        return ()
+
+    def substitute(self, mapping: dict[Column, Expression]) -> Expression:
+        return self
+
+    def to_sql(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        return repr(self.value)
+
+
+_COMPARISON_OPS: dict[str, Callable[[object, object], bool]] = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_ARITHMETIC_OPS: dict[str, Callable[[object, object], object]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """``left OP right`` where OP is one of = <> != < <= > >=."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARISON_OPS:
+            raise ExpressionError(f"unknown comparison operator {self.op!r}")
+
+    def compile(self, schema: Schema) -> RowPredicate:
+        fn = _COMPARISON_OPS[self.op]
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+        return lambda row: fn(left(row), right(row))
+
+    def columns(self) -> tuple[Column, ...]:
+        return self.left.columns() + self.right.columns()
+
+    def substitute(self, mapping: dict[Column, Expression]) -> Expression:
+        return Comparison(
+            self.op,
+            self.left.substitute(mapping),
+            self.right.substitute(mapping),
+        )
+
+    def to_sql(self) -> str:
+        return f"{self.left.to_sql()} {self.op} {self.right.to_sql()}"
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expression):
+    """``left OP right`` where OP is one of + - * /."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITHMETIC_OPS:
+            raise ExpressionError(f"unknown arithmetic operator {self.op!r}")
+
+    def compile(self, schema: Schema) -> RowPredicate:
+        fn = _ARITHMETIC_OPS[self.op]
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+        return lambda row: fn(left(row), right(row))
+
+    def columns(self) -> tuple[Column, ...]:
+        return self.left.columns() + self.right.columns()
+
+    def substitute(self, mapping: dict[Column, Expression]) -> Expression:
+        return Arithmetic(
+            self.op,
+            self.left.substitute(mapping),
+            self.right.substitute(mapping),
+        )
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+
+@dataclass(frozen=True)
+class And(Expression):
+    """Conjunction of one or more conditions."""
+
+    conditions: tuple[Expression, ...]
+
+    def __init__(self, *conditions: Expression):
+        flattened: list[Expression] = []
+        for condition in conditions:
+            if isinstance(condition, And):
+                flattened.extend(condition.conditions)
+            else:
+                flattened.append(condition)
+        object.__setattr__(self, "conditions", tuple(flattened))
+
+    def compile(self, schema: Schema) -> RowPredicate:
+        compiled = [c.compile(schema) for c in self.conditions]
+        return lambda row: all(fn(row) for fn in compiled)
+
+    def columns(self) -> tuple[Column, ...]:
+        return tuple(c for cond in self.conditions for c in cond.columns())
+
+    def substitute(self, mapping: dict[Column, Expression]) -> Expression:
+        return And(*(c.substitute(mapping) for c in self.conditions))
+
+    def to_sql(self) -> str:
+        if not self.conditions:
+            return "TRUE"
+        return " AND ".join(c.to_sql() for c in self.conditions)
+
+
+@dataclass(frozen=True)
+class Or(Expression):
+    """Disjunction of one or more conditions."""
+
+    conditions: tuple[Expression, ...]
+
+    def __init__(self, *conditions: Expression):
+        object.__setattr__(self, "conditions", tuple(conditions))
+
+    def compile(self, schema: Schema) -> RowPredicate:
+        compiled = [c.compile(schema) for c in self.conditions]
+        return lambda row: any(fn(row) for fn in compiled)
+
+    def columns(self) -> tuple[Column, ...]:
+        return tuple(c for cond in self.conditions for c in cond.columns())
+
+    def substitute(self, mapping: dict[Column, Expression]) -> Expression:
+        return Or(*(c.substitute(mapping) for c in self.conditions))
+
+    def to_sql(self) -> str:
+        if not self.conditions:
+            return "FALSE"
+        return "(" + " OR ".join(c.to_sql() for c in self.conditions) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    """Negation."""
+
+    condition: Expression
+
+    def compile(self, schema: Schema) -> RowPredicate:
+        inner = self.condition.compile(schema)
+        return lambda row: not inner(row)
+
+    def columns(self) -> tuple[Column, ...]:
+        return self.condition.columns()
+
+    def substitute(self, mapping: dict[Column, Expression]) -> Expression:
+        return Not(self.condition.substitute(mapping))
+
+    def to_sql(self) -> str:
+        return f"NOT ({self.condition.to_sql()})"
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """``expr IN (v1, v2, ...)`` over literal values."""
+
+    expr: Expression
+    values: tuple[object, ...]
+
+    def __init__(self, expr: Expression, values: Iterable[object]):
+        object.__setattr__(self, "expr", expr)
+        object.__setattr__(self, "values", tuple(values))
+
+    def compile(self, schema: Schema) -> RowPredicate:
+        inner = self.expr.compile(schema)
+        members = set(self.values)
+        return lambda row: inner(row) in members
+
+    def columns(self) -> tuple[Column, ...]:
+        return self.expr.columns()
+
+    def substitute(self, mapping: dict[Column, Expression]) -> Expression:
+        return InList(self.expr.substitute(mapping), self.values)
+
+    def to_sql(self) -> str:
+        rendered = ", ".join(Literal(v).to_sql() for v in self.values)
+        return f"{self.expr.to_sql()} IN ({rendered})"
+
+
+TRUE = And()
+"""The empty conjunction: always true."""
+
+
+def conjuncts(expression: Expression | None) -> tuple[Expression, ...]:
+    """Split an expression into its top-level conjuncts."""
+    if expression is None:
+        return ()
+    if isinstance(expression, And):
+        return expression.conditions
+    return (expression,)
+
+
+def conjoin(conditions: Iterable[Expression]) -> Expression:
+    """Combine conditions into a single conjunction."""
+    items = tuple(conditions)
+    if len(items) == 1:
+        return items[0]
+    return And(*items)

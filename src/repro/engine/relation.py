@@ -1,0 +1,155 @@
+"""Relations: a schema plus a bag of rows.
+
+Rows are plain tuples; the relation is a *bag* (duplicates allowed) since
+base tables and deltas are bags in the paper's model.  Deletion removes
+one occurrence per requested row, which matches delta semantics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Iterable, Iterator
+
+from repro.engine.schema import Attribute, Schema
+from repro.engine.types import AttributeType
+
+
+class RelationError(Exception):
+    """Raised on invalid relation manipulation (e.g. deleting absent rows)."""
+
+
+class Relation:
+    """A mutable bag of typed rows."""
+
+    __slots__ = ("schema", "_rows")
+
+    def __init__(self, schema: Schema, rows: Iterable[tuple] = (), validate: bool = True):
+        self.schema = schema
+        if validate:
+            self._rows = [schema.validate_row(tuple(row)) for row in rows]
+        else:
+            self._rows = [tuple(row) for row in rows]
+
+    @classmethod
+    def from_columns(
+        cls,
+        names: Iterable[str],
+        types: Iterable[AttributeType],
+        rows: Iterable[tuple] = (),
+        qualifier: str | None = None,
+    ) -> "Relation":
+        schema = Schema(
+            Attribute(name, atype, qualifier)
+            for name, atype in zip(names, types)
+        )
+        return cls(schema, rows)
+
+    @property
+    def rows(self) -> list[tuple]:
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def copy(self) -> "Relation":
+        return Relation(self.schema, list(self._rows), validate=False)
+
+    def insert(self, row: tuple) -> None:
+        self._rows.append(self.schema.validate_row(tuple(row)))
+
+    def insert_all(self, rows: Iterable[tuple]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def delete(self, row: tuple) -> None:
+        """Remove one occurrence of ``row``; raise if absent."""
+        target = self.schema.validate_row(tuple(row))
+        try:
+            self._rows.remove(target)
+        except ValueError:
+            raise RelationError(f"cannot delete absent row {target!r}") from None
+
+    def delete_all(self, rows: Iterable[tuple]) -> None:
+        """Remove one occurrence per row; raise if any is absent.
+
+        Deleting many rows one-by-one via ``list.remove`` is quadratic, so
+        this batches through a multiset.
+        """
+        wanted = Counter(self.schema.validate_row(tuple(row)) for row in rows)
+        if not wanted:
+            return
+        kept: list[tuple] = []
+        for row in self._rows:
+            if wanted.get(row, 0) > 0:
+                wanted[row] -= 1
+            else:
+                kept.append(row)
+        missing = {row: n for row, n in wanted.items() if n > 0}
+        if missing:
+            raise RelationError(f"cannot delete absent rows {missing!r}")
+        self._rows = kept
+
+    def delete_where(self, predicate: Callable[[tuple], object]) -> list[tuple]:
+        """Remove all rows satisfying ``predicate``; return them."""
+        removed = [row for row in self._rows if predicate(row)]
+        self._rows = [row for row in self._rows if not predicate(row)]
+        return removed
+
+    def as_multiset(self) -> Counter:
+        return Counter(self._rows)
+
+    def same_bag(self, other: "Relation") -> bool:
+        """Bag equality, ignoring row order (schemas must have equal arity)."""
+        if len(self.schema) != len(other.schema):
+            return False
+        return self.as_multiset() == other.as_multiset()
+
+    def column(self, name: str, qualifier: str | None = None) -> list[object]:
+        index = self.schema.index_of(name, qualifier)
+        return [row[index] for row in self._rows]
+
+    def size_bytes(self) -> int:
+        """Size under the paper's tuples x fields x width model."""
+        return len(self._rows) * self.schema.row_width_bytes()
+
+    def sorted_rows(self) -> list[tuple]:
+        return sorted(self._rows, key=_sort_key)
+
+    def pretty(self, limit: int | None = 20) -> str:
+        """Render as an aligned text table (for examples and benchmarks)."""
+        headers = [a.qualified_name for a in self.schema]
+        body = self.sorted_rows()
+        truncated = False
+        if limit is not None and len(body) > limit:
+            body = body[:limit]
+            truncated = True
+        cells = [headers] + [[_fmt(v) for v in row] for row in body]
+        widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+        lines = [
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+            for row in cells
+        ]
+        lines.insert(1, "  ".join("-" * width for width in widths))
+        if truncated:
+            lines.append(f"... ({len(self._rows)} rows total)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        names = ", ".join(a.qualified_name for a in self.schema)
+        return f"Relation([{names}], {len(self._rows)} rows)"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _sort_key(row: tuple) -> tuple:
+    return tuple((str(type(v)), v if not isinstance(v, bool) else int(v)) for v in row)

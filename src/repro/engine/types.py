@@ -1,0 +1,61 @@
+"""Attribute types and the paper's storage size model for a single field.
+
+The paper sizes warehouse relations as ``tuples x fields x 4 bytes``
+(Section 1.1), so every type defaults to four bytes; strings may be sized
+explicitly when a workload wants a more realistic model.
+"""
+
+from __future__ import annotations
+
+import enum
+from numbers import Real
+
+
+class AttributeType(enum.Enum):
+    """The value domains supported by the engine."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    BOOL = "bool"
+
+    @property
+    def default_size_bytes(self) -> int:
+        """Size of one field of this type under the paper's model."""
+        return _DEFAULT_SIZES[self]
+
+    def validate(self, value: object) -> bool:
+        """Return True when ``value`` belongs to this type's domain.
+
+        The engine assumes no null values (Section 2.1 of the paper), so
+        ``None`` is never valid.
+        """
+        if value is None:
+            return False
+        if self is AttributeType.INT:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is AttributeType.FLOAT:
+            return isinstance(value, Real) and not isinstance(value, bool)
+        if self is AttributeType.STRING:
+            return isinstance(value, str)
+        return isinstance(value, bool)
+
+    def coerce(self, value: object) -> object:
+        """Coerce ``value`` into this type's domain or raise ``TypeError``."""
+        if self is AttributeType.FLOAT and isinstance(value, int):
+            value = float(value)
+        if not self.validate(value):
+            raise TypeError(f"{value!r} is not a valid {self.value}")
+        return value
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (AttributeType.INT, AttributeType.FLOAT)
+
+
+_DEFAULT_SIZES = {
+    AttributeType.INT: 4,
+    AttributeType.FLOAT: 4,
+    AttributeType.STRING: 4,
+    AttributeType.BOOL: 4,
+}

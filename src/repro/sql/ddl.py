@@ -1,0 +1,235 @@
+"""DDL for declaring warehouse catalogs in SQL.
+
+Supports the subset needed to describe the paper's source schemas::
+
+    CREATE TABLE sale (
+        id INT PRIMARY KEY,
+        timeid INT REFERENCES time,
+        productid INT REFERENCES product(id),
+        storeid INT REFERENCES store,
+        price INT
+    ) -- WITH EXPOSED UPDATES may follow the column list
+
+Types: INT/INTEGER, FLOAT/REAL/DOUBLE, STRING/TEXT/VARCHAR[(n)], BOOL /
+BOOLEAN.  Exactly one column must be declared PRIMARY KEY (the paper
+assumes single-attribute keys).  ``REFERENCES t`` defaults to ``t``'s
+key; an explicit ``(column)`` must name it.  A trailing ``WITH EXPOSED
+UPDATES`` marks the table per Section 2.1.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.database import BaseTable, Database
+from repro.engine.types import AttributeType
+from repro.sql.lexer import Token, tokenize
+
+
+class SqlDdlError(Exception):
+    """Raised on malformed DDL or catalog inconsistencies."""
+
+
+_TYPE_NAMES = {
+    "INT": AttributeType.INT,
+    "INTEGER": AttributeType.INT,
+    "FLOAT": AttributeType.FLOAT,
+    "REAL": AttributeType.FLOAT,
+    "DOUBLE": AttributeType.FLOAT,
+    "STRING": AttributeType.STRING,
+    "TEXT": AttributeType.STRING,
+    "VARCHAR": AttributeType.STRING,
+    "CHAR": AttributeType.STRING,
+    "BOOL": AttributeType.BOOL,
+    "BOOLEAN": AttributeType.BOOL,
+}
+
+
+def parse_schema(sql: str) -> Database:
+    """Parse one or more CREATE TABLE statements into a Database.
+
+    Referential constraints may point at tables declared later; they are
+    validated once all statements are read.
+    """
+    parser = _DdlParser(tokenize(sql))
+    tables = []
+    while not parser.at_end():
+        tables.append(parser.parse_create_table())
+    database = Database()
+    for table in tables:
+        database.add_table(table)
+    _validate_references(database)
+    return database
+
+
+def parse_table(sql: str) -> BaseTable:
+    """Parse a single CREATE TABLE statement."""
+    parser = _DdlParser(tokenize(sql))
+    table = parser.parse_create_table()
+    if not parser.at_end():
+        raise SqlDdlError("unexpected trailing input after CREATE TABLE")
+    return table
+
+
+def _validate_references(database: Database) -> None:
+    for table in database.tables:
+        declared_columns = getattr(table, "_declared_ref_columns", {})
+        for constraint in table.references:
+            if constraint.referenced not in database:
+                raise SqlDdlError(
+                    f"{constraint} references an undeclared table"
+                )
+            referenced = database.table(constraint.referenced)
+            explicit = declared_columns.get(constraint.attribute)
+            if explicit is not None and explicit != referenced.key:
+                raise SqlDdlError(
+                    f"{constraint} must target the key "
+                    f"{referenced.key!r}, not {explicit!r} "
+                    "(GPSJ views join on keys)"
+                )
+            declared = table.schema.attribute(constraint.attribute)
+            key_attr = referenced.schema.attribute(referenced.key)
+            if declared.atype is not key_attr.atype:
+                raise SqlDdlError(
+                    f"{constraint}: type {declared.atype.value} does not "
+                    f"match key type {key_attr.atype.value}"
+                )
+
+
+class _DdlParser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def at_end(self) -> bool:
+        return self._peek().kind == "EOF"
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect_word(self, word: str) -> None:
+        token = self._advance()
+        value = token.value if isinstance(token.value, str) else None
+        if value is None or value.upper() != word:
+            raise SqlDdlError(f"expected {word}, found {token}")
+
+    def _expect_punct(self, symbol: str) -> None:
+        token = self._advance()
+        if not (token.kind in ("PUNCT", "OPERATOR") and token.value == symbol):
+            raise SqlDdlError(f"expected {symbol!r}, found {token}")
+
+    def _match_punct(self, symbol: str) -> bool:
+        token = self._peek()
+        if token.kind in ("PUNCT", "OPERATOR") and token.value == symbol:
+            self._advance()
+            return True
+        return False
+
+    def _match_word(self, word: str) -> bool:
+        token = self._peek()
+        value = token.value if isinstance(token.value, str) else None
+        if value is not None and value.upper() == word and token.kind in (
+            "IDENT",
+            "KEYWORD",
+        ):
+            self._advance()
+            return True
+        return False
+
+    def _expect_ident(self) -> str:
+        token = self._advance()
+        if token.kind != "IDENT":
+            raise SqlDdlError(f"expected identifier, found {token}")
+        return token.value
+
+    # ------------------------------------------------------------------
+
+    def parse_create_table(self) -> BaseTable:
+        self._expect_word("CREATE")
+        self._expect_word("TABLE")
+        name = self._expect_ident()
+        self._expect_punct("(")
+        columns: dict[str, AttributeType] = {}
+        references: dict[str, str | None] = {}
+        explicit_ref_columns: dict[str, str] = {}
+        key: str | None = None
+        while True:
+            column, atype, is_key, ref = self._parse_column()
+            if column in columns:
+                raise SqlDdlError(f"duplicate column {column!r} in {name!r}")
+            columns[column] = atype
+            if is_key:
+                if key is not None:
+                    raise SqlDdlError(
+                        f"table {name!r} declares two primary keys "
+                        f"({key!r} and {column!r}); the paper assumes "
+                        "single-attribute keys"
+                    )
+                key = column
+            if ref is not None:
+                ref_table, ref_column = ref
+                references[column] = ref_table
+                if ref_column is not None:
+                    explicit_ref_columns[column] = ref_column
+            if self._match_punct(")"):
+                break
+            self._expect_punct(",")
+        if key is None:
+            raise SqlDdlError(f"table {name!r} has no PRIMARY KEY")
+        exposed = False
+        if self._match_word("WITH"):
+            self._expect_word("EXPOSED")
+            self._expect_word("UPDATES")
+            exposed = True
+        table = BaseTable(
+            name,
+            columns,
+            key=key,
+            references={c: t for c, t in references.items()},
+            exposed_updates=exposed,
+        )
+        # Remember explicit referenced columns for later validation.
+        table._declared_ref_columns = explicit_ref_columns  # noqa: SLF001
+        return table
+
+    def _parse_column(self):
+        column = self._expect_ident()
+        atype = self._parse_type()
+        is_key = False
+        reference: tuple[str, str | None] | None = None
+        while True:
+            if self._match_word("PRIMARY"):
+                self._expect_word("KEY")
+                is_key = True
+                continue
+            if self._match_word("REFERENCES"):
+                target = self._expect_ident()
+                target_column = None
+                if self._match_punct("("):
+                    target_column = self._expect_ident()
+                    self._expect_punct(")")
+                reference = (target, target_column)
+                continue
+            if self._match_word("NOT"):
+                # NOT NULL is implicit (the engine forbids nulls); accept
+                # and ignore it for compatibility.
+                self._expect_word("NULL")
+                continue
+            break
+        return column, atype, is_key, reference
+
+    def _parse_type(self) -> AttributeType:
+        token = self._advance()
+        name = token.value if isinstance(token.value, str) else None
+        if name is None or name.upper() not in _TYPE_NAMES:
+            raise SqlDdlError(f"unknown type {token}")
+        atype = _TYPE_NAMES[name.upper()]
+        if self._match_punct("("):  # VARCHAR(n) and friends
+            size = self._advance()
+            if size.kind != "NUMBER":
+                raise SqlDdlError(f"expected a size, found {size}")
+            self._expect_punct(")")
+        return atype

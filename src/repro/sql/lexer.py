@@ -1,0 +1,152 @@
+"""Tokenizer for the GPSJ SQL dialect.
+
+Token kinds: KEYWORD (case-insensitive reserved words), IDENT (optionally
+dotted), NUMBER (int or float), STRING (single-quoted, '' escapes),
+OPERATOR (comparison/arithmetic), PUNCT (parens, comma, star), EOF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class SqlLexError(Exception):
+    """Raised on unrecognizable input."""
+
+
+KEYWORDS = frozenset(
+    {
+        "CREATE",
+        "VIEW",
+        "AS",
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "WHERE",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "COUNT",
+        "SUM",
+        "AVG",
+        "MIN",
+        "MAX",
+        "TRUE",
+        "FALSE",
+    }
+)
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/")
+_PUNCT = "(),."
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its position for error messages."""
+
+    kind: str  # KEYWORD | IDENT | NUMBER | STRING | OPERATOR | PUNCT | EOF
+    value: object
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "KEYWORD" and self.value == word
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"{self.value!r}"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; always ends with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i + 1 : i + 2] == "-":  # line comment
+            end = text.find("\n", i)
+            i = length if end == -1 else end + 1
+            continue
+        if ch == "'":
+            value, i = _read_string(text, i)
+            tokens.append(Token("STRING", value, i))
+            continue
+        if ch.isdigit() or (
+            ch == "." and text[i + 1 : i + 2].isdigit()
+        ):
+            value, i = _read_number(text, i)
+            tokens.append(Token("NUMBER", value, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            value, i = _read_word(text, i)
+            upper = value.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, i))
+            else:
+                tokens.append(Token("IDENT", value, i))
+            continue
+        operator = _match_operator(text, i)
+        if operator is not None:
+            tokens.append(Token("OPERATOR", operator, i))
+            i += len(operator)
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token("PUNCT", ch, i))
+            i += 1
+            continue
+        raise SqlLexError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("EOF", None, length))
+    return tokens
+
+
+def _read_string(text: str, start: int) -> tuple[str, int]:
+    i = start + 1
+    parts: list[str] = []
+    while i < len(text):
+        ch = text[i]
+        if ch == "'":
+            if text[i + 1 : i + 2] == "'":  # escaped quote
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SqlLexError(f"unterminated string starting at position {start}")
+
+
+def _read_number(text: str, start: int) -> tuple[object, int]:
+    i = start
+    seen_dot = False
+    while i < len(text) and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+        if text[i] == ".":
+            # A dot not followed by a digit is punctuation (e.g. `1.x`
+            # never occurs; `t.a` is handled by the word reader).
+            if not text[i + 1 : i + 2].isdigit():
+                break
+            seen_dot = True
+        i += 1
+    literal = text[start:i]
+    return (float(literal) if seen_dot else int(literal)), i
+
+
+def _read_word(text: str, start: int) -> tuple[str, int]:
+    i = start
+    while i < len(text) and (text[i].isalnum() or text[i] == "_"):
+        i += 1
+    return text[start:i], i
+
+
+def _match_operator(text: str, i: int) -> str | None:
+    # `*`, `-`, `/`, `+` double as punctuation contexts (COUNT(*)); the
+    # parser disambiguates by position.
+    for operator in _OPERATORS:
+        if text.startswith(operator, i):
+            return operator
+    return None

@@ -1,0 +1,17 @@
+"""Storage sizing under the paper's tuples x fields x 4-byte model."""
+
+from repro.storage.model import (
+    SizeEstimate,
+    format_bytes,
+    paper_auxiliary_view_estimate,
+    paper_fact_table_estimate,
+    relation_estimate,
+)
+
+__all__ = [
+    "SizeEstimate",
+    "format_bytes",
+    "paper_fact_table_estimate",
+    "paper_auxiliary_view_estimate",
+    "relation_estimate",
+]

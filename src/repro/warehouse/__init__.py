@@ -1,0 +1,25 @@
+"""Warehouse runtime: sealed sources, warehouses, baselines, operation modes."""
+
+from repro.warehouse.sources import SealedSource, SourceAccessError
+from repro.warehouse.warehouse import StorageReport, Warehouse
+from repro.warehouse.baselines import (
+    FullReplicationMaintainer,
+    PsjAuxiliaryMaintainer,
+)
+from repro.warehouse.deferred import DeferredMaintainer, RefreshStats, StaleViewError
+from repro.warehouse.shared import SharedDetailWarehouse
+from repro.warehouse import persistence
+
+__all__ = [
+    "SealedSource",
+    "SourceAccessError",
+    "Warehouse",
+    "StorageReport",
+    "FullReplicationMaintainer",
+    "PsjAuxiliaryMaintainer",
+    "DeferredMaintainer",
+    "RefreshStats",
+    "StaleViewError",
+    "SharedDetailWarehouse",
+    "persistence",
+]

@@ -1,0 +1,96 @@
+"""Deferred (batch) maintenance: the nightly-refresh operating mode.
+
+Warehouses commonly buffer the source change stream and refresh summary
+tables periodically.  :class:`DeferredMaintainer` wraps a
+:class:`~repro.core.maintenance.SelfMaintainer`, queues transactions,
+and propagates them on :meth:`refresh` — optionally *coalesced* into one
+net transaction first, so churn (rows inserted and deleted between
+refreshes) is never propagated at all.  Exactness is unaffected: the net
+transaction reaches the same source state, and maintenance is exact with
+respect to states, not histories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.maintenance import SelfMaintainer
+from repro.engine.deltas import Transaction, coalesce
+from repro.engine.relation import Relation
+
+
+class StaleViewError(Exception):
+    """Raised when a stale read is attempted without opting in."""
+
+
+@dataclass(frozen=True)
+class RefreshStats:
+    """What one refresh propagated."""
+
+    transactions: int
+    buffered_rows: int
+    propagated_rows: int
+
+    @property
+    def cancelled_rows(self) -> int:
+        return self.buffered_rows - self.propagated_rows
+
+
+class DeferredMaintainer:
+    """Buffers transactions; propagates them on refresh."""
+
+    def __init__(self, maintainer: SelfMaintainer, coalesce_deltas: bool = True):
+        self._inner = maintainer
+        self._coalesce = coalesce_deltas
+        self._buffer: list[Transaction] = []
+
+    @property
+    def view(self):
+        return self._inner.view
+
+    @property
+    def pending(self) -> int:
+        """Buffered transactions awaiting the next refresh."""
+        return len(self._buffer)
+
+    def apply(self, transaction: Transaction) -> None:
+        """Queue a source transaction (no maintenance work yet)."""
+        if not transaction.empty:
+            self._buffer.append(transaction)
+
+    def refresh(self) -> RefreshStats:
+        """Propagate everything buffered since the last refresh."""
+        buffered_rows = sum(
+            len(delta.inserted) + len(delta.deleted)
+            for transaction in self._buffer
+            for delta in transaction
+        )
+        count = len(self._buffer)
+        if self._coalesce:
+            net = coalesce(self._buffer)
+            propagated_rows = sum(
+                len(delta.inserted) + len(delta.deleted) for delta in net
+            )
+            if not net.empty:
+                self._inner.apply(net)
+        else:
+            propagated_rows = buffered_rows
+            for transaction in self._buffer:
+                self._inner.apply(transaction)
+        self._buffer = []
+        return RefreshStats(count, buffered_rows, propagated_rows)
+
+    def current_view(self, allow_stale: bool = False) -> Relation:
+        """The summary table; refuses stale reads unless opted in."""
+        if self._buffer and not allow_stale:
+            raise StaleViewError(
+                f"{self.pending} transactions pending; call refresh() or "
+                "read with allow_stale=True"
+            )
+        return self._inner.current_view()
+
+    def aux_relation(self, table: str) -> Relation:
+        return self._inner.aux_relation(table)
+
+    def detail_size_bytes(self) -> int:
+        return self._inner.detail_size_bytes()

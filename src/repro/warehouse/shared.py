@@ -1,0 +1,135 @@
+"""An operating warehouse over *shared* detail data (Section 4).
+
+:class:`SharedDetailWarehouse` hosts a class of summary tables over one
+merged set of auxiliary views (``repro.core.sharing``).  The merged
+views are plain single-table σ+Π expressions — no join reductions, the
+disjunction of the views' local conditions — so they are trivially
+self-maintainable: each source delta is locally reduced and folded into
+the per-table groups, in any order.
+
+Summary tables are computed on demand: the view's own auxiliary views
+are recovered from the shared detail by selection + rollup
+(:func:`~repro.core.sharing.materialize_from_merged`) and ``V`` is
+reconstructed from them — never touching base tables.  Compared to one
+:class:`~repro.core.maintenance.SelfMaintainer` per view this trades
+read latency for single-copy storage and single-pass delta processing;
+the A5 benchmark quantifies both sides.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.database import Database
+from repro.core.derivation import AuxiliaryView, derive_auxiliary_views
+from repro.core.maintenance import make_materialization
+from repro.core.rewrite import Reconstructor
+from repro.core.sharing import (
+    SharedDetailSet,
+    materialize_from_merged,
+    merge_views,
+)
+from repro.core.view import ViewDefinition
+from repro.engine.deltas import Transaction
+from repro.engine.relation import Relation
+
+
+class SharedDetailWarehouse:
+    """Maintains one merged detail set serving a class of views."""
+
+    def __init__(self, views: list[ViewDefinition], database: Database):
+        self.shared: SharedDetailSet = merge_views(views, database)
+        self._views = {view.name: view for view in views}
+        # Elimination is disabled: every view is *reconstructed* from
+        # the shared detail, which requires each table's (rolled-up)
+        # auxiliary view to exist.
+        self._aux_sets = {
+            view.name: derive_auxiliary_views(
+                view, database, allow_elimination=False
+            )
+            for view in views
+        }
+        self._reconstructors = {
+            view.name: Reconstructor(view, self._aux_sets[view.name], database)
+            for view in views
+        }
+        self._materializations = {}
+        self._table_infos = {}
+        for merged in self.shared.merged:
+            pseudo = AuxiliaryView(
+                table=merged.table,
+                name=merged.name,
+                plan=merged.plan,
+                local_conditions=(
+                    (merged.local_condition,)
+                    if merged.local_condition is not None
+                    else ()
+                ),
+                reduced_by=(),
+                base_schema=merged.base_schema,
+            )
+            materialization = make_materialization(pseudo)
+            materialization.load(merged.compute(database))
+            self._materializations[merged.table] = materialization
+            predicate = (
+                merged.local_condition.compile(merged.base_schema)
+                if merged.local_condition is not None
+                else None
+            )
+            self._table_infos[merged.table] = (merged.base_schema, predicate)
+
+    # ------------------------------------------------------------------
+    # Maintenance (shared detail only; summaries are views over it).
+    # ------------------------------------------------------------------
+
+    def apply(self, transaction: Transaction) -> None:
+        """Fold one source transaction into the shared detail.
+
+        Merged views have no cross-view dependencies, so per-table
+        processing order is irrelevant; deletions run first only to keep
+        intra-table bag arithmetic obvious.
+        """
+        for delta in transaction:
+            info = self._table_infos.get(delta.table)
+            if info is None:
+                continue  # table not referenced by any view in the class
+            schema, predicate = info
+            materialization = self._materializations[delta.table]
+            for rows, sign in ((delta.deleted, -1), (delta.inserted, +1)):
+                if not rows:
+                    continue
+                reduced = [schema.validate_row(row) for row in rows]
+                if predicate is not None:
+                    reduced = [row for row in reduced if predicate(row)]
+                if reduced:
+                    materialization.apply(reduced, sign)
+
+    # ------------------------------------------------------------------
+    # Reads.
+    # ------------------------------------------------------------------
+
+    @property
+    def view_names(self) -> tuple[str, ...]:
+        return tuple(self._views)
+
+    def shared_relations(self) -> dict[str, Relation]:
+        return {
+            table: materialization.relation()
+            for table, materialization in self._materializations.items()
+        }
+
+    def view_auxiliaries(self, view_name: str) -> dict[str, Relation]:
+        """One view's own auxiliary views, recovered from shared detail."""
+        return materialize_from_merged(
+            self._aux_sets[view_name], self.shared, self.shared_relations()
+        )
+
+    def summary(self, view_name: str) -> Relation:
+        """Compute ``V`` for one view from the shared detail."""
+        reconstructor = self._reconstructors[view_name]
+        return reconstructor.reconstruct(self.view_auxiliaries(view_name))
+
+    def detail_size_bytes(self) -> int:
+        """Total shared-detail storage under the paper's size model."""
+        return sum(
+            materialization.size_bytes()
+            for materialization in self._materializations.values()
+        )

@@ -1,0 +1,95 @@
+"""Sealed data sources: legacy systems the warehouse cannot query.
+
+The paper's whole premise is that base tables are often *inaccessible*
+after warehouse load (legacy systems, security).  :class:`SealedSource`
+wraps a :class:`Database` and, once sealed, raises on every read while
+still accepting transactions (the operational system keeps running and
+streams its changes).  Tests and benchmarks use it to *prove* that
+maintenance never touches base data rather than merely asserting it.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.database import BaseTable, Database
+from repro.engine.deltas import Transaction
+from repro.engine.relation import Relation
+
+
+class SourceAccessError(Exception):
+    """Raised when sealed base data is read."""
+
+
+class SealedSource:
+    """A database whose reads can be shut off after warehouse initialization."""
+
+    def __init__(self, database: Database):
+        self._database = database
+        self._sealed = False
+        self._reads_blocked = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def seal(self) -> None:
+        """Cut the warehouse off from base data (end of initial load)."""
+        self._sealed = True
+
+    def unseal(self) -> None:
+        """Re-open reads (verification/debugging only)."""
+        self._sealed = False
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    @property
+    def blocked_reads(self) -> int:
+        """How many reads were attempted (and refused) while sealed."""
+        return self._reads_blocked
+
+    # ------------------------------------------------------------------
+    # Database protocol (reads guarded, writes allowed).
+    # ------------------------------------------------------------------
+
+    def _guard(self, operation: str) -> None:
+        if self._sealed:
+            self._reads_blocked += 1
+            raise SourceAccessError(
+                f"base data is sealed: {operation} is not available to the "
+                "warehouse (self-maintenance must use auxiliary views only)"
+            )
+
+    def table(self, name: str) -> BaseTable:
+        self._guard(f"table({name!r})")
+        return self._database.table(name)
+
+    def relation(self, name: str) -> Relation:
+        self._guard(f"relation({name!r})")
+        return self._database.relation(name)
+
+    @property
+    def tables(self) -> tuple[BaseTable, ...]:
+        self._guard("tables")
+        return self._database.tables
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._database
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        # Catalog metadata (names/keys/constraints) stays readable; only
+        # tuple data is sealed.
+        return self._database.table_names
+
+    def apply(self, transaction: Transaction, validate: bool = True) -> None:
+        """The operational system applies its own transactions regardless."""
+        self._database.apply(transaction, validate=validate)
+
+    def ground_truth(self) -> Database:
+        """The unsealed database, for *verification* against recomputation.
+
+        Deliberately named so accidental production use stands out in
+        code review; the warehouse never calls this.
+        """
+        return self._database

@@ -1,0 +1,105 @@
+"""The data warehouse of Figure 1: summarized data over minimal detail.
+
+A :class:`Warehouse` hosts one or more materialized GPSJ views, derives
+and materializes their auxiliary views at load time, then maintains
+everything purely from the transaction stream.  It also keeps the
+storage ledger that the paper's Section 1.1 analysis is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.database import Database
+from repro.core.derivation import AuxiliaryViewSet
+from repro.core.maintenance import SelfMaintainer
+from repro.core.view import ViewDefinition
+from repro.engine.deltas import Transaction
+from repro.engine.relation import Relation
+
+
+@dataclass(frozen=True)
+class StorageReport:
+    """Bytes held by the warehouse for one view, per the paper's model."""
+
+    view: str
+    summary_bytes: int
+    detail_bytes: int
+    per_auxiliary: dict[str, int]
+    eliminated: tuple[str, ...]
+
+    @property
+    def total_bytes(self) -> int:
+        return self.summary_bytes + self.detail_bytes
+
+
+class Warehouse:
+    """Materializes views + minimal current detail; maintained from deltas."""
+
+    def __init__(self, database: Database, views: list[ViewDefinition] | None = None):
+        """``database`` is only read during :meth:`register` (initial load)."""
+        self._database = database
+        self._maintainers: dict[str, SelfMaintainer] = {}
+        for view in views or []:
+            self.register(view)
+
+    # ------------------------------------------------------------------
+    # Registration (the only phase that reads base data).
+    # ------------------------------------------------------------------
+
+    def register(self, view: ViewDefinition) -> AuxiliaryViewSet:
+        """Derive auxiliary views for ``view`` and materialize everything."""
+        if view.name in self._maintainers:
+            raise ValueError(f"view {view.name!r} already registered")
+        maintainer = SelfMaintainer(view, self._database)
+        self._maintainers[view.name] = maintainer
+        return maintainer.aux_set
+
+    def adopt(self, maintainer: SelfMaintainer) -> None:
+        """Attach an already-initialized maintainer (checkpoint restore)."""
+        name = maintainer.view.name
+        if name in self._maintainers:
+            raise ValueError(f"view {name!r} already registered")
+        self._maintainers[name] = maintainer
+
+    # ------------------------------------------------------------------
+    # Maintenance.
+    # ------------------------------------------------------------------
+
+    def apply(self, transaction: Transaction) -> None:
+        """Propagate one source transaction into every registered view."""
+        for maintainer in self._maintainers.values():
+            maintainer.apply(transaction)
+
+    # ------------------------------------------------------------------
+    # Reads.
+    # ------------------------------------------------------------------
+
+    @property
+    def view_names(self) -> tuple[str, ...]:
+        return tuple(self._maintainers)
+
+    def maintainer(self, view_name: str) -> SelfMaintainer:
+        return self._maintainers[view_name]
+
+    def summary(self, view_name: str) -> Relation:
+        """The materialized summary table for ``view_name``."""
+        return self._maintainers[view_name].current_view()
+
+    def detail(self, view_name: str, table: str) -> Relation:
+        """One current-detail (auxiliary) table."""
+        return self._maintainers[view_name].aux_relation(table)
+
+    def storage_report(self, view_name: str) -> StorageReport:
+        maintainer = self._maintainers[view_name]
+        per_aux = {
+            aux.table: maintainer.aux_relation(aux.table).size_bytes()
+            for aux in maintainer.aux_set
+        }
+        return StorageReport(
+            view=view_name,
+            summary_bytes=maintainer.current_view().size_bytes(),
+            detail_bytes=sum(per_aux.values()),
+            per_auxiliary=per_aux,
+            eliminated=tuple(maintainer.aux_set.eliminated),
+        )

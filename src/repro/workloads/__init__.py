@@ -1,0 +1,26 @@
+"""Synthetic workloads: the paper's retail star schema, a snowflake
+variant, random databases/views for property testing, and update streams.
+"""
+
+from repro.workloads.retail import (
+    RetailConfig,
+    build_retail_database,
+    paper_example_rows,
+    paper_mini_database,
+    product_sales_max_view,
+    product_sales_view,
+)
+from repro.workloads.snowflake import build_snowflake_database, category_sales_view
+from repro.workloads.streams import TransactionGenerator
+
+__all__ = [
+    "RetailConfig",
+    "build_retail_database",
+    "product_sales_view",
+    "product_sales_max_view",
+    "paper_example_rows",
+    "paper_mini_database",
+    "build_snowflake_database",
+    "category_sales_view",
+    "TransactionGenerator",
+]

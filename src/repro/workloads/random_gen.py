@@ -1,0 +1,308 @@
+"""Randomized databases, views, and streams for property-based testing.
+
+:func:`random_scenario` builds, from a single seed, a tree-shaped schema
+(1-4 tables), a random GPSJ view over it (random group-bys including
+keys, random aggregates including MIN/MAX and DISTINCT, random local
+conditions), initial data, and a transaction generator whose updates
+respect each table's exposed-updates declaration.  The self-maintenance
+property test then streams transactions and checks the maintained view
+against recomputation at every step.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.catalog.database import BaseTable, Database
+from repro.core.view import JoinCondition, ViewDefinition
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.expressions import Column, Comparison, Literal
+from repro.engine.operators import AggregateItem, GroupByItem, ProjectionItem
+from repro.engine.types import AttributeType
+from repro.workloads.streams import TransactionGenerator
+
+_VALUE_DOMAIN = 6  # small domains force duplicates and group collisions
+
+
+@dataclass
+class Scenario:
+    """One randomized test universe."""
+
+    database: Database
+    view: ViewDefinition
+    generator: TransactionGenerator
+    seed: int
+    schema_plan: "list[_TablePlan]" = None
+
+
+def random_scenario(
+    seed: int,
+    max_tables: int = 4,
+    max_extra_attributes: int = 3,
+    initial_rows: int = 12,
+) -> Scenario:
+    """Deterministically build a random scenario from ``seed``."""
+    rng = random.Random(seed)
+    schema_plan = _plan_schema(rng, max_tables, max_extra_attributes)
+    database = _build_database(rng, schema_plan, initial_rows)
+    view = _build_view(rng, database, schema_plan)
+    frozen = _frozen_attributes(view, database)
+    generator = TransactionGenerator(
+        database, seed=rng.randrange(1 << 30), frozen_attributes=frozen
+    )
+    return Scenario(database, view, generator, seed, schema_plan)
+
+
+def random_view(scenario: Scenario, seed: int) -> ViewDefinition:
+    """An additional random view over an existing scenario's schema."""
+    rng = random.Random(seed)
+    return _build_view(rng, scenario.database, scenario.schema_plan)
+
+
+# ----------------------------------------------------------------------
+# Schema.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _TablePlan:
+    name: str
+    parent: str | None          # the table referencing this one
+    fk_attribute: str | None    # attribute of parent pointing here
+    extra_attributes: list[str]
+    has_integrity: bool
+    exposed_updates: bool
+
+
+def _plan_schema(
+    rng: random.Random, max_tables: int, max_extra: int
+) -> list[_TablePlan]:
+    count = rng.randint(1, max_tables)
+    plans = [
+        _TablePlan(
+            "t0",
+            parent=None,
+            fk_attribute=None,
+            extra_attributes=[f"a{j}" for j in range(rng.randint(1, max_extra))],
+            has_integrity=True,
+            exposed_updates=False,
+        )
+    ]
+    for index in range(1, count):
+        parent = rng.choice(plans)
+        name = f"t{index}"
+        plans.append(
+            _TablePlan(
+                name,
+                parent=parent.name,
+                fk_attribute=f"fk_{name}",
+                extra_attributes=[
+                    f"b{index}{j}" for j in range(rng.randint(1, max_extra))
+                ],
+                has_integrity=rng.random() < 0.8,
+                exposed_updates=rng.random() < 0.25,
+            )
+        )
+    return plans
+
+
+def _build_database(
+    rng: random.Random, plans: list[_TablePlan], initial_rows: int
+) -> Database:
+    database = Database()
+    # Build leaves-to-root so foreign keys can point at existing rows.
+    for plan in reversed(plans):
+        columns: dict[str, AttributeType] = {"id": AttributeType.INT}
+        references: dict[str, str] = {}
+        for child in plans:
+            if child.parent == plan.name:
+                columns[child.fk_attribute] = AttributeType.INT
+                if child.has_integrity:
+                    references[child.fk_attribute] = child.name
+        for attribute in plan.extra_attributes:
+            columns[attribute] = AttributeType.INT
+        table = BaseTable(
+            plan.name,
+            columns,
+            key="id",
+            references=references,
+            exposed_updates=plan.exposed_updates,
+        )
+        database.add_table(table)
+    # Populate root-last ordering does not matter for generation; fill
+    # every table with rows whose FKs point at existing keys.
+    for plan in reversed(plans):
+        table = database.table(plan.name)
+        rows = []
+        n_rows = rng.randint(max(2, initial_rows // 2), initial_rows)
+        for key in range(1, n_rows + 1):
+            row = []
+            for attribute in table.schema:
+                if attribute.name == "id":
+                    row.append(key)
+                    continue
+                child = _child_for_fk(plans, plan.name, attribute.name)
+                if child is not None:
+                    targets = sorted(database.table(child).key_values())
+                    row.append(rng.choice(targets))
+                else:
+                    row.append(rng.randint(0, _VALUE_DOMAIN))
+            rows.append(tuple(row))
+        table.relation.insert_all(rows)
+    database.validate_integrity()
+    return database
+
+
+def _child_for_fk(
+    plans: list[_TablePlan], parent: str, attribute: str
+) -> str | None:
+    for plan in plans:
+        if plan.parent == parent and plan.fk_attribute == attribute:
+            return plan.name
+    return None
+
+
+# ----------------------------------------------------------------------
+# View.
+# ----------------------------------------------------------------------
+
+
+def _build_view(
+    rng: random.Random, database: Database, plans: list[_TablePlan]
+) -> ViewDefinition:
+    tables = _pick_connected_tables(rng, plans)
+    joins = tuple(
+        JoinCondition(plan.parent, plan.fk_attribute, plan.name, "id")
+        for plan in plans
+        if plan.name in tables and plan.parent in tables
+    )
+    projection = _pick_projection(rng, database, plans, tables)
+    selection = _pick_selection(rng, plans, tables)
+    having = _pick_having(rng, projection)
+    return ViewDefinition(
+        name=f"v_{rng.randrange(1 << 16)}",
+        tables=tuple(tables),
+        projection=projection,
+        selection=selection,
+        joins=joins,
+        having=having,
+    )
+
+
+def _pick_having(rng: random.Random, projection) -> Comparison | None:
+    """Occasionally add a HAVING filter over a COUNT output column."""
+    if rng.random() >= 0.2:
+        return None
+    counts = [
+        item
+        for item in projection
+        if isinstance(item, AggregateItem)
+        and item.func is AggregateFunction.COUNT
+        and not item.distinct
+    ]
+    if not counts:
+        return None
+    target = rng.choice(counts)
+    return Comparison(">=", Column(target.output_name), Literal(rng.randint(1, 3)))
+
+
+def _pick_connected_tables(
+    rng: random.Random, plans: list[_TablePlan]
+) -> list[str]:
+    picked = ["t0"]
+    candidates = [p for p in plans if p.parent is not None]
+    rng.shuffle(candidates)
+    for plan in candidates:
+        if plan.parent in picked and rng.random() < 0.7:
+            picked.append(plan.name)
+    # Keep schema order for determinism of the view definition.
+    order = [p.name for p in plans]
+    return sorted(picked, key=order.index)
+
+
+def _pick_projection(
+    rng: random.Random,
+    database: Database,
+    plans: list[_TablePlan],
+    tables: list[str],
+) -> tuple[ProjectionItem, ...]:
+    items: list[ProjectionItem] = []
+    group_candidates: list[Column] = []
+    aggregate_candidates: list[Column] = []
+    for name in tables:
+        plan = next(p for p in plans if p.name == name)
+        group_candidates.append(Column("id", name))
+        for attribute in plan.extra_attributes:
+            group_candidates.append(Column(attribute, name))
+            aggregate_candidates.append(Column(attribute, name))
+    rng.shuffle(group_candidates)
+    for column in group_candidates[: rng.randint(0, 3)]:
+        items.append(GroupByItem(column, alias=f"g_{column.qualifier}_{column.name}"))
+    n_aggregates = rng.randint(1, 4)
+    functions = list(AggregateFunction)
+    for index in range(n_aggregates):
+        if not aggregate_candidates or rng.random() < 0.25:
+            items.append(AggregateItem(AggregateFunction.COUNT, None, alias=f"agg{index}"))
+            continue
+        func = rng.choice(functions)
+        column = rng.choice(aggregate_candidates)
+        distinct = func is not AggregateFunction.AVG and rng.random() < 0.2
+        items.append(AggregateItem(func, column, distinct, alias=f"agg{index}"))
+    if not any(isinstance(item, AggregateItem) for item in items):
+        items.append(AggregateItem(AggregateFunction.COUNT, None, alias="agg_cnt"))
+    return tuple(items)
+
+
+def _pick_selection(
+    rng: random.Random, plans: list[_TablePlan], tables: list[str]
+) -> tuple[Comparison, ...]:
+    selection = []
+    for name in tables:
+        plan = next(p for p in plans if p.name == name)
+        if plan.extra_attributes and rng.random() < 0.4:
+            attribute = rng.choice(plan.extra_attributes)
+            threshold = rng.randint(1, _VALUE_DOMAIN)
+            op = rng.choice(("<=", ">=", "<", ">"))
+            selection.append(
+                Comparison(op, Column(attribute, name), Literal(threshold))
+            )
+    return tuple(selection)
+
+
+def _frozen_attributes(
+    view: ViewDefinition, database: Database
+) -> dict[str, set[str]]:
+    """Attributes whose updates would be *exposed* on tables declared
+    exposed-update-free: the stream generator must not touch them.
+
+    Only tables some other table *depends on* (key-joined with
+    referential integrity and no declared exposed updates — Section 2.2)
+    are join-reduction targets, so only their selection/join-condition
+    attributes must stay frozen to keep the declaration honest.  Keys
+    are never updated by the generator, so join attributes on the
+    referenced side need no entry.
+    """
+    frozen: dict[str, set[str]] = {}
+    for join in view.joins:
+        referencing = database.table(join.left_table)
+        referenced = database.table(join.right_table)
+        constraint = referencing.reference_for(join.left_attribute)
+        depended_on = (
+            constraint is not None
+            and constraint.referenced == join.right_table
+            and not referenced.exposed_updates
+        )
+        if not depended_on:
+            continue
+        condition_attrs = set()
+        for condition in view.local_conditions(join.right_table):
+            condition_attrs.update(c.name for c in condition.columns())
+        # Foreign keys of the depended-on table (snowflake middle tables)
+        # are join-condition attributes too: changing them is exposed.
+        condition_attrs.update(
+            j.left_attribute for j in view.joins_from(join.right_table)
+        )
+        if condition_attrs:
+            frozen.setdefault(join.right_table, set()).update(condition_attrs)
+    return frozen

@@ -1,0 +1,353 @@
+"""The paper's retail grocery-chain star schema (Section 1.1).
+
+Schema::
+
+    sale(id, timeid, productid, storeid, price)
+    time(id, day, month, year)
+    product(id, brand, category)
+    store(id, street_address, city, country, manager)
+
+with referential integrity from ``sale.productid``, ``sale.timeid``, and
+``sale.storeid`` to the respective dimension keys.  Prices are integer
+cents so maintained sums stay exact.
+
+The paper's case-study cardinalities (Kimball): 2 years x 365 days, 300
+stores, 30 000 products of which 3 000 sell per store per day, 20
+transactions per sold product.  :class:`RetailConfig` scales these down
+for laptop-sized runs while keeping the same shape.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.catalog.database import BaseTable, Database
+from repro.core.view import JoinCondition, ViewDefinition
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.expressions import Column, Comparison, Literal
+from repro.engine.operators import AggregateItem, GroupByItem
+from repro.engine.types import AttributeType
+
+#: The paper's case-study cardinalities (Section 1.1).
+PAPER_DAYS = 730
+PAPER_STORES = 300
+PAPER_PRODUCTS = 30_000
+PAPER_PRODUCTS_SOLD_PER_DAY = 3_000
+PAPER_TRANSACTIONS_PER_PRODUCT = 20
+PAPER_FACT_FIELDS = 5
+PAPER_FIELD_BYTES = 4
+
+BRANDS = tuple(f"brand_{i:03d}" for i in range(60))
+CATEGORIES = ("dairy", "bakery", "produce", "frozen", "beverage", "household")
+CITIES = ("Aalborg", "Aarhus", "Odense", "Copenhagen", "Esbjerg")
+COUNTRIES = ("Denmark", "Sweden", "Germany")
+
+
+@dataclass(frozen=True)
+class RetailConfig:
+    """Scaled-down retail warehouse parameters (paper shape preserved)."""
+
+    days: int = 30
+    stores: int = 4
+    products: int = 60
+    products_sold_per_day: int = 20
+    transactions_per_product: int = 3
+    start_year: int = 1996
+    seed: int = 7
+
+    @property
+    def years(self) -> tuple[int, ...]:
+        n_years = max(1, (self.days + 364) // 365)
+        return tuple(self.start_year + i for i in range(n_years))
+
+    def fact_rows(self) -> int:
+        return (
+            self.days
+            * self.stores
+            * self.products_sold_per_day
+            * self.transactions_per_product
+        )
+
+
+def build_retail_database(config: RetailConfig = RetailConfig()) -> Database:
+    """Generate the star schema at ``config`` scale."""
+    rng = random.Random(config.seed)
+    database = Database()
+    database.add_table(_time_table(config))
+    database.add_table(_product_table(config, rng))
+    database.add_table(_store_table(config, rng))
+    database.add_table(_sale_table(config, rng))
+    return database
+
+
+def _time_table(config: RetailConfig) -> BaseTable:
+    rows = []
+    for day_index in range(config.days):
+        year = config.start_year + day_index // 365
+        day_of_year = day_index % 365
+        month = day_of_year // 30 + 1
+        rows.append((day_index + 1, day_of_year % 30 + 1, min(month, 12), year))
+    return BaseTable(
+        "time",
+        {
+            "id": AttributeType.INT,
+            "day": AttributeType.INT,
+            "month": AttributeType.INT,
+            "year": AttributeType.INT,
+        },
+        key="id",
+        rows=rows,
+    )
+
+
+def _product_table(config: RetailConfig, rng: random.Random) -> BaseTable:
+    rows = [
+        (i + 1, rng.choice(BRANDS), rng.choice(CATEGORIES))
+        for i in range(config.products)
+    ]
+    return BaseTable(
+        "product",
+        {
+            "id": AttributeType.INT,
+            "brand": AttributeType.STRING,
+            "category": AttributeType.STRING,
+        },
+        key="id",
+        rows=rows,
+    )
+
+
+def _store_table(config: RetailConfig, rng: random.Random) -> BaseTable:
+    rows = [
+        (
+            i + 1,
+            f"{rng.randint(1, 200)} Main Street",
+            rng.choice(CITIES),
+            rng.choice(COUNTRIES),
+            f"manager_{i + 1:03d}",
+        )
+        for i in range(config.stores)
+    ]
+    return BaseTable(
+        "store",
+        {
+            "id": AttributeType.INT,
+            "street_address": AttributeType.STRING,
+            "city": AttributeType.STRING,
+            "country": AttributeType.STRING,
+            "manager": AttributeType.STRING,
+        },
+        key="id",
+        rows=rows,
+    )
+
+
+def _sale_table(config: RetailConfig, rng: random.Random) -> BaseTable:
+    rows = []
+    sale_id = 0
+    for day_index in range(config.days):
+        time_id = day_index + 1
+        for store_id in range(1, config.stores + 1):
+            sold = rng.sample(
+                range(1, config.products + 1),
+                min(config.products_sold_per_day, config.products),
+            )
+            for product_id in sold:
+                for __ in range(config.transactions_per_product):
+                    sale_id += 1
+                    price = rng.randint(50, 5_000)  # integer cents
+                    rows.append((sale_id, time_id, product_id, store_id, price))
+    return BaseTable(
+        "sale",
+        {
+            "id": AttributeType.INT,
+            "timeid": AttributeType.INT,
+            "productid": AttributeType.INT,
+            "storeid": AttributeType.INT,
+            "price": AttributeType.INT,
+        },
+        key="id",
+        references={
+            "timeid": "time",
+            "productid": "product",
+            "storeid": "store",
+        },
+        rows=rows,
+    )
+
+
+def product_sales_view(year: int = 1997) -> ViewDefinition:
+    """The paper's running example (Section 1.1)::
+
+        CREATE VIEW product_sales AS
+        SELECT time.month, SUM(price) AS TotalPrice, COUNT(*) AS TotalCount,
+               COUNT(DISTINCT brand) AS DifferentBrands
+        FROM sale, time, product
+        WHERE time.year = <year> AND sale.timeid = time.id
+          AND sale.productid = product.id
+        GROUP BY time.month
+    """
+    return ViewDefinition(
+        name="product_sales",
+        tables=("sale", "time", "product"),
+        projection=(
+            GroupByItem(Column("month", "time")),
+            AggregateItem(
+                AggregateFunction.SUM, Column("price", "sale"), alias="TotalPrice"
+            ),
+            AggregateItem(AggregateFunction.COUNT, None, alias="TotalCount"),
+            AggregateItem(
+                AggregateFunction.COUNT,
+                Column("brand", "product"),
+                distinct=True,
+                alias="DifferentBrands",
+            ),
+        ),
+        selection=(
+            Comparison("=", Column("year", "time"), Literal(year)),
+        ),
+        joins=(
+            JoinCondition("sale", "timeid", "time", "id"),
+            JoinCondition("sale", "productid", "product", "id"),
+        ),
+    )
+
+
+def product_sales_max_view() -> ViewDefinition:
+    """The paper's Section 3.2 example::
+
+        CREATE VIEW product_sales_max AS
+        SELECT sale.productid, MAX(sale.price) AS MaxPrice,
+               SUM(sale.price) AS TotalPrice, COUNT(*) AS TotalCount
+        FROM sale GROUP BY sale.productid
+    """
+    return ViewDefinition(
+        name="product_sales_max",
+        tables=("sale",),
+        projection=(
+            GroupByItem(Column("productid", "sale")),
+            AggregateItem(
+                AggregateFunction.MAX, Column("price", "sale"), alias="MaxPrice"
+            ),
+            AggregateItem(
+                AggregateFunction.SUM, Column("price", "sale"), alias="TotalPrice"
+            ),
+            AggregateItem(AggregateFunction.COUNT, None, alias="TotalCount"),
+        ),
+    )
+
+
+def paper_example_rows() -> list[tuple]:
+    """The example ``sale`` instance behind the paper's Tables 3 and 4.
+
+    Table 3 shows the auxiliary view with (timeid, productid, price) plus
+    a COUNT(*); these rows are a detail instance that generalizes exactly
+    to those group counts: (1,1,10)x2, (1,2,10)x1, (1,3,5)x3, (2,1,10)x1,
+    (2,2,5)x2, (3,1,5)x1 — with sale ids 1..10 and store 1.
+    """
+    grouped = [
+        (1, 1, 10, 2),
+        (1, 2, 10, 1),
+        (1, 3, 5, 3),
+        (2, 1, 10, 1),
+        (2, 2, 5, 2),
+        (3, 1, 5, 1),
+    ]
+    rows = []
+    sale_id = 0
+    for timeid, productid, price, count in grouped:
+        for __ in range(count):
+            sale_id += 1
+            rows.append((sale_id, timeid, productid, 1, price))
+    return rows
+
+
+def paper_mini_database(sale_rows=None) -> Database:
+    """A tiny hand-written instance of the Section 1.1 star schema.
+
+    Deterministic and small enough to assert exact rows against; used by
+    unit tests, the worked examples, and the Table 3/4 benchmarks.
+    """
+    database = Database()
+    database.add_table(
+        BaseTable(
+            "time",
+            {
+                "id": AttributeType.INT,
+                "day": AttributeType.INT,
+                "month": AttributeType.INT,
+                "year": AttributeType.INT,
+            },
+            key="id",
+            rows=[
+                (1, 1, 1, 1997),
+                (2, 2, 1, 1997),
+                (3, 1, 2, 1997),
+                (4, 1, 1, 1996),
+            ],
+        )
+    )
+    database.add_table(
+        BaseTable(
+            "product",
+            {
+                "id": AttributeType.INT,
+                "brand": AttributeType.STRING,
+                "category": AttributeType.STRING,
+            },
+            key="id",
+            rows=[
+                (1, "acme", "dairy"),
+                (2, "acme", "bakery"),
+                (3, "bestco", "dairy"),
+            ],
+        )
+    )
+    database.add_table(
+        BaseTable(
+            "store",
+            {
+                "id": AttributeType.INT,
+                "street_address": AttributeType.STRING,
+                "city": AttributeType.STRING,
+                "country": AttributeType.STRING,
+                "manager": AttributeType.STRING,
+            },
+            key="id",
+            rows=[(1, "1 Main St", "Aalborg", "Denmark", "ann")],
+        )
+    )
+    if sale_rows is None:
+        sale_rows = [
+            # id, timeid, productid, storeid, price
+            (1, 1, 1, 1, 10),
+            (2, 1, 1, 1, 10),
+            (3, 1, 2, 1, 10),
+            (4, 1, 3, 1, 5),
+            (5, 2, 1, 1, 10),
+            (6, 2, 2, 1, 5),
+            (7, 2, 2, 1, 5),
+            (8, 3, 1, 1, 5),
+            (9, 4, 1, 1, 99),  # 1996: filtered out by the view
+        ]
+    database.add_table(
+        BaseTable(
+            "sale",
+            {
+                "id": AttributeType.INT,
+                "timeid": AttributeType.INT,
+                "productid": AttributeType.INT,
+                "storeid": AttributeType.INT,
+                "price": AttributeType.INT,
+            },
+            key="id",
+            references={
+                "timeid": "time",
+                "productid": "product",
+                "storeid": "store",
+            },
+            rows=sale_rows,
+        )
+    )
+    return database

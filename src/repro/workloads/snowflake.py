@@ -1,0 +1,144 @@
+"""A snowflake-schema workload: sale -> product -> category, sale -> time.
+
+Snowflake structures also have tree-shaped extended join graphs
+(Section 3.3), so Algorithm 3.2 applies unchanged; this workload
+exercises multi-level Need sets and chained join reductions.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.catalog.database import BaseTable, Database
+from repro.core.view import JoinCondition, ViewDefinition
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.expressions import Column
+from repro.engine.operators import AggregateItem, GroupByItem
+from repro.engine.types import AttributeType
+
+
+def build_snowflake_database(
+    categories: int = 5,
+    products_per_category: int = 8,
+    days: int = 20,
+    sales_per_day: int = 30,
+    seed: int = 11,
+) -> Database:
+    """Generate the snowflake schema at the requested scale."""
+    rng = random.Random(seed)
+    database = Database()
+    database.add_table(
+        BaseTable(
+            "category",
+            {
+                "id": AttributeType.INT,
+                "department": AttributeType.STRING,
+                "margin_bps": AttributeType.INT,
+            },
+            key="id",
+            rows=[
+                (i + 1, rng.choice(("food", "household", "leisure")), rng.randint(100, 900))
+                for i in range(categories)
+            ],
+        )
+    )
+    n_products = categories * products_per_category
+    database.add_table(
+        BaseTable(
+            "product",
+            {
+                "id": AttributeType.INT,
+                "categoryid": AttributeType.INT,
+                "name": AttributeType.STRING,
+            },
+            key="id",
+            references={"categoryid": "category"},
+            rows=[
+                (i + 1, i % categories + 1, f"product_{i + 1:03d}")
+                for i in range(n_products)
+            ],
+        )
+    )
+    database.add_table(
+        BaseTable(
+            "time",
+            {
+                "id": AttributeType.INT,
+                "month": AttributeType.INT,
+                "year": AttributeType.INT,
+            },
+            key="id",
+            rows=[(d + 1, d // 30 + 1, 1997) for d in range(days)],
+        )
+    )
+    sale_rows = []
+    sale_id = 0
+    for day in range(1, days + 1):
+        for __ in range(sales_per_day):
+            sale_id += 1
+            sale_rows.append(
+                (
+                    sale_id,
+                    day,
+                    rng.randint(1, n_products),
+                    rng.randint(1, 9) ,
+                    rng.randint(100, 2_000),
+                )
+            )
+    database.add_table(
+        BaseTable(
+            "sale",
+            {
+                "id": AttributeType.INT,
+                "timeid": AttributeType.INT,
+                "productid": AttributeType.INT,
+                "quantity": AttributeType.INT,
+                "amount": AttributeType.INT,
+            },
+            key="id",
+            references={"timeid": "time", "productid": "product"},
+            rows=sale_rows,
+        )
+    )
+    return database
+
+
+def category_sales_view() -> ViewDefinition:
+    """Monthly revenue per category over the snowflake schema."""
+    return ViewDefinition(
+        name="category_sales",
+        tables=("sale", "time", "product", "category"),
+        projection=(
+            GroupByItem(Column("month", "time")),
+            GroupByItem(Column("department", "category")),
+            AggregateItem(
+                AggregateFunction.SUM, Column("amount", "sale"), alias="Revenue"
+            ),
+            AggregateItem(
+                AggregateFunction.SUM, Column("quantity", "sale"), alias="Units"
+            ),
+            AggregateItem(AggregateFunction.COUNT, None, alias="Transactions"),
+        ),
+        joins=(
+            JoinCondition("sale", "timeid", "time", "id"),
+            JoinCondition("sale", "productid", "product", "id"),
+            JoinCondition("product", "categoryid", "category", "id"),
+        ),
+    )
+
+
+def category_sales_by_product_view() -> ViewDefinition:
+    """Per-product revenue: the product key group-by enables fact-table
+    elimination when referential integrity holds everywhere."""
+    return ViewDefinition(
+        name="product_revenue",
+        tables=("sale", "product"),
+        projection=(
+            GroupByItem(Column("id", "product")),
+            AggregateItem(
+                AggregateFunction.SUM, Column("amount", "sale"), alias="Revenue"
+            ),
+            AggregateItem(AggregateFunction.COUNT, None, alias="Transactions"),
+        ),
+        joins=(JoinCondition("sale", "productid", "product", "id"),),
+    )

@@ -1,0 +1,234 @@
+"""Random, referential-integrity-preserving update streams.
+
+The generator inspects a live :class:`Database` and produces
+transactions mixing fact insertions/deletions, dimension insertions,
+deletions of unreferenced dimension tuples, and dimension updates
+(propagated as delete + insert, as the paper prescribes for exposed
+updates).  Every transaction leaves the database integrity-valid, which
+is the contract the warehouse maintenance discipline assumes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.catalog.database import BaseTable, Database
+from repro.engine.deltas import Delta, Transaction
+
+
+class TransactionGenerator:
+    """Generates valid transactions against ``database`` (and applies them)."""
+
+    def __init__(
+        self,
+        database: Database,
+        seed: int = 0,
+        value_makers: dict[str, Callable[[random.Random, int], tuple]] | None = None,
+        frozen_attributes: dict[str, set[str]] | None = None,
+    ):
+        """``value_makers[table](rng, fresh_key)`` builds a brand-new row
+        for insertions; tables without a maker get insertions synthesized
+        by resampling an existing row under a fresh key.
+        ``frozen_attributes[table]`` lists attributes updates must never
+        change — used to honour a table's declared absence of *exposed
+        updates* (Section 2.1 of the paper)."""
+        self.database = database
+        self.rng = random.Random(seed)
+        self.value_makers = value_makers or {}
+        self.frozen_attributes = frozen_attributes or {}
+        self._next_key = {
+            table.name: self._max_key(table) + 1 for table in database.tables
+        }
+
+    @staticmethod
+    def _max_key(table: BaseTable) -> int:
+        index = table.key_index()
+        keys = [row[index] for row in table.relation if isinstance(row[index], int)]
+        return max(keys, default=0)
+
+    def fresh_key(self, table: str) -> int:
+        key = self._next_key[table]
+        self._next_key[table] = key + 1
+        return key
+
+    # ------------------------------------------------------------------
+    # Transaction synthesis.
+    # ------------------------------------------------------------------
+
+    def next_transaction(
+        self,
+        max_inserts: int = 5,
+        max_deletes: int = 3,
+        update_probability: float = 0.3,
+    ) -> Transaction:
+        """Build one valid transaction (without applying it)."""
+        plan = _TransactionPlan(self.database)
+        tables = list(self.database.tables)
+        self.rng.shuffle(tables)
+        for table in tables:
+            choice = self.rng.random()
+            if choice < 0.45:
+                self._plan_insertions(table, plan, max_inserts)
+            elif choice < 0.75:
+                self._plan_deletions(table, plan, max_deletes)
+            elif self.rng.random() < update_probability:
+                self._plan_update(table, plan)
+        return plan.transaction()
+
+    def step(self, **kwargs) -> Transaction:
+        """Generate one transaction and apply it to the source database."""
+        transaction = self.next_transaction(**kwargs)
+        self.database.apply(transaction)
+        return transaction
+
+    # ------------------------------------------------------------------
+    # Per-table planning.
+    # ------------------------------------------------------------------
+
+    def _plan_insertions(
+        self, table: BaseTable, plan: "_TransactionPlan", limit: int
+    ) -> None:
+        for __ in range(self.rng.randint(1, limit)):
+            row = self._make_row(table, plan)
+            if row is not None:
+                plan.insert(table, row)
+
+    def _plan_deletions(
+        self, table: BaseTable, plan: "_TransactionPlan", limit: int
+    ) -> None:
+        candidates = plan.deletable_rows(table)
+        if not candidates:
+            return
+        count = min(len(candidates), self.rng.randint(1, limit))
+        for row in self.rng.sample(candidates, count):
+            plan.delete(table, row)
+
+    def _plan_update(self, table: BaseTable, plan: "_TransactionPlan") -> None:
+        """Update one non-key attribute of one row (delete + insert)."""
+        candidates = [
+            row for row in table.relation if not plan.is_deleted(table.name, row)
+        ]
+        if not candidates or len(table.schema) < 2:
+            return
+        old = self.rng.choice(candidates)
+        key_index = table.key_index()
+        frozen = self.frozen_attributes.get(table.name, set())
+        mutable = [
+            i
+            for i in range(len(old))
+            if i != key_index and table.schema[i].name not in frozen
+        ]
+        if not mutable:
+            return
+        index = self.rng.choice(mutable)
+        new = list(old)
+        attribute = table.schema[index].name
+        constraint = table.reference_for(attribute)
+        if constraint is not None and constraint.referenced in self.database:
+            targets = plan.live_keys(constraint.referenced)
+            if not targets:
+                return
+            new[index] = self.rng.choice(targets)
+            plan.use_key(constraint.referenced, new[index])
+        else:
+            new[index] = self._perturb(new[index])
+        if tuple(new) == old:
+            return
+        plan.delete(table, old, cascade_guard=False)
+        plan.insert(table, tuple(new))
+
+    def _perturb(self, value: object) -> object:
+        if isinstance(value, bool):
+            return not value
+        if isinstance(value, int):
+            return value + self.rng.randint(1, 10)
+        if isinstance(value, float):
+            return value + self.rng.random()
+        return f"{value}_u{self.rng.randint(0, 99)}"
+
+    def _make_row(self, table: BaseTable, plan: "_TransactionPlan") -> tuple | None:
+        maker = self.value_makers.get(table.name)
+        if maker is not None:
+            row = list(maker(self.rng, self.fresh_key(table.name)))
+        elif table.relation:
+            row = list(self.rng.choice(table.relation.rows))
+            row[table.key_index()] = self.fresh_key(table.name)
+        else:
+            return None
+        for constraint in table.references:
+            if constraint.referenced not in self.database:
+                continue
+            targets = plan.live_keys(constraint.referenced)
+            if not targets:
+                return None
+            index = table.schema.index_of(constraint.attribute)
+            row[index] = self.rng.choice(targets)
+            plan.use_key(constraint.referenced, row[index])
+        return tuple(row)
+
+
+class _TransactionPlan:
+    """Accumulates per-table inserts/deletes while keeping the final
+    state referentially valid: keys referenced by planned inserts cannot
+    be deleted, and planned-deleted keys cannot be referenced."""
+
+    def __init__(self, database: Database):
+        self._database = database
+        self._inserted: dict[str, list[tuple]] = {}
+        self._deleted: dict[str, list[tuple]] = {}
+        self._deleted_keys: dict[str, set] = {}
+        self._used_keys: dict[str, set] = {}
+
+    def insert(self, table: BaseTable, row: tuple) -> None:
+        self._inserted.setdefault(table.name, []).append(row)
+
+    def delete(self, table: BaseTable, row: tuple, cascade_guard: bool = True) -> None:
+        self._deleted.setdefault(table.name, []).append(row)
+        if cascade_guard:
+            key = row[table.key_index()]
+            self._deleted_keys.setdefault(table.name, set()).add(key)
+
+    def is_deleted(self, table: str, row: tuple) -> bool:
+        return row in self._deleted.get(table, ())
+
+    def use_key(self, table: str, key: object) -> None:
+        self._used_keys.setdefault(table, set()).add(key)
+
+    def live_keys(self, table: str) -> list:
+        """Keys of ``table`` guaranteed to exist in the final state."""
+        existing = self._database.table(table).key_values()
+        existing -= self._deleted_keys.get(table, set())
+        return sorted(existing, key=repr)
+
+    def deletable_rows(self, table: BaseTable) -> list[tuple]:
+        """Rows no live (or planned) tuple references and no plan touches."""
+        used: set[object] = set(self._used_keys.get(table.name, set()))
+        for other in self._database.tables:
+            for constraint in other.references:
+                if constraint.referenced != table.name:
+                    continue
+                index = other.schema.index_of(constraint.attribute)
+                for row in other.relation:
+                    if not self.is_deleted(other.name, row):
+                        used.add(row[index])
+                for row in self._inserted.get(other.name, ()):
+                    used.add(row[index])
+        key_index = table.key_index()
+        already = self._deleted.get(table.name, [])
+        return [
+            row
+            for row in table.relation
+            if row[key_index] not in used and row not in already
+        ]
+
+    def transaction(self) -> Transaction:
+        deltas = [
+            Delta(
+                name,
+                tuple(self._inserted.get(name, ())),
+                tuple(self._deleted.get(name, ())),
+            )
+            for name in {*self._inserted, *self._deleted}
+        ]
+        return Transaction.of(*deltas)

@@ -1,0 +1,202 @@
+"""Tests for the SMA/SMAS/CSMAS classification (Tables 1 and 2).
+
+Besides asserting the published classification, these tests *probe* the
+engine's incremental state machines to confirm the classification
+describes real behaviour — the same probe the Table 1 benchmark runs.
+"""
+
+import pytest
+
+from repro.core.aggregates import (
+    AggregateClass,
+    classification_table,
+    classify_aggregate,
+    count_star_item,
+    is_csmas,
+    replacement_aggregates,
+)
+from repro.engine.aggregates import (
+    AggregateFunction,
+    BareSumState,
+    MaintenanceError,
+    make_aggregate_state,
+)
+from repro.engine.expressions import Column
+from repro.engine.operators import AggregateItem
+
+
+class TestTable1:
+    """Table 1: SMA and SMAS per change kind."""
+
+    def test_count(self):
+        info = classify_aggregate(AggregateFunction.COUNT)
+        assert (info.sma_insert, info.sma_delete) == (True, True)
+        assert (info.smas_insert, info.smas_delete) == (True, True)
+
+    def test_sum(self):
+        info = classify_aggregate(AggregateFunction.SUM)
+        assert info.sma_insert and not info.sma_delete
+        assert info.smas_delete  # with COUNT included
+        assert info.companions == (AggregateFunction.COUNT,)
+
+    def test_avg(self):
+        info = classify_aggregate(AggregateFunction.AVG)
+        assert not info.sma_insert and not info.sma_delete
+        assert info.smas_insert and info.smas_delete
+        assert set(info.companions) == {
+            AggregateFunction.SUM,
+            AggregateFunction.COUNT,
+        }
+
+    @pytest.mark.parametrize(
+        "func", [AggregateFunction.MIN, AggregateFunction.MAX]
+    )
+    def test_min_max(self, func):
+        info = classify_aggregate(func)
+        assert info.sma_insert and not info.sma_delete
+        assert not info.smas_delete
+
+
+class TestTable2:
+    """Table 2: CSMAS classification and replacements."""
+
+    @pytest.mark.parametrize(
+        "func",
+        [AggregateFunction.COUNT, AggregateFunction.SUM, AggregateFunction.AVG],
+    )
+    def test_csmas_aggregates(self, func):
+        assert classify_aggregate(func).aggregate_class is AggregateClass.CSMAS
+
+    @pytest.mark.parametrize(
+        "func", [AggregateFunction.MIN, AggregateFunction.MAX]
+    )
+    def test_non_csmas_aggregates(self, func):
+        assert (
+            classify_aggregate(func).aggregate_class is AggregateClass.NON_CSMAS
+        )
+
+    @pytest.mark.parametrize("func", list(AggregateFunction))
+    def test_distinct_is_always_non_csmas(self, func):
+        info = classify_aggregate(func, distinct=True)
+        assert info.aggregate_class is AggregateClass.NON_CSMAS
+
+    def test_count_replaced_by_count_star(self):
+        item = AggregateItem(AggregateFunction.COUNT, Column("a", "t"))
+        replaced = replacement_aggregates(item)
+        assert len(replaced) == 1
+        assert replaced[0].is_count_star
+
+    @pytest.mark.parametrize(
+        "func", [AggregateFunction.SUM, AggregateFunction.AVG]
+    )
+    def test_sum_avg_replaced_by_sum_and_count(self, func):
+        item = AggregateItem(func, Column("a", "t"))
+        replaced = replacement_aggregates(item)
+        assert [r.func for r in replaced] == [
+            AggregateFunction.SUM,
+            AggregateFunction.COUNT,
+        ]
+        assert replaced[1].is_count_star
+
+    @pytest.mark.parametrize(
+        "func", [AggregateFunction.MIN, AggregateFunction.MAX]
+    )
+    def test_min_max_not_replaced(self, func):
+        item = AggregateItem(func, Column("a", "t"))
+        assert replacement_aggregates(item) == (item,)
+
+    def test_distinct_not_replaced(self):
+        item = AggregateItem(
+            AggregateFunction.COUNT, Column("a", "t"), distinct=True
+        )
+        assert replacement_aggregates(item) == (item,)
+
+    def test_count_star_item(self):
+        item = count_star_item("cnt")
+        assert item.is_count_star and item.alias == "cnt"
+
+
+class TestAppendOnlyRelaxation:
+    """Section 4 future work: old detail data sees insertions only."""
+
+    @pytest.mark.parametrize(
+        "func", [AggregateFunction.MIN, AggregateFunction.MAX]
+    )
+    def test_min_max_become_csmas(self, func):
+        info = classify_aggregate(func, append_only=True)
+        assert info.aggregate_class is AggregateClass.CSMAS
+        assert info.sma_delete  # deletions never occur
+
+    def test_distinct_still_non_csmas(self):
+        info = classify_aggregate(
+            AggregateFunction.COUNT, distinct=True, append_only=True
+        )
+        assert info.aggregate_class is AggregateClass.NON_CSMAS
+
+    def test_is_csmas_helper(self):
+        item = AggregateItem(AggregateFunction.MAX, Column("a", "t"))
+        assert not is_csmas(item)
+        assert is_csmas(item, append_only=True)
+
+
+class TestClassificationMatchesEngine:
+    """The classification must describe the engine's actual behaviour."""
+
+    def test_csmas_states_survive_any_change(self):
+        for func in (
+            AggregateFunction.COUNT,
+            AggregateFunction.SUM,
+            AggregateFunction.AVG,
+        ):
+            state = make_aggregate_state(func)
+            state.insert(5)
+            state.insert(7)
+            state.delete(5)  # must not raise: CSMAS handles deletions
+            assert state.result() is not None
+
+    def test_min_max_fail_exactly_on_extremum_deletion(self):
+        for func in (AggregateFunction.MIN, AggregateFunction.MAX):
+            assert not classify_aggregate(func).smas_delete
+            state = make_aggregate_state(func)
+            state.insert(5)
+            state.insert(9)
+            extremum = 5 if func is AggregateFunction.MIN else 9
+            with pytest.raises(MaintenanceError):
+                state.delete(extremum)
+
+    def test_sum_without_count_is_not_a_smas(self):
+        # Table 1's footnote: SUM needs COUNT for deletions.
+        state = BareSumState()
+        state.insert(3)
+        state.delete(3)
+        with pytest.raises(MaintenanceError):
+            state.result()
+
+    def test_distinct_states_are_never_maintainable(self):
+        state = make_aggregate_state(AggregateFunction.SUM, distinct=True)
+        with pytest.raises(MaintenanceError):
+            state.insert(1)
+
+
+class TestClassificationTable:
+    def test_table_covers_all_aggregates(self):
+        rows = classification_table()
+        assert {row["aggregate"] for row in rows} == {
+            "COUNT", "SUM", "AVG", "MIN", "MAX",
+        }
+
+    def test_replacements_match_paper(self):
+        by_name = {row["aggregate"]: row for row in classification_table()}
+        assert by_name["COUNT"]["replaced_by"] == "COUNT(*)"
+        assert by_name["SUM"]["replaced_by"] == "SUM, COUNT(*)"
+        assert by_name["AVG"]["replaced_by"] == "SUM, COUNT(*)"
+        assert by_name["MIN"]["replaced_by"] == "Not replaced"
+        assert by_name["MAX"]["replaced_by"] == "Not replaced"
+
+    def test_append_only_table(self):
+        by_name = {
+            row["aggregate"]: row
+            for row in classification_table(append_only=True)
+        }
+        assert by_name["MIN"]["class"] == "CSMAS"
+        assert by_name["MAX"]["class"] == "CSMAS"

@@ -1,0 +1,124 @@
+"""Tests for the append-only (old detail data) extension of Section 4."""
+
+import pytest
+
+from repro.core.derivation import derive_auxiliary_views
+from repro.core.maintenance import SelfMaintainer, SelfMaintenanceError
+from repro.core.view import JoinCondition, make_view
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.deltas import Delta, Transaction
+from repro.engine.expressions import Column
+from repro.engine.operators import AggregateItem, GroupByItem
+from repro.workloads.retail import product_sales_max_view
+
+from tests.helpers import assert_same_bag, paper_database
+
+
+def minmax_view():
+    return make_view(
+        "price_range",
+        ("sale", "time"),
+        [
+            GroupByItem(Column("month", "time")),
+            AggregateItem(AggregateFunction.MIN, Column("price", "sale"), alias="lo"),
+            AggregateItem(AggregateFunction.MAX, Column("price", "sale"), alias="hi"),
+            AggregateItem(AggregateFunction.AVG, Column("price", "sale"), alias="mean"),
+            AggregateItem(AggregateFunction.COUNT, None, alias="n"),
+        ],
+        joins=[JoinCondition("sale", "timeid", "time", "id")],
+    )
+
+
+class TestAppendOnlyDerivationEffects:
+    def test_aux_view_is_smaller_than_regular_mode(self):
+        database = paper_database()
+        regular = derive_auxiliary_views(minmax_view(), database)
+        append = derive_auxiliary_views(
+            minmax_view(), database, append_only=True
+        )
+        regular_fields = len(regular.for_table("sale").output_schema())
+        append_rows = append.materialize(database)["sale"]
+        regular_rows = regular.materialize(database)["sale"]
+        # Folding MIN/MAX removes `price` from the grouping key: fewer
+        # groups (and in general far fewer rows).
+        assert len(append_rows) <= len(regular_rows)
+        assert "price" not in [
+            a.name for a in append.for_table("sale").output_schema()
+        ]
+        assert regular_fields > 0  # sanity
+
+    def test_max_only_view_needs_no_detail(self):
+        aux = derive_auxiliary_views(
+            product_sales_max_view(), paper_database(), append_only=True
+        )
+        assert aux.tables == ()
+
+
+class TestAppendOnlyMaintenance:
+    def insert(self, rows):
+        return Transaction.of(Delta.insertion("sale", rows))
+
+    def test_insert_stream_stays_exact(self):
+        database = paper_database()
+        view = minmax_view()
+        maintainer = SelfMaintainer(view, database, append_only=True)
+        batches = [
+            [(100, 1, 1, 1, 3)],       # new global minimum in month 1
+            [(101, 3, 2, 1, 700)],     # new maximum in month 2
+            [(102, 2, 3, 1, 10), (103, 2, 3, 1, 20)],
+        ]
+        for rows in batches:
+            transaction = self.insert(rows)
+            database.apply(transaction)
+            maintainer.apply(transaction)
+            assert_same_bag(maintainer.current_view(), view.evaluate(database))
+
+    def test_new_group_from_insertions(self):
+        database = paper_database()
+        view = minmax_view()
+        maintainer = SelfMaintainer(view, database, append_only=True)
+        # time 3 is month 2 (already present); add month via new time row.
+        transaction = Transaction.of(
+            Delta.insertion("time", [(10, 5, 6, 1997)]),
+            Delta.insertion("sale", [(110, 10, 1, 1, 42)]),
+        )
+        database.apply(transaction)
+        maintainer.apply(transaction)
+        assert_same_bag(maintainer.current_view(), view.evaluate(database))
+        months = {row[0] for row in maintainer.current_view()}
+        assert 6 in months
+
+    def test_deletions_are_refused(self):
+        database = paper_database()
+        maintainer = SelfMaintainer(
+            minmax_view(), database, append_only=True
+        )
+        with pytest.raises(SelfMaintenanceError, match="append-only"):
+            maintainer.apply(
+                Transaction.of(Delta.deletion("sale", [(1, 1, 1, 1, 10)]))
+            )
+
+    def test_deletions_on_unrelated_tables_allowed(self):
+        database = paper_database()
+        maintainer = SelfMaintainer(
+            minmax_view(), database, append_only=True
+        )
+        fresh_store = (2, "2 High St", "Aarhus", "Denmark", "bob")
+        insert = Transaction.of(Delta.insertion("store", [fresh_store]))
+        database.apply(insert)
+        maintainer.apply(insert)
+        delete = Transaction.of(Delta.deletion("store", [fresh_store]))
+        database.apply(delete)
+        maintainer.apply(delete)  # store is outside the view
+
+    def test_eliminated_root_with_folded_max(self):
+        database = paper_database()
+        view = product_sales_max_view()
+        maintainer = SelfMaintainer(view, database, append_only=True)
+        assert "sale" in maintainer.eliminated_tables
+        transaction = self.insert([(120, 1, 1, 1, 999), (121, 1, 3, 1, 1)])
+        database.apply(transaction)
+        maintainer.apply(transaction)
+        assert_same_bag(maintainer.current_view(), view.evaluate(database))
+        by_product = {row[0]: row for row in maintainer.current_view()}
+        assert by_product[1][1] == 999

@@ -1,0 +1,69 @@
+"""Matrix of view shapes under append-only (old detail data) maintenance."""
+
+import pytest
+
+from repro.core.maintenance import SelfMaintainer
+from repro.core.view import ViewDefinition
+from repro.engine.deltas import Delta, Transaction
+
+from tests.helpers import assert_same_bag, paper_database
+from tests.test_view_matrix import AGGREGATES, GROUPINGS, JOINS, SELECTIONS
+
+
+def insert_battery():
+    """Insert-only changes (what old detail data receives)."""
+    return [
+        Transaction.of(Delta.insertion("sale", [(201, 1, 1, 1, 2)])),
+        Transaction.of(Delta.insertion("sale", [(202, 3, 3, 1, 900)])),
+        Transaction.of(
+            Delta.insertion("product", [(9, "omega", "misc")]),
+            Delta.insertion("sale", [(203, 2, 9, 1, 77), (204, 2, 9, 1, 77)]),
+        ),
+        Transaction.of(
+            Delta.insertion("time", [(10, 9, 6, 1997)]),
+            Delta.insertion("sale", [(205, 10, 1, 1, 55)]),
+        ),
+    ]
+
+
+def build_view(grouping: str, aggregates: str, selection: str):
+    return ViewDefinition(
+        name=f"ao_{grouping}_{aggregates}_{selection}",
+        tables=("sale", "time", "product"),
+        projection=GROUPINGS[grouping] + AGGREGATES[aggregates],
+        selection=SELECTIONS[selection],
+        joins=JOINS,
+    )
+
+
+@pytest.mark.parametrize("grouping", sorted(GROUPINGS))
+@pytest.mark.parametrize("aggregates", sorted(AGGREGATES))
+def test_append_only_matrix(grouping, aggregates):
+    database = paper_database()
+    view = build_view(grouping, aggregates, "time-filter")
+    maintainer = SelfMaintainer(view, database, append_only=True)
+    assert_same_bag(maintainer.current_view(), view.evaluate(database))
+    for index, transaction in enumerate(insert_battery()):
+        database.apply(transaction)
+        maintainer.apply(transaction)
+        assert_same_bag(
+            maintainer.current_view(),
+            view.evaluate(database),
+            f"{view.name} step {index}",
+        )
+
+
+@pytest.mark.parametrize("aggregates", ["minmax", "everything"])
+def test_append_only_folds_extrema_smaller(aggregates):
+    """For extremum-bearing views the append-only auxiliary view never
+    stores more rows than the regular one."""
+    from repro.core.derivation import derive_auxiliary_views
+
+    database = paper_database()
+    view = build_view("dim-attr", aggregates, "none")
+    regular = derive_auxiliary_views(view, database)
+    relaxed = derive_auxiliary_views(view, database, append_only=True)
+    regular_rows = regular.materialize(database)["sale"]
+    relaxed_rows = relaxed.materialize(database)["sale"]
+    assert len(relaxed_rows) <= len(regular_rows)
+    assert len(relaxed_rows.schema) <= len(regular_rows.schema) + 2

@@ -1,0 +1,128 @@
+"""Tests for the baseline strategies and their storage ordering."""
+
+from repro.core.maintenance import SelfMaintainer
+from repro.warehouse.baselines import (
+    FullReplicationMaintainer,
+    PsjAuxiliaryMaintainer,
+    derive_psj_auxiliary_views,
+)
+from repro.workloads.retail import (
+    RetailConfig,
+    build_retail_database,
+    product_sales_view,
+)
+from repro.workloads.streams import TransactionGenerator
+
+from tests.helpers import assert_same_bag, paper_database
+
+
+def retail():
+    return build_retail_database(
+        RetailConfig(
+            days=8,
+            stores=2,
+            products=10,
+            products_sold_per_day=6,
+            transactions_per_product=3,
+            start_year=1997,
+        )
+    )
+
+
+class TestPsjDerivation:
+    def test_keys_always_retained(self):
+        database = paper_database()
+        aux = derive_psj_auxiliary_views(product_sales_view(1997), database)
+        sale = aux.for_table("sale")
+        assert "id" in sale.plan.pinned
+        assert sale.plan.degenerate
+        assert not sale.is_compressed
+
+    def test_no_elimination(self):
+        database = paper_database()
+        aux = derive_psj_auxiliary_views(product_sales_view(1997), database)
+        assert aux.eliminated == {}
+        assert set(aux.tables) == {"sale", "time", "product"}
+
+    def test_local_and_join_reductions_still_applied(self):
+        database = paper_database()
+        aux = derive_psj_auxiliary_views(product_sales_view(1997), database)
+        relations = aux.materialize(database)
+        # 1996 sales are join-reduced away; 1996 times locally reduced.
+        assert len(relations["sale"]) == 8
+        assert len(relations["time"]) == 3
+
+
+class TestPsjMaintainer:
+    def test_matches_recomputation_under_stream(self):
+        database = retail()
+        view = product_sales_view(1997)
+        maintainer = PsjAuxiliaryMaintainer(view, database)
+        generator = TransactionGenerator(database, seed=31)
+        for __ in range(20):
+            maintainer.apply(generator.step())
+        assert_same_bag(maintainer.current_view(), view.evaluate(database))
+
+    def test_psj_detail_exceeds_gpsj_detail(self):
+        # The paper's point: duplicate compression beats PSJ detail.
+        database = retail()
+        view = product_sales_view(1997)
+        psj = PsjAuxiliaryMaintainer(view, database)
+        gpsj = SelfMaintainer(view, database)
+        assert gpsj.detail_size_bytes() < psj.detail_size_bytes()
+
+    def test_psj_fact_rows_equal_reduced_detail(self):
+        database = retail()
+        view = product_sales_view(1997)
+        psj = PsjAuxiliaryMaintainer(view, database)
+        # One PSJ auxiliary row per qualifying fact tuple.
+        qualifying = [
+            row
+            for row in database.relation("sale")
+            if row[1] <= 365  # 1997 times in this config
+        ]
+        assert len(psj.aux_relation("sale")) == len(qualifying)
+
+
+class TestFullReplication:
+    def test_matches_recomputation_under_stream(self):
+        database = retail()
+        view = product_sales_view(1997)
+        maintainer = FullReplicationMaintainer(view, database)
+        generator = TransactionGenerator(database, seed=37)
+        for __ in range(20):
+            maintainer.apply(generator.step())
+        assert_same_bag(maintainer.current_view(), view.evaluate(database))
+
+    def test_ignores_unreferenced_tables(self):
+        database = retail()
+        view = product_sales_view(1997)
+        maintainer = FullReplicationMaintainer(view, database)
+        generator = TransactionGenerator(database, seed=41)
+        for __ in range(10):
+            maintainer.apply(generator.step())  # store deltas are skipped
+        assert_same_bag(maintainer.current_view(), view.evaluate(database))
+
+    def test_replica_is_isolated_from_source(self):
+        database = retail()
+        maintainer = FullReplicationMaintainer(product_sales_view(1997), database)
+        before = len(maintainer.replica_relation("sale"))
+        database.table("sale").relation.insert(
+            (10_000_000, 1, 1, 1, 5)
+        )
+        assert len(maintainer.replica_relation("sale")) == before
+
+
+class TestStorageOrdering:
+    def test_gpsj_lt_psj_lt_full(self):
+        """The paper's storage hierarchy: compressed auxiliary views are
+        the smallest, PSJ auxiliary views middle, full replication worst
+        (local reductions can make PSJ beat replication; compression
+        must beat both)."""
+        database = retail()
+        view = product_sales_view(1997)
+        gpsj = SelfMaintainer(view, database)
+        psj = PsjAuxiliaryMaintainer(view, database)
+        full = FullReplicationMaintainer(view, database)
+        assert gpsj.detail_size_bytes() < psj.detail_size_bytes()
+        assert psj.detail_size_bytes() <= full.detail_size_bytes()

@@ -1,0 +1,162 @@
+"""Unit tests for base tables, constraints, and the source database."""
+
+import pytest
+
+from repro.catalog.constraints import ReferentialConstraint
+from repro.catalog.database import BaseTable, Database, IntegrityError
+from repro.engine.deltas import Delta, Transaction
+from repro.engine.types import AttributeType
+
+from tests.helpers import paper_database
+
+
+class TestBaseTable:
+    def test_schema_is_qualified(self):
+        table = paper_database().table("sale")
+        assert table.schema.qualified_names()[0] == "sale.id"
+
+    def test_key_must_be_a_column(self):
+        with pytest.raises(ValueError, match="key"):
+            BaseTable("t", {"a": AttributeType.INT}, key="id")
+
+    def test_foreign_key_must_be_a_column(self):
+        with pytest.raises(ValueError, match="foreign key"):
+            BaseTable(
+                "t",
+                {"id": AttributeType.INT},
+                key="id",
+                references={"fk": "other"},
+            )
+
+    def test_key_values(self):
+        table = paper_database().table("product")
+        assert table.key_values() == {1, 2, 3}
+
+    def test_reference_for(self):
+        table = paper_database().table("sale")
+        constraint = table.reference_for("timeid")
+        assert constraint == ReferentialConstraint("sale", "timeid", "time")
+        assert table.reference_for("price") is None
+
+    def test_constraint_rendering(self):
+        constraint = ReferentialConstraint("sale", "timeid", "time")
+        assert str(constraint) == "sale.timeid -> time"
+
+
+class TestDatabase:
+    def test_duplicate_table_rejected(self):
+        database = paper_database()
+        with pytest.raises(ValueError, match="duplicate"):
+            database.add_table(
+                BaseTable("sale", {"id": AttributeType.INT}, key="id")
+            )
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(KeyError):
+            paper_database().table("nope")
+
+    def test_contains_and_names(self):
+        database = paper_database()
+        assert "sale" in database
+        assert "nope" not in database
+        assert set(database.table_names) == {"time", "product", "store", "sale"}
+
+    def test_integrity_passes_on_valid_instance(self):
+        paper_database().validate_integrity()
+
+    def test_integrity_detects_dangling_reference(self):
+        database = paper_database()
+        database.table("sale").relation.insert((100, 999, 1, 1, 5))
+        with pytest.raises(IntegrityError, match="dangling"):
+            database.validate_integrity()
+
+    def test_integrity_detects_duplicate_keys(self):
+        database = paper_database()
+        database.table("product").relation.insert((1, "dup", "dup"))
+        with pytest.raises(IntegrityError, match="duplicate key"):
+            database.validate_integrity()
+
+
+class TestApply:
+    def test_insert_and_delete(self):
+        database = paper_database()
+        database.apply(
+            Transaction.of(
+                Delta(
+                    "sale",
+                    inserted=[(100, 1, 1, 1, 42)],
+                    deleted=[(8, 3, 1, 1, 5)],
+                )
+            )
+        )
+        ids = database.relation("sale").column("id")
+        assert 100 in ids and 8 not in ids
+
+    def test_cascaded_delete_order(self):
+        # Deleting a product and its sales in one transaction must work
+        # regardless of delta order (referencing rows removed first).
+        database = paper_database()
+        sales_of_3 = [r for r in database.relation("sale") if r[2] == 3]
+        database.apply(
+            Transaction.of(
+                Delta.deletion("product", [(3, "bestco", "dairy")]),
+                Delta.deletion("sale", sales_of_3),
+            )
+        )
+        assert 3 not in database.table("product").key_values()
+
+    def test_insert_order_dimension_first(self):
+        database = paper_database()
+        database.apply(
+            Transaction.of(
+                Delta.insertion("sale", [(101, 1, 9, 1, 7)]),
+                Delta.insertion("product", [(9, "newbrand", "misc")]),
+            )
+        )
+        database.validate_integrity()
+
+    def test_invalid_transaction_rejected(self):
+        database = paper_database()
+        with pytest.raises(IntegrityError):
+            database.apply(
+                Transaction.of(Delta.insertion("sale", [(101, 1, 999, 1, 7)]))
+            )
+
+    def test_unknown_table_in_transaction(self):
+        database = paper_database()
+        with pytest.raises(KeyError):
+            database.apply(
+                Transaction.of(Delta.insertion("ghost", [(1,)]))
+            )
+
+    def test_same_key_update_with_live_references(self):
+        # Updating a referenced dimension row (delete + insert of the
+        # same key) must not trip integrity validation.
+        database = paper_database()
+        database.apply(
+            Transaction.of(
+                Delta.update(
+                    "product",
+                    old_rows=[(1, "acme", "dairy")],
+                    new_rows=[(1, "acme", "frozen")],
+                )
+            )
+        )
+        row = next(r for r in database.relation("product") if r[0] == 1)
+        assert row[2] == "frozen"
+
+
+class TestSnapshot:
+    def test_snapshot_is_deep(self):
+        database = paper_database()
+        snapshot = database.snapshot()
+        database.table("sale").relation.insert((100, 1, 1, 1, 5))
+        assert len(snapshot.relation("sale")) + 1 == len(
+            database.relation("sale")
+        )
+
+    def test_snapshot_preserves_metadata(self):
+        snapshot = paper_database().snapshot()
+        table = snapshot.table("sale")
+        assert table.key == "id"
+        assert table.reference_for("productid").referenced == "product"

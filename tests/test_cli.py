@@ -1,0 +1,170 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SCHEMA_SQL = """
+CREATE TABLE time (id INT PRIMARY KEY, day INT, month INT, year INT)
+CREATE TABLE product (id INT PRIMARY KEY, brand STRING, category STRING)
+CREATE TABLE sale (
+  id INT PRIMARY KEY,
+  timeid INT REFERENCES time,
+  productid INT REFERENCES product,
+  price INT
+)
+"""
+
+VIEW_SQL = """
+CREATE VIEW product_sales AS
+SELECT time.month, SUM(price) AS TotalPrice, COUNT(*) AS TotalCount,
+       COUNT(DISTINCT brand) AS DifferentBrands
+FROM sale, time, product
+WHERE time.year = 1997 AND sale.timeid = time.id
+  AND sale.productid = product.id
+GROUP BY time.month
+"""
+
+
+@pytest.fixture
+def files(tmp_path):
+    schema = tmp_path / "schema.sql"
+    schema.write_text(SCHEMA_SQL)
+    view = tmp_path / "view.sql"
+    view.write_text(VIEW_SQL)
+    return str(schema), str(view)
+
+
+class TestClassify:
+    def test_prints_tables_1_and_2(self, capsys):
+        assert main(["classify"]) == 0
+        out = capsys.readouterr().out
+        assert "COUNT(*)" in out
+        assert "non-CSMAS" in out
+        assert "MIN" in out
+
+    def test_append_only_mode(self, capsys):
+        assert main(["classify", "--append-only"]) == 0
+        out = capsys.readouterr().out
+        # MIN/MAX become CSMAS under the relaxation.
+        assert out.count("non-CSMAS") == 0
+
+
+class TestGraph:
+    def test_prints_figure_2(self, files, capsys):
+        schema, view = files
+        assert main(["graph", "--schema", schema, "--view", view]) == 0
+        out = capsys.readouterr().out
+        assert "time [g]" in out
+        assert "root table: sale" in out
+        assert "Need(sale)" in out
+        assert "sale depends on" in out
+
+
+class TestDerive:
+    def test_prints_auxiliary_views(self, files, capsys):
+        schema, view = files
+        assert main(["derive", "--schema", schema, "--view", view]) == 0
+        out = capsys.readouterr().out
+        assert "CREATE VIEW saledtl AS" in out
+        assert "SUM(sale.price) AS sum_price" in out
+        assert "SUM(saledtl.cnt) AS TotalCount" in out
+
+    def test_elimination_reported(self, tmp_path, capsys):
+        schema = tmp_path / "schema.sql"
+        schema.write_text(SCHEMA_SQL)
+        view = tmp_path / "view.sql"
+        view.write_text(
+            "CREATE VIEW by_product AS "
+            "SELECT product.id, SUM(price) AS total, COUNT(*) AS n "
+            "FROM sale, product WHERE sale.productid = product.id "
+            "GROUP BY product.id"
+        )
+        assert main(["derive", "--schema", str(schema), "--view", str(view)]) == 0
+        out = capsys.readouterr().out
+        assert "X_sale omitted" in out
+        assert "not reconstructable" in out
+
+    def test_append_only_derivation(self, tmp_path, capsys):
+        schema = tmp_path / "schema.sql"
+        schema.write_text(SCHEMA_SQL)
+        view = tmp_path / "view.sql"
+        view.write_text(
+            "CREATE VIEW price_range AS "
+            "SELECT time.month, MIN(price) AS lo, MAX(price) AS hi "
+            "FROM sale, time WHERE sale.timeid = time.id GROUP BY time.month"
+        )
+        assert main(
+            ["derive", "--schema", str(schema), "--view", str(view), "--append-only"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "MIN(sale.price) AS min_price" in out
+
+
+class TestStorage:
+    def test_paper_defaults(self, capsys):
+        assert main(["storage"]) == 0
+        out = capsys.readouterr().out
+        assert "13,140,000,000" in out
+        assert "244.8 GB" in out
+        assert "167.1 MB" in out
+
+    def test_custom_cardinalities(self, capsys):
+        assert main(
+            ["storage", "--days", "10", "--stores", "1", "--products", "5",
+             "--sold-per-day", "5", "--transactions", "2", "--selected-days", "10"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "100 tuples" in out  # 10*1*5*2
+
+
+class TestErrorHandling:
+    def test_missing_file(self, capsys):
+        code = main(["derive", "--schema", "/nonexistent", "--view", "/nope"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_sql(self, tmp_path, capsys):
+        schema = tmp_path / "schema.sql"
+        schema.write_text("CREATE TABLE t (a INT)")  # no primary key
+        view = tmp_path / "view.sql"
+        view.write_text("SELECT COUNT(*) AS c FROM t")
+        assert main(["derive", "--schema", str(schema), "--view", str(view)]) == 1
+        assert "PRIMARY KEY" in capsys.readouterr().err
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+
+class TestExplain:
+    def test_narrates_derivation(self, files, capsys):
+        schema, view = files
+        assert main(["explain", "--schema", schema, "--view", view]) == 0
+        out = capsys.readouterr().out
+        assert "Derivation report" in out
+        assert "smart duplicate compression" in out
+        assert "Need(sale)" in out
+
+
+class TestShare:
+    def test_merges_view_class(self, tmp_path, capsys):
+        schema = tmp_path / "schema.sql"
+        schema.write_text(SCHEMA_SQL)
+        view_a = tmp_path / "a.sql"
+        view_a.write_text(
+            "SELECT month, SUM(price) AS rev FROM sale, time "
+            "WHERE sale.timeid = time.id GROUP BY month"
+        )
+        view_b = tmp_path / "b.sql"
+        view_b.write_text(
+            "SELECT month, COUNT(*) AS n FROM sale, time "
+            "WHERE time.year = 1997 AND sale.timeid = time.id GROUP BY month"
+        )
+        code = main(
+            ["share", "--schema", str(schema), "--views", str(view_a), str(view_b)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "saleshared" in out
+        assert "serves: view_0, view_1" in out

@@ -1,0 +1,168 @@
+"""Tests for local reduction and smart duplicate compression (Alg. 3.1)."""
+
+from repro.core.compression import attribute_roles, plan_compression
+from repro.core.view import JoinCondition, make_view
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.expressions import Column
+from repro.engine.operators import AggregateItem, GroupByItem
+from repro.workloads.retail import product_sales_max_view, product_sales_view
+
+
+class TestAttributeRoles:
+    def test_paper_view_sale_roles(self):
+        view = product_sales_view(1997)
+        kept, roles = attribute_roles(view, "sale")
+        assert kept == ("timeid", "productid", "price")
+        assert roles["timeid"] == {"join"}
+        assert roles["price"] == {"csmas-sum"}
+
+    def test_paper_view_time_roles(self):
+        view = product_sales_view(1997)
+        kept, roles = attribute_roles(view, "time")
+        # id (join) and month (group-by); year is a local condition and
+        # is NOT kept (local reduction removes it).
+        assert kept == ("id", "month")
+        assert roles["month"] == {"group-by"}
+
+    def test_non_csmas_role(self):
+        view = product_sales_max_view()
+        __, roles = attribute_roles(view, "sale")
+        assert "non-csmas" in roles["price"]
+        assert "csmas-sum" in roles["price"]
+
+    def test_append_only_turns_extrema_csmas(self):
+        view = product_sales_max_view()
+        __, roles = attribute_roles(view, "sale", append_only=True)
+        assert "non-csmas" not in roles["price"]
+        assert "csmas-max" in roles["price"]
+
+
+class TestCompressionPlans:
+    def test_paper_sale_plan(self):
+        # The saledtl of Section 1.1: group on the FKs, fold the price,
+        # add COUNT(*).
+        plan = plan_compression(product_sales_view(1997), "sale", key="id")
+        assert plan.pinned == ("timeid", "productid")
+        assert plan.folded_sums == ("price",)
+        assert plan.include_count
+        assert not plan.degenerate
+        assert plan.is_compressed
+
+    def test_paper_time_plan_degenerates(self):
+        # timedtl keeps (id, month): the key is a join attribute, so the
+        # view degenerates to PSJ with no aggregates.
+        plan = plan_compression(product_sales_view(1997), "time", key="id")
+        assert plan.degenerate
+        assert plan.pinned == ("id", "month")
+        assert plan.folded_sums == ()
+        assert not plan.include_count
+
+    def test_max_view_pins_price(self):
+        # Section 3.2's product_sales_max: price feeds MAX (non-CSMAS),
+        # so it stays a regular attribute and SUM is not folded.
+        plan = plan_compression(product_sales_max_view(), "sale", key="id")
+        assert plan.pinned == ("productid", "price")
+        assert plan.folded_sums == ()
+        assert plan.include_count
+
+    def test_distinct_attribute_is_pinned(self):
+        view = product_sales_view(1997)
+        plan = plan_compression(view, "product", key="id")
+        # brand feeds COUNT(DISTINCT brand): pinned, and the key is a
+        # join attribute, so the plan degenerates.
+        assert plan.degenerate
+        assert plan.pinned == ("id", "brand")
+
+    def test_count_only_attribute_is_dropped(self):
+        # COUNT(a) folds entirely into COUNT(*): `a` is not stored.
+        view = make_view(
+            "v",
+            ("sale",),
+            [
+                GroupByItem(Column("productid", "sale")),
+                AggregateItem(
+                    AggregateFunction.COUNT, Column("price", "sale"), alias="c"
+                ),
+            ],
+        )
+        plan = plan_compression(view, "sale", key="id")
+        assert plan.pinned == ("productid",)
+        assert plan.folded_sums == ()
+        assert plan.dropped == ("price",)
+        assert plan.include_count
+
+    def test_group_by_on_key_degenerates(self):
+        view = make_view(
+            "v",
+            ("sale",),
+            [
+                GroupByItem(Column("id", "sale")),
+                AggregateItem(
+                    AggregateFunction.SUM, Column("price", "sale"), alias="s"
+                ),
+            ],
+        )
+        plan = plan_compression(view, "sale", key="id")
+        assert plan.degenerate
+        assert plan.pinned == ("id", "price")
+
+    def test_count_alias_collision_avoided(self):
+        view = make_view(
+            "v",
+            ("sale",),
+            [
+                GroupByItem(Column("cnt", "sale")),
+                AggregateItem(AggregateFunction.COUNT, None, alias="n"),
+            ],
+        )
+        plan = plan_compression(view, "sale", key="id")
+        assert plan.count_alias != "cnt"
+
+    def test_append_only_folds_extrema(self):
+        plan = plan_compression(
+            product_sales_max_view(), "sale", key="id", append_only=True
+        )
+        assert plan.pinned == ("productid",)
+        assert plan.folded_sums == ("price",)
+        assert plan.folded_maxs == ("price",)
+        assert plan.folded_mins == ()
+
+    def test_projection_items_order_and_aliases(self):
+        plan = plan_compression(product_sales_view(1997), "sale", key="id")
+        items = plan.projection_items()
+        assert [i.output_name for i in items] == [
+            "timeid", "productid", "sum_price", "cnt",
+        ]
+        assert items[2].func is AggregateFunction.SUM
+        assert items[3].is_count_star
+
+
+class TestPaperTables3And4:
+    """Tables 3 and 4: the sale auxiliary view before and after folding."""
+
+    def test_table3_shape(self):
+        # Table 3: (timeid, productid, price, COUNT(*)) — price pinned
+        # when it also feeds a non-CSMAS; modelled by adding MAX(price).
+        view = make_view(
+            "v",
+            ("sale",),
+            [
+                GroupByItem(Column("timeid", "sale")),
+                GroupByItem(Column("productid", "sale")),
+                AggregateItem(
+                    AggregateFunction.MAX, Column("price", "sale"), alias="mx"
+                ),
+                AggregateItem(
+                    AggregateFunction.SUM, Column("price", "sale"), alias="s"
+                ),
+            ],
+        )
+        plan = plan_compression(view, "sale", key="id")
+        assert plan.pinned == ("timeid", "productid", "price")
+        assert plan.include_count
+
+    def test_table4_shape(self):
+        # Table 4: (timeid, productid, SUM(price), COUNT(*)).
+        plan = plan_compression(product_sales_view(1997), "sale", key="id")
+        names = [i.output_name for i in plan.projection_items()]
+        assert names == ["timeid", "productid", "sum_price", "cnt"]

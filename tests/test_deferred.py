@@ -1,0 +1,143 @@
+"""Tests for deferred (batch) maintenance and delta coalescing."""
+
+import pytest
+
+from repro.core.maintenance import SelfMaintainer
+from repro.engine.deltas import Delta, Transaction, coalesce
+from repro.warehouse.deferred import DeferredMaintainer, StaleViewError
+from repro.workloads.retail import product_sales_view
+from repro.workloads.streams import TransactionGenerator
+
+from tests.helpers import assert_same_bag, paper_database
+
+
+class TestCoalesce:
+    def test_insert_then_delete_cancels(self):
+        transactions = [
+            Transaction.of(Delta.insertion("t", [(1,), (2,)])),
+            Transaction.of(Delta.deletion("t", [(1,)])),
+        ]
+        net = coalesce(transactions)
+        assert net.delta_for("t").inserted == ((2,),)
+        assert net.delta_for("t").deleted == ()
+
+    def test_delete_then_reinsert_becomes_update(self):
+        transactions = [
+            Transaction.of(Delta.deletion("t", [(1, "old")])),
+            Transaction.of(Delta.insertion("t", [(1, "new")])),
+        ]
+        net = coalesce(transactions)
+        assert net.delta_for("t").deleted == ((1, "old"),)
+        assert net.delta_for("t").inserted == ((1, "new"),)
+
+    def test_full_churn_cancels_to_empty(self):
+        transactions = [
+            Transaction.of(Delta.insertion("t", [(5,)])),
+            Transaction.of(Delta.deletion("t", [(5,)])),
+        ]
+        assert coalesce(transactions).empty
+
+    def test_multiset_semantics(self):
+        transactions = [
+            Transaction.of(Delta.insertion("t", [(1,), (1,)])),
+            Transaction.of(Delta.deletion("t", [(1,)])),
+        ]
+        net = coalesce(transactions)
+        assert net.delta_for("t").inserted == ((1,),)
+
+    def test_delete_insert_delete(self):
+        transactions = [
+            Transaction.of(Delta.deletion("t", [(1,)])),
+            Transaction.of(Delta.insertion("t", [(1,)])),
+            Transaction.of(Delta.deletion("t", [(1,)])),
+        ]
+        net = coalesce(transactions)
+        assert net.delta_for("t").deleted == ((1,),)
+        assert net.delta_for("t").inserted == ()
+
+    def test_multiple_tables(self):
+        transactions = [
+            Transaction.of(
+                Delta.insertion("a", [(1,)]), Delta.deletion("b", [(2,)])
+            ),
+            Transaction.of(Delta.insertion("b", [(3,)])),
+        ]
+        net = coalesce(transactions)
+        assert set(net.tables) == {"a", "b"}
+
+    def test_empty_input(self):
+        assert coalesce([]).empty
+
+
+class TestDeferredMaintainer:
+    def make(self, coalesce_deltas=True):
+        database = paper_database()
+        maintainer = SelfMaintainer(product_sales_view(1997), database)
+        return database, DeferredMaintainer(maintainer, coalesce_deltas)
+
+    def test_buffering_and_refresh(self):
+        database, deferred = self.make()
+        transaction = Transaction.of(
+            Delta.insertion("sale", [(100, 1, 1, 1, 30)])
+        )
+        database.apply(transaction)
+        deferred.apply(transaction)
+        assert deferred.pending == 1
+        stats = deferred.refresh()
+        assert stats.transactions == 1
+        assert deferred.pending == 0
+        assert_same_bag(
+            deferred.current_view(),
+            product_sales_view(1997).evaluate(database),
+        )
+
+    def test_stale_read_refused(self):
+        database, deferred = self.make()
+        transaction = Transaction.of(
+            Delta.insertion("sale", [(100, 1, 1, 1, 30)])
+        )
+        database.apply(transaction)
+        deferred.apply(transaction)
+        with pytest.raises(StaleViewError):
+            deferred.current_view()
+        assert len(deferred.current_view(allow_stale=True)) > 0
+
+    def test_churn_is_never_propagated(self):
+        database, deferred = self.make()
+        row = (100, 1, 1, 1, 30)
+        insert = Transaction.of(Delta.insertion("sale", [row]))
+        delete = Transaction.of(Delta.deletion("sale", [row]))
+        database.apply(insert)
+        database.apply(delete)
+        deferred.apply(insert)
+        deferred.apply(delete)
+        stats = deferred.refresh()
+        assert stats.buffered_rows == 2
+        assert stats.propagated_rows == 0
+        assert stats.cancelled_rows == 2
+        assert_same_bag(
+            deferred.current_view(),
+            product_sales_view(1997).evaluate(database),
+        )
+
+    @pytest.mark.parametrize("coalesce_deltas", [True, False])
+    def test_deferred_equals_eager_under_streams(self, coalesce_deltas):
+        database = paper_database()
+        view = product_sales_view(1997)
+        deferred = DeferredMaintainer(
+            SelfMaintainer(view, database), coalesce_deltas
+        )
+        generator = TransactionGenerator(database, seed=19)
+        for batch in range(5):
+            for __ in range(6):
+                deferred.apply(generator.step())
+            deferred.refresh()
+            assert_same_bag(
+                deferred.current_view(), view.evaluate(database),
+                f"batch={batch} coalesce={coalesce_deltas}",
+            )
+
+    def test_empty_transactions_ignored(self):
+        __, deferred = self.make()
+        deferred.apply(Transaction())
+        assert deferred.pending == 0

@@ -1,0 +1,64 @@
+"""Unit tests for deltas and transactions."""
+
+import pytest
+
+from repro.engine.deltas import Delta, Transaction
+
+
+class TestDelta:
+    def test_constructors(self):
+        insertion = Delta.insertion("t", [(1,), (2,)])
+        assert insertion.inserted == ((1,), (2,))
+        assert insertion.deleted == ()
+        deletion = Delta.deletion("t", [(3,)])
+        assert deletion.deleted == ((3,),)
+
+    def test_update_is_delete_plus_insert(self):
+        update = Delta.update("t", old_rows=[(1, "a")], new_rows=[(1, "b")])
+        assert update.deleted == ((1, "a"),)
+        assert update.inserted == ((1, "b"),)
+
+    def test_empty(self):
+        assert Delta("t").empty
+        assert not Delta.insertion("t", [(1,)]).empty
+
+    def test_inverted(self):
+        delta = Delta("t", inserted=((1,),), deleted=((2,),))
+        inverse = delta.inverted()
+        assert inverse.inserted == ((2,),)
+        assert inverse.deleted == ((1,),)
+
+    def test_rows_normalized_to_tuples(self):
+        delta = Delta("t", inserted=[[1, 2]])
+        assert delta.inserted == ((1, 2),)
+
+
+class TestTransaction:
+    def test_of_drops_empty_deltas(self):
+        transaction = Transaction.of(Delta("a"), Delta.insertion("b", [(1,)]))
+        assert transaction.tables == ("b",)
+
+    def test_duplicate_table_rejected(self):
+        with pytest.raises(ValueError, match="multiple deltas"):
+            Transaction(
+                (Delta.insertion("t", [(1,)]), Delta.deletion("t", [(2,)]))
+            )
+
+    def test_delta_for_missing_table_is_empty(self):
+        transaction = Transaction.of(Delta.insertion("a", [(1,)]))
+        assert transaction.delta_for("zzz").empty
+
+    def test_empty_transaction(self):
+        assert Transaction().empty
+        assert not Transaction.of(Delta.insertion("a", [(1,)])).empty
+
+    def test_from_mapping(self):
+        transaction = Transaction.from_mapping(
+            {"a": ([(1,)], []), "b": ([], [(2,)])}
+        )
+        assert transaction.delta_for("a").inserted == ((1,),)
+        assert transaction.delta_for("b").deleted == ((2,),)
+
+    def test_iteration(self):
+        transaction = Transaction.of(Delta.insertion("a", [(1,)]))
+        assert [d.table for d in transaction] == ["a"]

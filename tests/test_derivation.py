@@ -1,0 +1,233 @@
+"""Tests for Algorithm 3.2: auxiliary-view derivation and elimination."""
+
+import pytest
+
+from repro.core.derivation import derive_auxiliary_views, retention_reason
+from repro.core.joingraph import ExtendedJoinGraph
+from repro.core.view import JoinCondition, make_view
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.expressions import Column
+from repro.engine.operators import AggregateItem, GroupByItem
+from repro.workloads.retail import product_sales_max_view, product_sales_view
+from repro.workloads.snowflake import (
+    build_snowflake_database,
+    category_sales_by_product_view,
+    category_sales_view,
+)
+
+from tests.helpers import assert_same_bag, paper_database
+
+
+class TestPaperExample:
+    """Section 1.1: saledtl, timedtl, productdtl."""
+
+    def test_three_auxiliary_views_no_elimination(self):
+        aux = derive_auxiliary_views(product_sales_view(1997), paper_database())
+        assert aux.tables == ("sale", "time", "product")
+        assert aux.eliminated == {}
+
+    def test_store_is_not_materialized(self):
+        aux = derive_auxiliary_views(product_sales_view(1997), paper_database())
+        assert not aux.has_view("store")
+
+    def test_saledtl_definition(self):
+        aux = derive_auxiliary_views(product_sales_view(1997), paper_database())
+        sale = aux.for_table("sale")
+        assert sale.name == "saledtl"
+        assert sale.is_compressed
+        assert sale.count_column == "sale.cnt"
+        assert sale.sum_column("price") == "sale.sum_price"
+        assert sale.sum_column("timeid") is None
+        assert {j.right_table for j in sale.reduced_by} == {"time", "product"}
+
+    def test_timedtl_definition(self):
+        aux = derive_auxiliary_views(product_sales_view(1997), paper_database())
+        time = aux.for_table("time")
+        assert not time.is_compressed
+        assert time.count_column is None
+        assert len(time.local_conditions) == 1
+        assert time.reduced_by == ()
+
+    def test_sql_rendering_matches_paper_shape(self):
+        aux = derive_auxiliary_views(product_sales_view(1997), paper_database())
+        sql = aux.to_sql()
+        assert "CREATE VIEW saledtl AS" in sql
+        assert "SUM(sale.price) AS sum_price" in sql
+        assert "COUNT(*) AS cnt" in sql
+        assert "timeid IN (SELECT id FROM timedtl)" in sql
+        assert "productid IN (SELECT id FROM productdtl)" in sql
+        assert "GROUP BY timeid, productid" in sql
+        assert "time.year = 1997" in sql
+
+    def test_materialized_contents(self):
+        database = paper_database()
+        aux = derive_auxiliary_views(product_sales_view(1997), database)
+        relations = aux.materialize(database)
+        # saledtl groups the 1997 sales by (timeid, productid).
+        assert sorted(relations["sale"].rows) == [
+            (1, 1, 20, 2),   # sales 1,2
+            (1, 2, 10, 1),   # sale 3
+            (1, 3, 5, 1),    # sale 4
+            (2, 1, 10, 1),   # sale 5
+            (2, 2, 10, 2),   # sales 6,7
+            (3, 1, 5, 1),    # sale 8
+        ]
+        # timedtl holds only 1997 rows.
+        assert sorted(relations["time"].rows) == [(1, 1), (2, 1), (3, 2)]
+        assert sorted(relations["product"].rows) == [
+            (1, "acme"), (2, "acme"), (3, "bestco"),
+        ]
+
+    def test_join_reduction_drops_unjoinable_tuples(self):
+        database = paper_database()
+        # Add a 1996-only sale: its time row fails the local condition,
+        # so join reduction must exclude the sale from saledtl.
+        view = product_sales_view(1997)
+        aux = derive_auxiliary_views(view, database)
+        relations = aux.materialize(database)
+        timeids = {row[0] for row in relations["sale"]}
+        assert 4 not in timeids  # time 4 is year 1996
+
+    def test_output_schema(self):
+        aux = derive_auxiliary_views(product_sales_view(1997), paper_database())
+        schema = aux.for_table("sale").output_schema()
+        assert schema.qualified_names() == (
+            "sale.timeid", "sale.productid", "sale.sum_price", "sale.cnt",
+        )
+
+
+class TestElimination:
+    def test_fact_table_eliminated_with_key_group_bys(self):
+        database = build_snowflake_database()
+        aux = derive_auxiliary_views(category_sales_by_product_view(), database)
+        assert "sale" in aux.eliminated
+        assert aux.tables == ("product",)
+
+    def test_elimination_blocked_by_non_csmas(self):
+        aux = derive_auxiliary_views(product_sales_max_view(), paper_database())
+        assert aux.eliminated == {}
+        graph = ExtendedJoinGraph(product_sales_max_view(), paper_database())
+        reason = retention_reason(
+            product_sales_max_view(), graph, "sale"
+        )
+        assert "non-CSMAS" in reason
+
+    def test_elimination_blocked_by_need_set(self):
+        # product_sales groups on time.month (not a key): sale is in
+        # time's Need set and must be materialized.
+        view = product_sales_view(1997)
+        graph = ExtendedJoinGraph(view, paper_database())
+        reason = retention_reason(view, graph, "sale")
+        assert "Need set" in reason
+
+    def test_elimination_blocked_by_missing_dependence(self):
+        database = build_snowflake_database()
+        database.table("product").exposed_updates = True
+        view = category_sales_by_product_view()
+        graph = ExtendedJoinGraph(view, database)
+        reason = retention_reason(view, graph, "sale")
+        assert "transitively depend" in reason
+
+    def test_dimensions_never_eliminated_in_star(self):
+        view = product_sales_view(1997)
+        graph = ExtendedJoinGraph(view, paper_database())
+        for table in ("time", "product"):
+            assert retention_reason(view, graph, table) is not None
+
+    def test_single_table_csmas_view_fully_eliminated(self):
+        view = make_view(
+            "v",
+            ("sale",),
+            [
+                GroupByItem(Column("productid", "sale")),
+                AggregateItem(
+                    AggregateFunction.SUM, Column("price", "sale"), alias="s"
+                ),
+            ],
+        )
+        aux = derive_auxiliary_views(view, paper_database())
+        assert aux.tables == ()
+        assert "sale" in aux.eliminated
+
+    def test_for_table_on_eliminated_raises(self):
+        database = build_snowflake_database()
+        aux = derive_auxiliary_views(category_sales_by_product_view(), database)
+        with pytest.raises(KeyError, match="sale"):
+            aux.for_table("sale")
+
+
+class TestSnowflakeDerivation:
+    def test_chained_join_reductions(self):
+        database = build_snowflake_database()
+        aux = derive_auxiliary_views(category_sales_view(), database)
+        product = aux.for_table("product")
+        assert {j.right_table for j in product.reduced_by} == {"category"}
+        sale = aux.for_table("sale")
+        assert {j.right_table for j in sale.reduced_by} == {"time", "product"}
+
+    def test_materialize_resolves_dependency_order(self):
+        database = build_snowflake_database()
+        aux = derive_auxiliary_views(category_sales_view(), database)
+        relations = aux.materialize(database)
+        assert set(relations) == {"sale", "time", "product", "category"}
+
+
+class TestAppendOnlyDerivation:
+    def test_max_view_fully_self_maintainable(self):
+        # Under insert-only streams MAX is CSMAS, so product_sales_max
+        # needs no auxiliary data at all.
+        aux = derive_auxiliary_views(
+            product_sales_max_view(), paper_database(), append_only=True
+        )
+        assert aux.tables == ()
+        assert "sale" in aux.eliminated
+
+    def test_folded_extrema_in_aux_schema(self):
+        view = make_view(
+            "v",
+            ("sale", "time"),
+            [
+                GroupByItem(Column("month", "time")),
+                AggregateItem(
+                    AggregateFunction.MIN, Column("price", "sale"), alias="lo"
+                ),
+                AggregateItem(
+                    AggregateFunction.MAX, Column("price", "sale"), alias="hi"
+                ),
+            ],
+            joins=[JoinCondition("sale", "timeid", "time", "id")],
+        )
+        aux = derive_auxiliary_views(view, paper_database(), append_only=True)
+        sale = aux.for_table("sale")
+        assert sale.plan.folded_mins == ("price",)
+        assert sale.plan.folded_maxs == ("price",)
+        assert sale.extremum_column("price", AggregateFunction.MIN) == (
+            "sale.min_price"
+        )
+        names = sale.output_schema().qualified_names()
+        assert names == (
+            "sale.timeid", "sale.min_price", "sale.max_price", "sale.cnt",
+        )
+
+    def test_reconstruction_from_folded_extrema(self):
+        database = paper_database()
+        view = make_view(
+            "v",
+            ("sale", "time"),
+            [
+                GroupByItem(Column("month", "time")),
+                AggregateItem(
+                    AggregateFunction.MIN, Column("price", "sale"), alias="lo"
+                ),
+                AggregateItem(
+                    AggregateFunction.MAX, Column("price", "sale"), alias="hi"
+                ),
+            ],
+            joins=[JoinCondition("sale", "timeid", "time", "id")],
+        )
+        from repro.core.rewrite import Reconstructor
+
+        aux = derive_auxiliary_views(view, database, append_only=True)
+        reconstructor = Reconstructor(view, aux, database)
+        rebuilt = reconstructor.reconstruct(aux.materialize(database))
+        assert_same_bag(rebuilt, view.evaluate(database))

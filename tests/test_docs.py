@@ -1,0 +1,42 @@
+"""Documentation consistency: the README's code must actually run."""
+
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def extract_python_blocks(text: str) -> list[str]:
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadme:
+    def test_quickstart_block_executes(self):
+        readme = (ROOT / "README.md").read_text()
+        blocks = extract_python_blocks(readme)
+        assert blocks, "README has no python blocks"
+        namespace: dict = {}
+        for block in blocks:
+            exec(compile(block, "<README>", "exec"), namespace)  # noqa: S102
+        # The quickstart leaves a maintainer behind with a live view.
+        assert "m" in namespace
+        assert len(namespace["m"].current_view()) > 0
+
+    def test_mentioned_files_exist(self):
+        readme = (ROOT / "README.md").read_text()
+        for match in re.findall(r"`(examples/[\w./]+\.py)`", readme):
+            assert (ROOT / match).exists(), f"README mentions missing {match}"
+        for match in re.findall(r"`(tests/[\w./]+\.py)`", readme):
+            assert (ROOT / match).exists(), f"README mentions missing {match}"
+
+    def test_experiment_index_matches_benchmarks(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        for match in re.findall(r"`(benchmarks/[\w./]+\.py)`", design):
+            assert (ROOT / match).exists(), f"DESIGN mentions missing {match}"
+
+    def test_experiments_doc_covers_every_bench_file(self):
+        experiments = (ROOT / "EXPERIMENTS.md").read_text()
+        for bench in (ROOT / "benchmarks").glob("bench_*.py"):
+            assert f"benchmarks/{bench.name}" in experiments, (
+                f"{bench.name} is not documented in EXPERIMENTS.md"
+            )

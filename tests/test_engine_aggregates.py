@@ -1,0 +1,255 @@
+"""Tests for batch aggregates and the incremental state machines.
+
+The state machines encode Table 1's maintainability semantics; the
+hypothesis tests check that whenever a state *does* answer, it answers
+exactly like batch recomputation — and that the paper's documented
+failure cases really do fail.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.aggregates import (
+    AggregateFunction,
+    AvgState,
+    BareSumState,
+    CountState,
+    DistinctState,
+    ExtremumState,
+    MaintenanceError,
+    SumState,
+    compute_aggregate,
+    make_aggregate_state,
+    merge_distributive,
+)
+
+
+class TestBatchEvaluation:
+    def test_count(self):
+        assert compute_aggregate(AggregateFunction.COUNT, [1, 1, 2]) == 3
+
+    def test_count_distinct(self):
+        assert compute_aggregate(AggregateFunction.COUNT, [1, 1, 2], True) == 2
+
+    def test_sum_avg(self):
+        assert compute_aggregate(AggregateFunction.SUM, [1, 2, 3]) == 6
+        assert compute_aggregate(AggregateFunction.AVG, [1, 2, 3]) == 2.0
+
+    def test_sum_distinct(self):
+        assert compute_aggregate(AggregateFunction.SUM, [5, 5, 2], True) == 7
+
+    def test_min_max(self):
+        assert compute_aggregate(AggregateFunction.MIN, [3, 1, 2]) == 1
+        assert compute_aggregate(AggregateFunction.MAX, [3, 1, 2]) == 3
+
+    def test_empty_group_undefined(self):
+        with pytest.raises(ValueError):
+            compute_aggregate(AggregateFunction.SUM, [])
+
+
+class TestCountState:
+    def test_insert_delete(self):
+        state = CountState()
+        state.insert(1)
+        state.insert(2)
+        state.delete(1)
+        assert state.result() == 1
+        assert not state.empty
+
+    def test_underflow(self):
+        with pytest.raises(MaintenanceError):
+            CountState().delete(1)
+
+    def test_empty_detection(self):
+        state = CountState()
+        state.insert(1)
+        state.delete(1)
+        assert state.empty
+
+
+class TestSumState:
+    def test_tracks_sum_and_count(self):
+        state = SumState()
+        for v in (5, 7, -2):
+            state.insert(v)
+        state.delete(7)
+        assert state.result() == 3
+        assert state.count == 2
+
+    def test_distinguishes_vanished_group_from_zero_sum(self):
+        # The reason Table 2 pairs SUM with COUNT(*).
+        state = SumState()
+        state.insert(5)
+        state.insert(-5)
+        assert state.result() == 0
+        assert not state.empty
+        state.delete(5)
+        state.delete(-5)
+        assert state.empty
+
+    def test_bare_sum_fails_after_deletions(self):
+        # Table 1: SUM alone is not a SMAS for deletions.
+        state = BareSumState()
+        state.insert(5)
+        state.delete(5)
+        with pytest.raises(MaintenanceError):
+            state.result()
+        with pytest.raises(MaintenanceError):
+            state.empty
+
+
+class TestAvgState:
+    def test_avg_via_sum_count(self):
+        state = AvgState()
+        state.insert(2)
+        state.insert(4)
+        assert state.result() == 3.0
+        state.delete(2)
+        assert state.result() == 4.0
+
+    def test_empty_avg_undefined(self):
+        state = AvgState()
+        state.insert(1)
+        state.delete(1)
+        with pytest.raises(MaintenanceError):
+            state.result()
+
+
+class TestExtremumState:
+    def test_insert_only_tracks_extremum(self):
+        state = ExtremumState(AggregateFunction.MIN)
+        for v in (5, 3, 9):
+            state.insert(v)
+        assert state.result() == 3
+
+    def test_deleting_non_extremum_is_fine(self):
+        state = ExtremumState(AggregateFunction.MAX)
+        for v in (5, 3, 9):
+            state.insert(v)
+        state.delete(3)
+        assert state.result() == 9
+
+    def test_deleting_extremum_requires_recomputation(self):
+        # Table 1: MIN/MAX are not self-maintainable for deletions.
+        state = ExtremumState(AggregateFunction.MAX)
+        state.insert(5)
+        state.insert(9)
+        with pytest.raises(MaintenanceError, match="recomputation"):
+            state.delete(9)
+
+    def test_last_delete_empties_group(self):
+        state = ExtremumState(AggregateFunction.MIN)
+        state.insert(5)
+        state.delete(5)
+        assert state.empty
+
+    def test_append_only_rejects_all_deletions(self):
+        state = ExtremumState(AggregateFunction.MIN, append_only=True)
+        state.insert(5)
+        state.insert(9)
+        with pytest.raises(MaintenanceError, match="append-only"):
+            state.delete(9)
+
+    def test_requires_extremum_function(self):
+        with pytest.raises(ValueError):
+            ExtremumState(AggregateFunction.SUM)
+
+
+class TestDistinctState:
+    def test_refuses_everything(self):
+        state = DistinctState(AggregateFunction.COUNT)
+        with pytest.raises(MaintenanceError):
+            state.insert(1)
+        with pytest.raises(MaintenanceError):
+            state.delete(1)
+        with pytest.raises(MaintenanceError):
+            state.result()
+
+
+class TestFactory:
+    def test_factory_dispatch(self):
+        assert isinstance(
+            make_aggregate_state(AggregateFunction.COUNT), CountState
+        )
+        assert isinstance(make_aggregate_state(AggregateFunction.SUM), SumState)
+        assert isinstance(make_aggregate_state(AggregateFunction.AVG), AvgState)
+        assert isinstance(
+            make_aggregate_state(AggregateFunction.MIN), ExtremumState
+        )
+        assert isinstance(
+            make_aggregate_state(AggregateFunction.MAX, distinct=True),
+            DistinctState,
+        )
+
+
+class TestMergeDistributive:
+    def test_merging_partitions(self):
+        assert merge_distributive(AggregateFunction.SUM, [3, 4]) == 7
+        assert merge_distributive(AggregateFunction.COUNT, [2, 5]) == 7
+        assert merge_distributive(AggregateFunction.MIN, [3, 4]) == 3
+        assert merge_distributive(AggregateFunction.MAX, [3, 4]) == 4
+
+    def test_avg_is_not_distributive(self):
+        with pytest.raises(ValueError):
+            merge_distributive(AggregateFunction.AVG, [1.0, 2.0])
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ValueError):
+            merge_distributive(AggregateFunction.SUM, [])
+
+
+@st.composite
+def operation_sequences(draw):
+    """Random interleavings of inserts and deletes of live values."""
+    ops = []
+    live = []
+    for __ in range(draw(st.integers(1, 40))):
+        if live and draw(st.booleans()):
+            value = live.pop(draw(st.integers(0, len(live) - 1)))
+            ops.append(("delete", value))
+        else:
+            value = draw(st.integers(-20, 20))
+            live.append(value)
+            ops.append(("insert", value))
+    return ops
+
+
+class TestStateExactness:
+    """Whenever a state answers, it answers exactly like recomputation."""
+
+    @given(operation_sequences())
+    @settings(max_examples=80, deadline=None)
+    def test_states_match_batch_recomputation(self, ops):
+        for func in (
+            AggregateFunction.COUNT,
+            AggregateFunction.SUM,
+            AggregateFunction.AVG,
+            AggregateFunction.MIN,
+            AggregateFunction.MAX,
+        ):
+            state = make_aggregate_state(func)
+            live: list[int] = []
+            for action, value in ops:
+                try:
+                    if action == "insert":
+                        state.insert(value)
+                        live.append(value)
+                    else:
+                        state.delete(value)
+                        live.remove(value)
+                except MaintenanceError:
+                    # Only MIN/MAX may refuse, and only on deleting the
+                    # current extremum (Table 1).
+                    assert func in (
+                        AggregateFunction.MIN,
+                        AggregateFunction.MAX,
+                    )
+                    extremum = min(live) if func is AggregateFunction.MIN else max(live)
+                    assert action == "delete" and value == extremum
+                    break
+                if live:
+                    assert state.result() == pytest.approx(
+                        compute_aggregate(func, live)
+                    )
+                else:
+                    assert state.empty

@@ -1,0 +1,170 @@
+"""Edge cases across the engine that the mainline tests do not reach."""
+
+import pytest
+
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.expressions import Column, Comparison, InList, Literal
+from repro.engine.operators import (
+    AggregateItem,
+    GroupByItem,
+    antijoin,
+    equijoin,
+    generalized_project,
+    project,
+    select,
+    semijoin,
+)
+from repro.engine.relation import Relation
+from repro.engine.schema import Attribute, Schema, SchemaError
+from repro.engine.types import AttributeType
+
+
+def pairs_relation():
+    return Relation.from_columns(
+        ["a", "b"],
+        [AttributeType.INT, AttributeType.INT],
+        [(1, 10), (1, 20), (2, 10), (2, 20)],
+        qualifier="l",
+    )
+
+
+class TestMultiColumnJoins:
+    def right(self):
+        return Relation.from_columns(
+            ["a", "b", "w"],
+            [AttributeType.INT] * 3,
+            [(1, 10, 100), (2, 20, 200), (3, 30, 300)],
+            qualifier="r",
+        )
+
+    def test_equijoin_on_two_columns(self):
+        result = equijoin(
+            pairs_relation(), self.right(), [("l.a", "r.a"), ("l.b", "r.b")]
+        )
+        assert sorted(r[-1] for r in result) == [100, 200]
+
+    def test_semijoin_on_two_columns(self):
+        result = semijoin(
+            pairs_relation(), self.right(), [("l.a", "r.a"), ("l.b", "r.b")]
+        )
+        assert sorted(result.rows) == [(1, 10), (2, 20)]
+
+    def test_antijoin_complement(self):
+        pairs = [("l.a", "r.a"), ("l.b", "r.b")]
+        kept = semijoin(pairs_relation(), self.right(), pairs)
+        dropped = antijoin(pairs_relation(), self.right(), pairs)
+        assert len(kept) + len(dropped) == 4
+
+    def test_join_against_empty_right(self):
+        empty = Relation(self.right().schema)
+        assert len(equijoin(pairs_relation(), empty, [("l.a", "r.a")])) == 0
+        assert len(semijoin(pairs_relation(), empty, [("l.a", "r.a")])) == 0
+        assert len(antijoin(pairs_relation(), empty, [("l.a", "r.a")])) == 4
+
+    def test_join_from_empty_left(self):
+        empty = Relation(pairs_relation().schema)
+        assert len(equijoin(empty, self.right(), [("l.a", "r.a")])) == 0
+
+
+class TestSelectionEdgeCases:
+    def test_in_list_with_strings(self):
+        relation = Relation.from_columns(
+            ["s"], [AttributeType.STRING], [("x",), ("y",), ("z",)], qualifier="t"
+        )
+        result = select(relation, InList(Column("s", "t"), ["x", "z"]))
+        assert sorted(result.column("s")) == ["x", "z"]
+
+    def test_select_preserves_duplicates(self):
+        relation = Relation.from_columns(
+            ["v"], [AttributeType.INT], [(1,), (1,), (2,)], qualifier="t"
+        )
+        result = select(relation, Comparison("=", Column("v", "t"), Literal(1)))
+        assert len(result) == 2
+
+    def test_projection_of_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            project(pairs_relation(), ["l.zzz"])
+
+
+class TestGeneralizedProjectionEdgeCases:
+    def test_single_group_spanning_everything(self):
+        result = generalized_project(
+            pairs_relation(),
+            [
+                AggregateItem(AggregateFunction.SUM, Column("b", "l"), alias="s"),
+                AggregateItem(AggregateFunction.COUNT, None, alias="c"),
+            ],
+        )
+        assert result.rows == [(60, 4)]
+
+    def test_group_key_with_every_row_unique(self):
+        result = generalized_project(
+            pairs_relation(),
+            [
+                GroupByItem(Column("a", "l")),
+                GroupByItem(Column("b", "l")),
+                AggregateItem(AggregateFunction.COUNT, None, alias="c"),
+            ],
+        )
+        assert all(row[-1] == 1 for row in result)
+        assert len(result) == 4
+
+    def test_sum_of_negative_values(self):
+        relation = Relation.from_columns(
+            ["v"], [AttributeType.INT], [(-5,), (5,), (-7,)], qualifier="t"
+        )
+        result = generalized_project(
+            relation,
+            [AggregateItem(AggregateFunction.SUM, Column("v", "t"), alias="s")],
+        )
+        assert result.rows == [(-7,)]
+
+    def test_avg_is_float_even_for_ints(self):
+        relation = Relation.from_columns(
+            ["v"], [AttributeType.INT], [(1,), (2,)], qualifier="t"
+        )
+        result = generalized_project(
+            relation,
+            [AggregateItem(AggregateFunction.AVG, Column("v", "t"), alias="m")],
+        )
+        assert result.rows == [(1.5,)]
+        assert result.schema[0].atype is AttributeType.FLOAT
+
+    def test_distinct_min_equals_plain_min(self):
+        relation = Relation.from_columns(
+            ["v"], [AttributeType.INT], [(3,), (3,), (1,)], qualifier="t"
+        )
+        plain = generalized_project(
+            relation,
+            [AggregateItem(AggregateFunction.MIN, Column("v", "t"), alias="m")],
+        )
+        distinct = generalized_project(
+            relation,
+            [
+                AggregateItem(
+                    AggregateFunction.MIN, Column("v", "t"), True, alias="m"
+                )
+            ],
+        )
+        assert plain.rows == distinct.rows == [(1,)]
+
+
+class TestSchemaBoundaries:
+    def test_empty_schema(self):
+        schema = Schema([])
+        assert len(schema) == 0
+        assert schema.row_width_bytes() == 0
+        assert schema.validate_row(()) == ()
+
+    def test_wide_schema_lookup(self):
+        schema = Schema(
+            Attribute(f"c{i}", AttributeType.INT, "t") for i in range(100)
+        )
+        assert schema.index_of("c99") == 99
+        assert schema.index_of("t.c0") == 0
+
+    def test_float_relation_size(self):
+        relation = Relation.from_columns(
+            ["x"], [AttributeType.FLOAT], [(1.5,)] * 10, qualifier="t"
+        )
+        assert relation.size_bytes() == 40

@@ -1,0 +1,110 @@
+"""Tests for the derivation-explanation reports."""
+
+from repro.core.explain import explain_derivation
+from repro.workloads.retail import product_sales_max_view, product_sales_view
+from repro.workloads.snowflake import (
+    build_snowflake_database,
+    category_sales_by_product_view,
+)
+
+from tests.helpers import paper_database
+
+
+class TestPaperViewReport:
+    def report(self):
+        return explain_derivation(product_sales_view(1997), paper_database())
+
+    def test_structure(self):
+        report = self.report()
+        assert report.root == "sale"
+        assert report.annotations["time"] == "g"
+        assert report.need_sets["sale"] == ("time",)
+        assert len(report.tables) == 3
+
+    def test_attribute_outcomes(self):
+        report = self.report()
+        sale = next(t for t in report.tables if t.table == "sale")
+        outcomes = {a.attribute: a.outcome for a in sale.attributes}
+        assert outcomes["id"] == "reduced away"
+        assert outcomes["timeid"].startswith("pinned")
+        assert "folded into SUM" in outcomes["price"]
+        time = next(t for t in report.tables if t.table == "time")
+        time_outcomes = {a.attribute: a.outcome for a in time.attributes}
+        assert time_outcomes["year"] == "reduced away"
+        assert not time.compressed
+
+    def test_rendered_narrative(self):
+        text = self.report().render()
+        assert "Extended join graph" in text
+        assert "smart duplicate compression applies" in text
+        assert "degenerates to a PSJ view" in text
+        assert "DISTINCT makes it non-distributive" in text
+        assert "join-reduced by time, product" in text
+
+    def test_count_only_attribute_explained(self):
+        from repro.core.view import make_view
+        from repro.engine.aggregates import AggregateFunction
+        from repro.engine.expressions import Column
+        from repro.engine.operators import AggregateItem, GroupByItem
+
+        view = make_view(
+            "v",
+            ("sale",),
+            [
+                GroupByItem(Column("productid", "sale")),
+                AggregateItem(
+                    AggregateFunction.COUNT, Column("price", "sale"), alias="c"
+                ),
+                AggregateItem(
+                    AggregateFunction.MAX, Column("storeid", "sale"), alias="m"
+                ),
+            ],
+        )
+        report = explain_derivation(view, paper_database())
+        sale = report.tables[0]
+        outcomes = {a.attribute: a.outcome for a in sale.attributes}
+        assert outcomes["price"] == "dropped (COUNT(*) subsumes it)"
+
+
+class TestEliminationReport:
+    def test_omitted_table_narrated(self):
+        database = build_snowflake_database()
+        report = explain_derivation(category_sales_by_product_view(), database)
+        sale = next(t for t in report.tables if t.table == "sale")
+        assert not sale.materialized
+        assert "Section 3.3" in sale.reason
+        text = report.render()
+        assert "OMITTED" in text
+
+
+class TestAppendOnlyReport:
+    def test_relaxation_noted(self):
+        report = explain_derivation(
+            product_sales_max_view(), paper_database(), append_only=True
+        )
+        notes = " ".join(report.aggregate_notes)
+        assert "append-only relaxation" in notes
+        # The whole view dissolves: sale omitted.
+        assert not report.tables[0].materialized
+
+    def test_folded_extrema_outcome(self):
+        from repro.core.view import JoinCondition, make_view
+        from repro.engine.aggregates import AggregateFunction
+        from repro.engine.expressions import Column
+        from repro.engine.operators import AggregateItem, GroupByItem
+
+        view = make_view(
+            "v",
+            ("sale", "time"),
+            [
+                GroupByItem(Column("month", "time")),
+                AggregateItem(
+                    AggregateFunction.MIN, Column("price", "sale"), alias="lo"
+                ),
+            ],
+            joins=[JoinCondition("sale", "timeid", "time", "id")],
+        )
+        report = explain_derivation(view, paper_database(), append_only=True)
+        sale = next(t for t in report.tables if t.table == "sale")
+        outcomes = {a.attribute: a.outcome for a in sale.attributes}
+        assert outcomes["price"] == "folded into per-group extrema"

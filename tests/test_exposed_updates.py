@@ -1,0 +1,147 @@
+"""Exposed updates (Section 2.1/2.2): the cases that break join reductions.
+
+A table has *exposed updates* when updates may change attributes in
+selection or join conditions.  Declaring them disables dependence on the
+table, which disables join reductions against it — the price of staying
+exactly maintainable.  These tests cover the scenarios the paper warns
+about, on both star and snowflake shapes.
+"""
+
+from repro.core.derivation import derive_auxiliary_views
+from repro.core.maintenance import SelfMaintainer
+from repro.engine.deltas import Delta, Transaction
+from repro.workloads.retail import product_sales_view
+from repro.workloads.snowflake import (
+    build_snowflake_database,
+    category_sales_view,
+)
+
+from tests.helpers import assert_same_bag, paper_database
+
+
+def run(maintainer, database, transaction, context=""):
+    database.apply(transaction)
+    maintainer.apply(transaction)
+    assert_same_bag(
+        maintainer.current_view(),
+        maintainer.view.evaluate(database),
+        context,
+    )
+
+
+class TestExposedDimensionInStar:
+    def make(self):
+        database = paper_database()
+        database.table("time").exposed_updates = True
+        view = product_sales_view(1997)
+        return database, SelfMaintainer(view, database)
+
+    def test_no_join_reduction_on_exposed_table(self):
+        database, maintainer = self.make()
+        sale = maintainer.aux_set.for_table("sale")
+        assert "time" not in {j.right_table for j in sale.reduced_by}
+        # saledtl therefore keeps the 1996 sale too.
+        timeids = {row[0] for row in maintainer.aux_relation("sale")}
+        assert 4 in timeids
+
+    def test_update_pulling_rows_in(self):
+        database, maintainer = self.make()
+        run(
+            maintainer,
+            database,
+            Transaction.of(
+                Delta.update(
+                    "time",
+                    old_rows=[(4, 1, 1, 1996)],
+                    new_rows=[(4, 1, 4, 1997)],
+                )
+            ),
+            "1996 day moves into 1997",
+        )
+        months = {row[0] for row in maintainer.current_view()}
+        assert 4 in months
+
+    def test_update_pushing_rows_out_then_back(self):
+        database, maintainer = self.make()
+        out = Transaction.of(
+            Delta.update(
+                "time",
+                old_rows=[(1, 1, 1, 1997)],
+                new_rows=[(1, 1, 1, 1990)],
+            )
+        )
+        run(maintainer, database, out, "day leaves the view")
+        back = Transaction.of(
+            Delta.update(
+                "time",
+                old_rows=[(1, 1, 1, 1990)],
+                new_rows=[(1, 1, 1, 1997)],
+            )
+        )
+        run(maintainer, database, back, "day returns to the view")
+
+
+class TestExposedMiddleTableInSnowflake:
+    def make(self):
+        database = build_snowflake_database()
+        database.table("product").exposed_updates = True
+        view = category_sales_view()
+        return database, SelfMaintainer(view, database)
+
+    def test_sale_not_reduced_by_exposed_product(self):
+        database, maintainer = self.make()
+        sale = maintainer.aux_set.for_table("sale")
+        assert "product" not in {j.right_table for j in sale.reduced_by}
+
+    def test_recategorizing_a_product(self):
+        # Changing product.categoryid moves its sales between department
+        # groups — a join-condition change, i.e. an exposed update.
+        database, maintainer = self.make()
+        old = next(iter(database.relation("product").rows))
+        new_category = old[1] % 5 + 1  # a different existing category
+        new = (old[0], new_category, old[2])
+        run(
+            maintainer,
+            database,
+            Transaction.of(Delta.update("product", [old], [new])),
+            "product moves to another category",
+        )
+
+    def test_stream_with_recategorizations(self):
+        import random
+
+        database, maintainer = self.make()
+        rng = random.Random(3)
+        for step in range(15):
+            products = database.relation("product").rows
+            old = rng.choice(products)
+            new = (old[0], rng.randint(1, 5), old[2])
+            if new == old:
+                continue
+            run(
+                maintainer,
+                database,
+                Transaction.of(Delta.update("product", [old], [new])),
+                f"recategorization {step}",
+            )
+
+
+class TestExposureChangesDerivation:
+    def test_aux_views_grow_without_reductions(self):
+        database = paper_database()
+        reduced = derive_auxiliary_views(product_sales_view(1997), database)
+        database.table("time").exposed_updates = True
+        unreduced = derive_auxiliary_views(product_sales_view(1997), database)
+        reduced_rows = reduced.materialize(database)["sale"]
+        unreduced_rows = unreduced.materialize(database)["sale"]
+        # Without the time reduction, the 1996 group stays in saledtl.
+        assert len(unreduced_rows) == len(reduced_rows) + 1
+
+    def test_elimination_blocked_by_exposure(self):
+        from repro.workloads.snowflake import category_sales_by_product_view
+
+        database = build_snowflake_database()
+        database.table("product").exposed_updates = True
+        aux = derive_auxiliary_views(category_sales_by_product_view(), database)
+        assert aux.eliminated == {}
+        assert aux.has_view("sale")

@@ -1,0 +1,160 @@
+"""Unit tests for the expression language."""
+
+import pytest
+
+from repro.engine.expressions import (
+    And,
+    Arithmetic,
+    Column,
+    Comparison,
+    ExpressionError,
+    InList,
+    Literal,
+    Not,
+    Or,
+    TRUE,
+    conjoin,
+    conjuncts,
+)
+from repro.engine.schema import Attribute, Schema
+from repro.engine.types import AttributeType
+
+
+SCHEMA = Schema(
+    [
+        Attribute("a", AttributeType.INT, "t"),
+        Attribute("b", AttributeType.INT, "t"),
+        Attribute("s", AttributeType.STRING, "u"),
+    ]
+)
+ROW = (4, 7, "x")
+
+
+def evaluate(expression, row=ROW, schema=SCHEMA):
+    return expression.compile(schema)(row)
+
+
+class TestBasics:
+    def test_column(self):
+        assert evaluate(Column("a", "t")) == 4
+        assert evaluate(Column("s")) == "x"
+
+    def test_column_parse(self):
+        assert Column.parse("t.a") == Column("a", "t")
+        assert Column.parse("a") == Column("a")
+
+    def test_literal(self):
+        assert evaluate(Literal(42)) == 42
+
+    def test_comparisons(self):
+        assert evaluate(Comparison("=", Column("a"), Literal(4)))
+        assert evaluate(Comparison("<", Column("a"), Column("b")))
+        assert not evaluate(Comparison(">=", Column("a"), Literal(5)))
+        assert evaluate(Comparison("<>", Column("a"), Literal(5)))
+        assert evaluate(Comparison("!=", Column("a"), Literal(5)))
+        assert evaluate(Comparison("<=", Column("a"), Literal(4)))
+
+    def test_unknown_comparison_operator(self):
+        with pytest.raises(ExpressionError):
+            Comparison("~", Column("a"), Literal(1))
+
+    def test_arithmetic(self):
+        expr = Arithmetic("+", Column("a"), Arithmetic("*", Column("b"), Literal(2)))
+        assert evaluate(expr) == 18
+        assert evaluate(Arithmetic("-", Column("b"), Column("a"))) == 3
+        assert evaluate(Arithmetic("/", Column("b"), Literal(2))) == 3.5
+
+    def test_unknown_arithmetic_operator(self):
+        with pytest.raises(ExpressionError):
+            Arithmetic("%", Column("a"), Literal(2))
+
+
+class TestLogic:
+    def test_and_flattens(self):
+        inner = And(Comparison("=", Column("a"), Literal(4)))
+        outer = And(inner, Comparison("=", Column("b"), Literal(7)))
+        assert len(outer.conditions) == 2
+        assert evaluate(outer)
+
+    def test_empty_and_is_true(self):
+        assert evaluate(TRUE)
+
+    def test_or(self):
+        expr = Or(
+            Comparison("=", Column("a"), Literal(0)),
+            Comparison("=", Column("b"), Literal(7)),
+        )
+        assert evaluate(expr)
+
+    def test_empty_or_is_false(self):
+        assert not evaluate(Or())
+
+    def test_not(self):
+        assert evaluate(Not(Comparison("=", Column("a"), Literal(0))))
+
+    def test_in_list(self):
+        assert evaluate(InList(Column("a"), [1, 4, 9]))
+        assert not evaluate(InList(Column("a"), [1, 9]))
+
+
+class TestStructure:
+    def test_columns_collects_references(self):
+        expr = And(
+            Comparison("=", Column("a", "t"), Literal(1)),
+            Comparison("<", Column("s", "u"), Column("b", "t")),
+        )
+        assert set(expr.columns()) == {
+            Column("a", "t"),
+            Column("s", "u"),
+            Column("b", "t"),
+        }
+
+    def test_qualifiers(self):
+        expr = Comparison("=", Column("a", "t"), Column("s", "u"))
+        assert expr.qualifiers() == {"t", "u"}
+
+    def test_substitute(self):
+        expr = Comparison("=", Column("a"), Literal(1))
+        rewritten = expr.substitute({Column("a"): Column("a", "t")})
+        assert rewritten.left == Column("a", "t")
+
+    def test_substitute_recurses_into_logic(self):
+        expr = And(Not(InList(Column("a"), [1])))
+        rewritten = expr.substitute({Column("a"): Column("b", "t")})
+        assert Column("b", "t") in rewritten.columns()
+
+    def test_conjuncts_and_conjoin(self):
+        c1 = Comparison("=", Column("a"), Literal(1))
+        c2 = Comparison("=", Column("b"), Literal(2))
+        assert conjuncts(And(c1, c2)) == (c1, c2)
+        assert conjuncts(c1) == (c1,)
+        assert conjuncts(None) == ()
+        assert conjoin([c1]) is c1
+        assert isinstance(conjoin([c1, c2]), And)
+
+
+class TestSqlRendering:
+    def test_comparison_sql(self):
+        expr = Comparison("=", Column("year", "time"), Literal(1997))
+        assert expr.to_sql() == "time.year = 1997"
+
+    def test_string_literal_escaping(self):
+        assert Literal("o'brien").to_sql() == "'o''brien'"
+
+    def test_bool_literals(self):
+        assert Literal(True).to_sql() == "TRUE"
+        assert Literal(False).to_sql() == "FALSE"
+
+    def test_logic_sql(self):
+        c = Comparison("=", Column("a"), Literal(1))
+        assert And(c, c).to_sql() == "a = 1 AND a = 1"
+        assert Or(c, c).to_sql() == "(a = 1 OR a = 1)"
+        assert Not(c).to_sql() == "NOT (a = 1)"
+        assert TRUE.to_sql() == "TRUE"
+
+    def test_in_list_sql(self):
+        assert InList(Column("a"), [1, 2]).to_sql() == "a IN (1, 2)"
+
+    def test_arithmetic_sql(self):
+        expr = Arithmetic("*", Column("price"), Column("cnt"))
+        assert expr.to_sql() == "(price * cnt)"

@@ -1,0 +1,141 @@
+"""HAVING clauses under incremental maintenance, plus long-haul soaks."""
+
+from repro.core.maintenance import SelfMaintainer
+from repro.core.view import JoinCondition, make_view
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.deltas import Delta, Transaction
+from repro.engine.expressions import Column, Comparison, Literal
+from repro.engine.operators import AggregateItem, GroupByItem
+from repro.workloads.random_gen import random_scenario
+from repro.workloads.retail import product_sales_view
+from repro.workloads.snowflake import build_snowflake_database, category_sales_view
+from repro.workloads.streams import TransactionGenerator
+
+from tests.helpers import assert_same_bag, paper_database
+
+
+def having_view(threshold: int = 2):
+    return make_view(
+        "busy_products",
+        ("sale", "product"),
+        [
+            GroupByItem(Column("id", "product")),
+            GroupByItem(Column("brand", "product")),
+            AggregateItem(AggregateFunction.COUNT, None, alias="n"),
+            AggregateItem(
+                AggregateFunction.SUM, Column("price", "sale"), alias="rev"
+            ),
+        ],
+        joins=[JoinCondition("sale", "productid", "product", "id")],
+        having=Comparison(">=", Column("n"), Literal(threshold)),
+    )
+
+
+class TestHavingUnderMaintenance:
+    def test_group_crosses_threshold_upward(self):
+        database = paper_database()
+        view = having_view(threshold=2)
+        maintainer = SelfMaintainer(view, database)
+        assert_same_bag(maintainer.current_view(), view.evaluate(database))
+        # Product 3 has a single sale: invisible. A second sale makes it
+        # cross the HAVING threshold.
+        before = {row[0] for row in maintainer.current_view()}
+        assert 3 not in before
+        transaction = Transaction.of(
+            Delta.insertion("sale", [(400, 1, 3, 1, 6)])
+        )
+        database.apply(transaction)
+        maintainer.apply(transaction)
+        assert_same_bag(maintainer.current_view(), view.evaluate(database))
+        assert 3 in {row[0] for row in maintainer.current_view()}
+
+    def test_group_crosses_threshold_downward(self):
+        database = paper_database()
+        view = having_view(threshold=3)
+        maintainer = SelfMaintainer(view, database)
+        # Product 2 has three sales; deleting one hides it again.
+        assert 2 in {row[0] for row in maintainer.current_view()}
+        transaction = Transaction.of(
+            Delta.deletion("sale", [(3, 1, 2, 1, 10)])
+        )
+        database.apply(transaction)
+        maintainer.apply(transaction)
+        assert_same_bag(maintainer.current_view(), view.evaluate(database))
+        assert 2 not in {row[0] for row in maintainer.current_view()}
+
+    def test_hidden_groups_keep_exact_state(self):
+        # A group below the threshold must still track exactly so it
+        # resurfaces with correct aggregates.
+        database = paper_database()
+        view = having_view(threshold=5)
+        maintainer = SelfMaintainer(view, database)
+        rows = [(500 + i, 1, 3, 1, 7) for i in range(4)]
+        transaction = Transaction.of(Delta.insertion("sale", rows))
+        database.apply(transaction)
+        maintainer.apply(transaction)
+        assert_same_bag(maintainer.current_view(), view.evaluate(database))
+        visible = {row[0]: row for row in maintainer.current_view()}
+        assert visible[3][2] == 5  # 1 original + 4 new sales
+        assert visible[3][3] == 5 + 4 * 7
+
+    def test_having_with_stream(self):
+        database = paper_database()
+        view = having_view(threshold=2)
+        maintainer = SelfMaintainer(view, database)
+        generator = TransactionGenerator(database, seed=61)
+        for step in range(25):
+            maintainer.apply(generator.step())
+            assert_same_bag(
+                maintainer.current_view(),
+                view.evaluate(database),
+                f"step {step}",
+            )
+
+
+class TestSoak:
+    """Long-haul streams: hundreds of transactions, checked throughout."""
+
+    def test_star_soak(self):
+        database = paper_database()
+        view = product_sales_view(1997)
+        maintainer = SelfMaintainer(view, database)
+        generator = TransactionGenerator(database, seed=71)
+        for step in range(200):
+            maintainer.apply(generator.step())
+            if step % 20 == 19:
+                assert_same_bag(
+                    maintainer.current_view(),
+                    view.evaluate(database),
+                    f"star soak step {step}",
+                )
+
+    def test_snowflake_soak(self):
+        database = build_snowflake_database(days=15, sales_per_day=20)
+        view = category_sales_view()
+        maintainer = SelfMaintainer(view, database)
+        generator = TransactionGenerator(database, seed=73)
+        for step in range(200):
+            maintainer.apply(generator.step())
+            if step % 20 == 19:
+                assert_same_bag(
+                    maintainer.current_view(),
+                    view.evaluate(database),
+                    f"snowflake soak step {step}",
+                )
+
+    def test_random_scenario_soak(self):
+        scenario = random_scenario(4242, initial_rows=16)
+        maintainer = SelfMaintainer(scenario.view, scenario.database)
+        for step in range(150):
+            maintainer.apply(scenario.generator.step())
+            if step % 15 == 14:
+                assert_same_bag(
+                    maintainer.current_view(),
+                    scenario.view.evaluate(scenario.database),
+                    f"random soak step {step}",
+                )
+        expected = maintainer.aux_set.materialize(scenario.database)
+        for aux in maintainer.aux_set:
+            assert_same_bag(
+                maintainer.aux_relation(aux.table), expected[aux.table]
+            )

@@ -1,0 +1,130 @@
+"""Cross-feature integration: operation modes composed with each other.
+
+Deferred refresh over sealed sources, checkpointing mid-stream, shared
+detail with deferred application, and append-only under deferral — the
+combinations a production deployment would actually run.
+"""
+
+import json
+
+from repro.core.maintenance import SelfMaintainer
+from repro.engine.deltas import Delta, Transaction
+from repro.warehouse.deferred import DeferredMaintainer
+from repro.warehouse.persistence import dump_maintainer, restore_maintainer
+from repro.warehouse.shared import SharedDetailWarehouse
+from repro.warehouse.sources import SealedSource
+from repro.workloads.retail import (
+    RetailConfig,
+    build_retail_database,
+    product_sales_max_view,
+    product_sales_view,
+)
+from repro.workloads.streams import TransactionGenerator
+
+from tests.helpers import assert_same_bag, paper_database
+from tests.test_persistence import catalog_only
+
+
+def small_retail():
+    return build_retail_database(
+        RetailConfig(
+            days=12,
+            stores=2,
+            products=15,
+            products_sold_per_day=6,
+            transactions_per_product=2,
+            start_year=1997,
+        )
+    )
+
+
+class TestDeferredOverSealedSources:
+    def test_refresh_never_reads_sources(self):
+        database = small_retail()
+        view = product_sales_view(1997)
+        source = SealedSource(database)
+        deferred = DeferredMaintainer(SelfMaintainer(view, source))
+        source.seal()
+        generator = TransactionGenerator(database, seed=41)
+        for __ in range(15):
+            deferred.apply(generator.step())
+        deferred.refresh()
+        assert source.blocked_reads == 0
+        source.unseal()
+        assert_same_bag(deferred.current_view(), view.evaluate(database))
+
+
+class TestCheckpointMidStream:
+    def test_checkpoint_restore_continue(self):
+        database = small_retail()
+        view = product_sales_view(1997)
+        maintainer = SelfMaintainer(view, database)
+        generator = TransactionGenerator(database, seed=43)
+        for __ in range(10):
+            maintainer.apply(generator.step())
+
+        checkpoint = json.loads(json.dumps(dump_maintainer(maintainer)))
+        restored = restore_maintainer(view, catalog_only(database), checkpoint)
+
+        # Both instances keep maintaining from the same stream.
+        for __ in range(10):
+            transaction = generator.step()
+            maintainer.apply(transaction)
+            restored.apply(transaction)
+        truth = view.evaluate(database)
+        assert_same_bag(maintainer.current_view(), truth)
+        assert_same_bag(restored.current_view(), truth)
+
+    def test_append_only_checkpoint(self):
+        database = paper_database()
+        view = product_sales_max_view()
+        maintainer = SelfMaintainer(view, database, append_only=True)
+        transaction = Transaction.of(
+            Delta.insertion("sale", [(300, 1, 2, 1, 9_999)])
+        )
+        database.apply(transaction)
+        maintainer.apply(transaction)
+        checkpoint = json.loads(json.dumps(dump_maintainer(maintainer)))
+        restored = restore_maintainer(
+            view, catalog_only(database), checkpoint, append_only=True
+        )
+        assert_same_bag(restored.current_view(), view.evaluate(database))
+
+
+class TestSharedWithDeferredApplication:
+    def test_batched_shared_detail(self):
+        # The shared warehouse applies transactions one by one, but a
+        # deferred buffer in front of it coalesces churn first.
+        from repro.engine.deltas import coalesce
+
+        database = small_retail()
+        views = [product_sales_view(1997), product_sales_max_view()]
+        warehouse = SharedDetailWarehouse(views, database)
+        generator = TransactionGenerator(database, seed=47)
+        buffered = [generator.step() for __ in range(20)]
+        warehouse.apply(coalesce(buffered))
+        for view in views:
+            assert_same_bag(
+                warehouse.summary(view.name), view.evaluate(database)
+            )
+
+
+class TestDeferredAppendOnly:
+    def test_coalesced_insert_batches(self):
+        database = paper_database()
+        view = product_sales_max_view()
+        deferred = DeferredMaintainer(
+            SelfMaintainer(view, database, append_only=True)
+        )
+        next_id = 500
+        for batch in range(4):
+            rows = [
+                (next_id + i, 1 + (next_id + i) % 3, 1 + i % 3, 1, 10 + i)
+                for i in range(5)
+            ]
+            next_id += 5
+            transaction = Transaction.of(Delta.insertion("sale", rows))
+            database.apply(transaction)
+            deferred.apply(transaction)
+        deferred.refresh()
+        assert_same_bag(deferred.current_view(), view.evaluate(database))

@@ -1,0 +1,224 @@
+"""Tests for the extended join graph, Need functions, and dependence."""
+
+import pytest
+
+from repro.catalog.database import BaseTable, Database
+from repro.core.joingraph import Annotation, ExtendedJoinGraph, JoinGraphError
+from repro.core.view import JoinCondition, make_view
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.expressions import Column
+from repro.engine.operators import AggregateItem, GroupByItem
+from repro.engine.types import AttributeType
+from repro.workloads.retail import product_sales_view
+from repro.workloads.snowflake import (
+    build_snowflake_database,
+    category_sales_view,
+)
+
+from tests.helpers import paper_database
+
+
+def star_graph():
+    return ExtendedJoinGraph(product_sales_view(1997), paper_database())
+
+
+def snowflake_graph(view=None):
+    database = build_snowflake_database()
+    return ExtendedJoinGraph(view or category_sales_view(), database), database
+
+
+class TestConstruction:
+    def test_figure_2_structure(self):
+        graph = star_graph()
+        assert graph.root == "sale"
+        assert set(graph.children("sale")) == {"time", "product"}
+        assert graph.parent("time") == "sale"
+        assert graph.parent("sale") is None
+
+    def test_figure_2_annotations(self):
+        graph = star_graph()
+        assert graph.annotation("time") is Annotation.GROUP
+        assert graph.annotation("sale") is Annotation.NONE
+        assert graph.annotation("product") is Annotation.NONE
+
+    def test_key_annotation(self):
+        view = make_view(
+            "v",
+            ("sale", "time"),
+            [
+                GroupByItem(Column("id", "time")),
+                AggregateItem(AggregateFunction.COUNT, None, alias="c"),
+            ],
+            joins=[JoinCondition("sale", "timeid", "time", "id")],
+        )
+        graph = ExtendedJoinGraph(view, paper_database())
+        assert graph.annotation("time") is Annotation.KEY
+
+    def test_render_matches_figure_2(self):
+        text = star_graph().render()
+        assert text.splitlines()[0] == "sale"
+        assert "time [g]" in text
+        assert "product" in text
+
+    def test_non_key_join_rejected(self):
+        view = make_view(
+            "v",
+            ("sale", "time"),
+            [AggregateItem(AggregateFunction.COUNT, None, alias="c")],
+            joins=[JoinCondition("sale", "timeid", "time", "month")],
+        )
+        with pytest.raises(JoinGraphError, match="key"):
+            ExtendedJoinGraph(view, paper_database())
+
+    def test_two_incoming_edges_rejected(self):
+        # sale joins time twice through different attributes: not a tree.
+        view = make_view(
+            "v",
+            ("sale", "time", "product"),
+            [AggregateItem(AggregateFunction.COUNT, None, alias="c")],
+            joins=[
+                JoinCondition("sale", "timeid", "time", "id"),
+                JoinCondition("product", "id", "time", "id"),
+            ],
+        )
+        with pytest.raises(JoinGraphError, match="tree"):
+            ExtendedJoinGraph(view, paper_database())
+
+    def test_disconnected_graph_rejected(self):
+        view = make_view(
+            "v",
+            ("sale", "time"),
+            [AggregateItem(AggregateFunction.COUNT, None, alias="c")],
+        )
+        with pytest.raises(JoinGraphError, match="root"):
+            ExtendedJoinGraph(view, paper_database())
+
+    def test_single_table_graph(self):
+        view = make_view(
+            "v", ("sale",), [AggregateItem(AggregateFunction.COUNT, None, alias="c")]
+        )
+        graph = ExtendedJoinGraph(view, paper_database())
+        assert graph.root == "sale"
+        assert graph.subtree("sale") == ("sale",)
+
+
+class TestDependence:
+    def test_star_dependencies(self):
+        graph = star_graph()
+        assert set(graph.depends_on("sale")) == {"time", "product"}
+        assert graph.depends_on("time") == ()
+        assert graph.transitively_depends_on_all("sale")
+        assert not graph.transitively_depends_on_all("time")
+
+    def test_snowflake_transitive_dependence(self):
+        graph, __ = snowflake_graph()
+        assert graph.transitively_depends_on("sale") == {
+            "time", "product", "category",
+        }
+        assert graph.transitively_depends_on("product") == {"category"}
+
+    def test_exposed_updates_break_dependence(self):
+        database = paper_database()
+        database.table("time").exposed_updates = True
+        graph = ExtendedJoinGraph(product_sales_view(1997), database)
+        assert set(graph.depends_on("sale")) == {"product"}
+        assert not graph.transitively_depends_on_all("sale")
+
+    def test_missing_integrity_breaks_dependence(self):
+        database = Database()
+        database.add_table(
+            BaseTable("d", {"id": AttributeType.INT}, key="id", rows=[(1,)])
+        )
+        database.add_table(
+            BaseTable(
+                "f",
+                {"id": AttributeType.INT, "fk": AttributeType.INT},
+                key="id",
+                rows=[(1, 1)],  # no declared reference to d
+            )
+        )
+        view = make_view(
+            "v",
+            ("f", "d"),
+            [AggregateItem(AggregateFunction.COUNT, None, alias="c")],
+            joins=[JoinCondition("f", "fk", "d", "id")],
+        )
+        graph = ExtendedJoinGraph(view, database)
+        assert graph.depends_on("f") == ()
+
+
+class TestNeedFunctions:
+    def test_paper_example_need_sets(self):
+        graph = star_graph()
+        # Sale is the root; time is its only g-annotated child.
+        assert graph.need("sale") == {"time"}
+        # Dimensions need the chain up to the root.
+        assert graph.need("time") == {"sale", "time"}
+        assert graph.need("product") == {"sale", "time"}
+
+    def test_needed_by(self):
+        graph = star_graph()
+        assert graph.needed_by("sale") == {"time", "product"}
+        assert graph.needed_by("product") == frozenset()
+
+    def test_key_annotated_vertex_needs_nothing(self):
+        view = make_view(
+            "v",
+            ("sale", "time"),
+            [
+                GroupByItem(Column("id", "time")),
+                AggregateItem(AggregateFunction.COUNT, None, alias="c"),
+            ],
+            joins=[JoinCondition("sale", "timeid", "time", "id")],
+        )
+        graph = ExtendedJoinGraph(view, paper_database())
+        assert graph.need("time") == frozenset()
+        assert graph.need("sale") == {"time"}
+        assert graph.needed_by("sale") == frozenset()
+
+    def test_need_zero_skips_key_subtrees(self):
+        # Group on product.id and time.month: Need0(sale) includes time
+        # (g) and product (k) but nothing below product.
+        database = build_snowflake_database()
+        view = make_view(
+            "v",
+            ("sale", "time", "product", "category"),
+            [
+                GroupByItem(Column("month", "time")),
+                GroupByItem(Column("id", "product")),
+                AggregateItem(AggregateFunction.COUNT, None, alias="c"),
+            ],
+            joins=[
+                JoinCondition("sale", "timeid", "time", "id"),
+                JoinCondition("sale", "productid", "product", "id"),
+                JoinCondition("product", "categoryid", "category", "id"),
+            ],
+        )
+        graph = ExtendedJoinGraph(view, database)
+        assert graph.need_zero("sale") == {"time", "product"}
+        assert "category" not in graph.need_zero("sale")
+
+    def test_snowflake_chained_need(self):
+        graph, __ = snowflake_graph()
+        # category is g-annotated at depth 2.
+        assert graph.need("category") == {"product", "sale", "time", "category"}
+        assert graph.need("sale") == {"time", "product", "category"}
+
+    def test_no_group_bys_need_zero_empty(self):
+        view = make_view(
+            "v",
+            ("sale", "time"),
+            [AggregateItem(AggregateFunction.COUNT, None, alias="c")],
+            joins=[JoinCondition("sale", "timeid", "time", "id")],
+        )
+        graph = ExtendedJoinGraph(view, paper_database())
+        assert graph.need("sale") == frozenset()
+
+
+class TestSubtree:
+    def test_subtree_collects_descendants(self):
+        graph, __ = snowflake_graph()
+        assert set(graph.subtree("product")) == {"product", "category"}
+        assert set(graph.subtree("sale")) == {
+            "sale", "time", "product", "category",
+        }

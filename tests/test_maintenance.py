@@ -1,0 +1,544 @@
+"""Tests for incremental self-maintenance (the heart of the paper).
+
+Every scenario streams transactions into a :class:`SelfMaintainer` and
+checks the maintained summary against recomputation over the live
+sources — which the maintainer itself never reads after initialization.
+"""
+
+import pytest
+
+from repro.core.derivation import derive_auxiliary_views
+from repro.core.maintenance import (
+    CompressedMaterialization,
+    ProjectionMaterialization,
+    SelfMaintainer,
+    SelfMaintenanceError,
+    make_materialization,
+)
+from repro.core.view import JoinCondition, make_view
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.deltas import Delta, Transaction
+from repro.engine.expressions import Column, Comparison, Literal
+from repro.engine.operators import AggregateItem, GroupByItem
+from repro.workloads.retail import product_sales_max_view, product_sales_view
+from repro.workloads.snowflake import (
+    build_snowflake_database,
+    category_sales_by_product_view,
+    category_sales_view,
+)
+
+from tests.helpers import assert_same_bag, paper_database
+
+
+def check(maintainer, database, context=""):
+    assert_same_bag(
+        maintainer.current_view(),
+        maintainer.view.evaluate(database),
+        context,
+    )
+
+
+def run(maintainer, database, transaction, context=""):
+    database.apply(transaction)
+    maintainer.apply(transaction)
+    check(maintainer, database, context)
+
+
+class TestInitialization:
+    def test_initial_view_matches_evaluation(self):
+        database = paper_database()
+        maintainer = SelfMaintainer(product_sales_view(1997), database)
+        check(maintainer, database)
+
+    def test_initial_aux_contents_match_definitions(self):
+        database = paper_database()
+        maintainer = SelfMaintainer(product_sales_view(1997), database)
+        expected = maintainer.aux_set.materialize(database)
+        for aux in maintainer.aux_set:
+            assert_same_bag(
+                maintainer.aux_relation(aux.table), expected[aux.table]
+            )
+
+    def test_detail_size_accounts_all_views(self):
+        database = paper_database()
+        maintainer = SelfMaintainer(product_sales_view(1997), database)
+        total = sum(
+            maintainer.aux_relation(t).size_bytes()
+            for t in ("sale", "time", "product")
+        )
+        assert maintainer.detail_size_bytes() == total
+
+
+class TestFactTableDeltas:
+    def test_insert_into_existing_group(self):
+        database = paper_database()
+        maintainer = SelfMaintainer(product_sales_view(1997), database)
+        run(
+            maintainer,
+            database,
+            Transaction.of(Delta.insertion("sale", [(50, 1, 1, 1, 30)])),
+        )
+
+    def test_insert_creates_new_group(self):
+        database = paper_database()
+        maintainer = SelfMaintainer(product_sales_view(1997), database)
+        # time 3 is month 2; a sale on a fresh (time, product) pair.
+        run(
+            maintainer,
+            database,
+            Transaction.of(Delta.insertion("sale", [(51, 3, 3, 1, 8)])),
+        )
+
+    def test_insert_filtered_by_join_reduction(self):
+        database = paper_database()
+        maintainer = SelfMaintainer(product_sales_view(1997), database)
+        before = maintainer.aux_relation("sale").as_multiset()
+        # time 4 is 1996: the sale must not enter saledtl or V.
+        run(
+            maintainer,
+            database,
+            Transaction.of(Delta.insertion("sale", [(52, 4, 1, 1, 8)])),
+        )
+        assert maintainer.aux_relation("sale").as_multiset() == before
+
+    def test_delete_decrements_group(self):
+        database = paper_database()
+        maintainer = SelfMaintainer(product_sales_view(1997), database)
+        run(
+            maintainer,
+            database,
+            Transaction.of(Delta.deletion("sale", [(1, 1, 1, 1, 10)])),
+        )
+
+    def test_delete_kills_group(self):
+        database = paper_database()
+        maintainer = SelfMaintainer(product_sales_view(1997), database)
+        # Sale 8 is the only month-2 sale in 1997.
+        run(
+            maintainer,
+            database,
+            Transaction.of(Delta.deletion("sale", [(8, 3, 1, 1, 5)])),
+        )
+        assert len(maintainer.current_view()) == 1
+
+    def test_group_death_removes_aux_group(self):
+        database = paper_database()
+        maintainer = SelfMaintainer(product_sales_view(1997), database)
+        run(
+            maintainer,
+            database,
+            Transaction.of(Delta.deletion("sale", [(8, 3, 1, 1, 5)])),
+        )
+        keys = {(row[0], row[1]) for row in maintainer.aux_relation("sale")}
+        assert (3, 1) not in keys
+
+    def test_update_as_delete_insert(self):
+        database = paper_database()
+        maintainer = SelfMaintainer(product_sales_view(1997), database)
+        run(
+            maintainer,
+            database,
+            Transaction.of(
+                Delta.update(
+                    "sale",
+                    old_rows=[(1, 1, 1, 1, 10)],
+                    new_rows=[(1, 2, 1, 1, 25)],
+                )
+            ),
+        )
+
+    def test_delete_of_filtered_row_is_noop(self):
+        database = paper_database()
+        maintainer = SelfMaintainer(product_sales_view(1997), database)
+        before = maintainer.current_view().as_multiset()
+        # Sale 9 references 1996 and never contributed.
+        run(
+            maintainer,
+            database,
+            Transaction.of(Delta.deletion("sale", [(9, 4, 1, 1, 99)])),
+        )
+        assert maintainer.current_view().as_multiset() == before
+
+
+class TestDimensionDeltas:
+    def test_dimension_insert_with_integrity_cannot_change_view(self):
+        database = paper_database()
+        maintainer = SelfMaintainer(product_sales_view(1997), database)
+        before = maintainer.current_view().as_multiset()
+        run(
+            maintainer,
+            database,
+            Transaction.of(Delta.insertion("product", [(9, "nb", "misc")])),
+        )
+        assert maintainer.current_view().as_multiset() == before
+        # ...but the auxiliary view must learn the new product.
+        assert 9 in {row[0] for row in maintainer.aux_relation("product")}
+
+    def test_dimension_insert_then_referencing_fact(self):
+        database = paper_database()
+        maintainer = SelfMaintainer(product_sales_view(1997), database)
+        run(
+            maintainer,
+            database,
+            Transaction.of(
+                Delta.insertion("product", [(9, "nb", "misc")]),
+                Delta.insertion("sale", [(60, 1, 9, 1, 12)]),
+            ),
+        )
+
+    def test_cascaded_dimension_delete(self):
+        database = paper_database()
+        maintainer = SelfMaintainer(product_sales_view(1997), database)
+        sales_of_3 = [r for r in database.relation("sale").rows if r[2] == 3]
+        run(
+            maintainer,
+            database,
+            Transaction.of(
+                Delta.deletion("product", [(3, "bestco", "dairy")]),
+                Delta.deletion("sale", sales_of_3),
+            ),
+        )
+        assert 3 not in {
+            row[0] for row in maintainer.aux_relation("product")
+        }
+
+    def test_dimension_update_changing_preserved_attribute(self):
+        # Changing product.brand (preserved via COUNT(DISTINCT brand))
+        # must flow into V through the dirty-group recomputation.
+        database = paper_database()
+        maintainer = SelfMaintainer(product_sales_view(1997), database)
+        run(
+            maintainer,
+            database,
+            Transaction.of(
+                Delta.update(
+                    "product",
+                    old_rows=[(3, "bestco", "dairy")],
+                    new_rows=[(3, "acme", "dairy")],
+                )
+            ),
+            "brand update collapses DifferentBrands",
+        )
+        by_month = {row[0]: row for row in maintainer.current_view()}
+        assert by_month[1][3] == 1  # all brands now 'acme'
+
+    def test_exposed_update_moving_row_into_view(self):
+        # time.year is a local condition; declare exposed updates so the
+        # fact table is not join-reduced on time, then move a 1996 day
+        # into 1997 and watch V gain the 1996 sale.
+        database = paper_database()
+        database.table("time").exposed_updates = True
+        maintainer = SelfMaintainer(product_sales_view(1997), database)
+        aux_tables = {j.right_table for j in maintainer.aux_set.for_table("sale").reduced_by}
+        assert "time" not in aux_tables  # no join reduction on time
+        run(
+            maintainer,
+            database,
+            Transaction.of(
+                Delta.update(
+                    "time",
+                    old_rows=[(4, 1, 1, 1996)],
+                    new_rows=[(4, 1, 3, 1997)],
+                )
+            ),
+            "exposed update pulls the 1996 sale into view",
+        )
+        months = {row[0] for row in maintainer.current_view()}
+        assert 3 in months
+
+    def test_exposed_update_moving_row_out_of_view(self):
+        database = paper_database()
+        database.table("time").exposed_updates = True
+        maintainer = SelfMaintainer(product_sales_view(1997), database)
+        run(
+            maintainer,
+            database,
+            Transaction.of(
+                Delta.update(
+                    "time",
+                    old_rows=[(3, 1, 2, 1997)],
+                    new_rows=[(3, 1, 2, 1995)],
+                )
+            ),
+            "exposed update removes month 2 from view",
+        )
+        months = {row[0] for row in maintainer.current_view()}
+        assert months == {1}
+
+
+class TestNonCsmasMaintenance:
+    def test_max_updates_incrementally_on_insert(self):
+        database = paper_database()
+        maintainer = SelfMaintainer(product_sales_max_view(), database)
+        run(
+            maintainer,
+            database,
+            Transaction.of(Delta.insertion("sale", [(70, 1, 1, 1, 500)])),
+        )
+        by_product = {row[0]: row for row in maintainer.current_view()}
+        assert by_product[1][1] == 500
+
+    def test_max_recomputed_from_aux_on_extremum_deletion(self):
+        database = paper_database()
+        maintainer = SelfMaintainer(product_sales_max_view(), database)
+        # Product 1's maximum 1997 price comes from the price-99 sale.
+        run(
+            maintainer,
+            database,
+            Transaction.of(Delta.deletion("sale", [(9, 4, 1, 1, 99)])),
+            "deleting the maximum forces recomputation from saledtl",
+        )
+        by_product = {row[0]: row for row in maintainer.current_view()}
+        assert by_product[1][1] == 10
+
+    def test_non_extremum_deletion_needs_no_recompute(self):
+        database = paper_database()
+        maintainer = SelfMaintainer(product_sales_max_view(), database)
+        run(
+            maintainer,
+            database,
+            Transaction.of(Delta.deletion("sale", [(4, 1, 3, 1, 5)])),
+        )
+
+    def test_distinct_count_insert_and_delete(self):
+        database = paper_database()
+        maintainer = SelfMaintainer(product_sales_view(1997), database)
+        # New product with a new brand sold in month 1.
+        run(
+            maintainer,
+            database,
+            Transaction.of(
+                Delta.insertion("product", [(9, "carrefour", "misc")]),
+                Delta.insertion("sale", [(71, 1, 9, 1, 3)]),
+            ),
+            "distinct count grows",
+        )
+        by_month = {row[0]: row for row in maintainer.current_view()}
+        assert by_month[1][3] == 3
+        run(
+            maintainer,
+            database,
+            Transaction.of(
+                Delta.deletion("sale", [(71, 1, 9, 1, 3)]),
+                Delta.deletion("product", [(9, "carrefour", "misc")]),
+            ),
+            "distinct count shrinks back",
+        )
+        by_month = {row[0]: row for row in maintainer.current_view()}
+        assert by_month[1][3] == 2
+
+
+class TestEliminatedRoot:
+    def make(self):
+        database = build_snowflake_database()
+        view = category_sales_by_product_view()
+        maintainer = SelfMaintainer(view, database)
+        assert "sale" in maintainer.eliminated_tables
+        return database, view, maintainer
+
+    def test_fact_insert_without_aux(self):
+        database, view, maintainer = self.make()
+        run(
+            maintainer,
+            database,
+            Transaction.of(Delta.insertion("sale", [(9001, 1, 1, 2, 100)])),
+        )
+
+    def test_fact_delete_without_aux(self):
+        database, view, maintainer = self.make()
+        victim = database.relation("sale").rows[0]
+        run(
+            maintainer,
+            database,
+            Transaction.of(Delta.deletion("sale", [victim])),
+        )
+
+    def test_group_death_without_aux(self):
+        database, view, maintainer = self.make()
+        product_id = database.relation("sale").rows[0][2]
+        victims = [r for r in database.relation("sale").rows if r[2] == product_id]
+        run(
+            maintainer,
+            database,
+            Transaction.of(Delta.deletion("sale", victims)),
+        )
+        assert product_id not in {
+            row[0] for row in maintainer.current_view()
+        }
+
+    def test_dimension_update_rewrites_groups(self):
+        # The seed-146 regression: with the root eliminated, a dimension
+        # update must rewrite the affected groups in place.
+        database = build_snowflake_database()
+        view = make_view(
+            "pv",
+            ("sale", "product"),
+            [
+                GroupByItem(Column("id", "product")),
+                GroupByItem(Column("name", "product")),
+                AggregateItem(
+                    AggregateFunction.SUM, Column("amount", "sale"), alias="rev"
+                ),
+                AggregateItem(AggregateFunction.COUNT, None, alias="n"),
+            ],
+            joins=[JoinCondition("sale", "productid", "product", "id")],
+        )
+        maintainer = SelfMaintainer(view, database)
+        assert "sale" in maintainer.eliminated_tables
+        old = next(r for r in database.relation("product") if r[0] == 1)
+        new = (old[0], old[1], "renamed_product")
+        run(
+            maintainer,
+            database,
+            Transaction.of(Delta.update("product", [old], [new])),
+            "group-by attribute rewrite under eliminated root",
+        )
+        names = {row[1] for row in maintainer.current_view() if row[0] == 1}
+        assert names <= {"renamed_product"}
+
+    def test_group_constant_aggregate_rewrite(self):
+        # SUM over a dimension attribute with the root eliminated: the
+        # per-group sum is value x count and must follow the update.
+        database = build_snowflake_database()
+        view = make_view(
+            "pv2",
+            ("sale", "product", "category"),
+            [
+                GroupByItem(Column("id", "product")),
+                AggregateItem(
+                    AggregateFunction.SUM,
+                    Column("margin_bps", "category"),
+                    alias="margin_weight",
+                ),
+                AggregateItem(AggregateFunction.COUNT, None, alias="n"),
+            ],
+            joins=[
+                JoinCondition("sale", "productid", "product", "id"),
+                JoinCondition("product", "categoryid", "category", "id"),
+            ],
+        )
+        maintainer = SelfMaintainer(view, database)
+        assert "sale" in maintainer.eliminated_tables
+        old = next(r for r in database.relation("category") if r[0] == 1)
+        new = (old[0], old[1], old[2] + 100)
+        run(
+            maintainer,
+            database,
+            Transaction.of(Delta.update("category", [old], [new])),
+            "chained group-constant rewrite through the snowflake",
+        )
+
+    def test_dimension_insert_never_changes_view(self):
+        database, view, maintainer = self.make()
+        before = maintainer.current_view().as_multiset()
+        run(
+            maintainer,
+            database,
+            Transaction.of(Delta.insertion("product", [(999, 1, "fresh")])),
+        )
+        assert maintainer.current_view().as_multiset() == before
+
+
+class TestErrorPaths:
+    def test_deleting_from_dead_group_raises(self):
+        database = paper_database()
+        maintainer = SelfMaintainer(product_sales_view(1997), database)
+        # Sale 8 is the only month-2 sale: its deletion kills the group.
+        maintainer.apply(
+            Transaction.of(Delta.deletion("sale", [(8, 3, 1, 1, 5)]))
+        )
+        with pytest.raises(SelfMaintenanceError, match="unknown group"):
+            maintainer.apply(
+                Transaction.of(Delta.deletion("sale", [(999, 3, 1, 1, 7)]))
+            )
+
+    def test_double_deletion_detected_by_aux_view(self):
+        database = paper_database()
+        maintainer = SelfMaintainer(product_sales_view(1997), database)
+        # Sale 3 is alone in its (timeid, productid) auxiliary group, but
+        # its month-1 view group survives the first deletion — the second
+        # deletion is caught by the compressed auxiliary view.
+        t = Transaction.of(Delta.deletion("sale", [(3, 1, 2, 1, 10)]))
+        maintainer.apply(t)
+        with pytest.raises(SelfMaintenanceError, match="absent group"):
+            maintainer.apply(t)
+
+
+class TestMaterializations:
+    def test_factory_dispatch(self):
+        database = paper_database()
+        aux = derive_auxiliary_views(product_sales_view(1997), database)
+        assert isinstance(
+            make_materialization(aux.for_table("sale")),
+            CompressedMaterialization,
+        )
+        assert isinstance(
+            make_materialization(aux.for_table("time")),
+            ProjectionMaterialization,
+        )
+
+    def test_compressed_load_rejects_wrong_schema(self):
+        database = paper_database()
+        aux = derive_auxiliary_views(product_sales_view(1997), database)
+        sale = make_materialization(aux.for_table("sale"))
+        with pytest.raises(SelfMaintenanceError, match="schema"):
+            sale.load(database.relation("time"))
+
+    def test_compressed_roundtrip(self):
+        database = paper_database()
+        aux = derive_auxiliary_views(product_sales_view(1997), database)
+        sale_aux = aux.for_table("sale")
+        materialization = make_materialization(sale_aux)
+        computed = sale_aux.compute(database, aux_set=aux)
+        materialization.load(computed)
+        assert_same_bag(materialization.relation(), computed)
+
+    def test_compressed_deletion_from_absent_group(self):
+        database = paper_database()
+        aux = derive_auxiliary_views(product_sales_view(1997), database)
+        sale_aux = aux.for_table("sale")
+        materialization = make_materialization(sale_aux)
+        materialization.load(sale_aux.compute(database, aux_set=aux))
+        with pytest.raises(SelfMaintenanceError, match="absent group"):
+            materialization.apply([(999, 3, 3, 1, 1)], sign=-1)
+
+
+class TestMultiViewConsistency:
+    def test_two_maintainers_one_stream(self):
+        database = paper_database()
+        views = [product_sales_view(1997), product_sales_max_view()]
+        maintainers = [SelfMaintainer(v, database) for v in views]
+        transactions = [
+            Transaction.of(Delta.insertion("sale", [(80, 1, 2, 1, 60)])),
+            Transaction.of(Delta.deletion("sale", [(3, 1, 2, 1, 10)])),
+            Transaction.of(
+                Delta.insertion("product", [(9, "zeta", "misc")]),
+                Delta.insertion("sale", [(81, 2, 9, 1, 4)]),
+            ),
+        ]
+        for transaction in transactions:
+            database.apply(transaction)
+            for maintainer in maintainers:
+                maintainer.apply(transaction)
+        for maintainer in maintainers:
+            check(maintainer, database)
+
+
+class TestSnowflakeMaintenance:
+    def test_full_snowflake_stream(self):
+        database = build_snowflake_database()
+        maintainer = SelfMaintainer(category_sales_view(), database)
+        new_sale = (9000, 1, 1, 2, 500)
+        transactions = [
+            Transaction.of(Delta.insertion("sale", [new_sale])),
+            Transaction.of(
+                Delta.insertion("category", [(99, "food", 500)]),
+                Delta.insertion("product", [(999, 99, "fresh")]),
+                Delta.insertion("sale", [(9001, 2, 999, 1, 123)]),
+            ),
+            Transaction.of(Delta.deletion("sale", [new_sale])),
+        ]
+        for transaction in transactions:
+            database.apply(transaction)
+            maintainer.apply(transaction)
+            check(maintainer, database)

@@ -1,0 +1,178 @@
+"""Minimality witnesses for Theorem 1.
+
+The derived auxiliary set is minimal: *no subset* of it still maintains
+``V``.  Each test here removes one piece — a view, an attribute, the
+COUNT(*), or a single tuple — and exhibits two source databases (or one
+database plus a transaction) that the crippled detail data cannot tell
+apart although ``V`` differs.  Information-theoretic witnesses, exactly
+the shape of the paper's omitted proof.
+"""
+
+from repro.core.derivation import derive_auxiliary_views
+from repro.engine.operators import project
+from repro.workloads.retail import product_sales_view
+
+from tests.helpers import bag, paper_database
+
+
+def sale_rows(groups):
+    """Build sale rows from (timeid, productid, [prices])."""
+    rows = []
+    sale_id = 0
+    for timeid, productid, prices in groups:
+        for price in prices:
+            sale_id += 1
+            rows.append((sale_id, timeid, productid, 1, price))
+    return rows
+
+
+def crippled_aux(database, drop_column=None, drop_table=None):
+    """Materialize the paper view's auxiliary set minus one piece."""
+    view = product_sales_view(1997)
+    aux = derive_auxiliary_views(view, database)
+    relations = aux.materialize(database)
+    if drop_table is not None:
+        del relations[drop_table]
+    if drop_column is not None:
+        table, column = drop_column
+        relation = relations[table]
+        keep = [
+            name
+            for name in relation.schema.qualified_names()
+            if name != column
+        ]
+        relations[table] = project(relation, keep, distinct=False)
+    return view, relations
+
+
+def views_differ(database_a, database_b):
+    view = product_sales_view(1997)
+    return bag(view.evaluate(database_a)) != bag(view.evaluate(database_b))
+
+
+def details_agree(relations_a, relations_b):
+    if set(relations_a) != set(relations_b):
+        return False
+    return all(
+        bag(relations_a[t]) == bag(relations_b[t]) for t in relations_a
+    )
+
+
+class TestCountColumnIsNecessary:
+    def test_same_sums_different_counts(self):
+        # Two databases with identical per-group price sums but different
+        # duplicate counts: without COUNT(*), saledtl cannot distinguish
+        # them, yet TotalCount differs.
+        db_a = paper_database(sale_rows([(1, 1, [10])]))
+        db_b = paper_database(sale_rows([(1, 1, [4, 6])]))
+        __, aux_a = crippled_aux(db_a, drop_column=("sale", "sale.cnt"))
+        __, aux_b = crippled_aux(db_b, drop_column=("sale", "sale.cnt"))
+        assert details_agree(aux_a, aux_b)
+        assert views_differ(db_a, db_b)
+
+
+class TestSumColumnIsNecessary:
+    def test_same_counts_different_sums(self):
+        db_a = paper_database(sale_rows([(1, 1, [4, 6])]))
+        db_b = paper_database(sale_rows([(1, 1, [3, 8])]))
+        __, aux_a = crippled_aux(db_a, drop_column=("sale", "sale.sum_price"))
+        __, aux_b = crippled_aux(db_b, drop_column=("sale", "sale.sum_price"))
+        assert details_agree(aux_a, aux_b)
+        assert views_differ(db_a, db_b)
+
+
+class TestDimensionAttributesAreNecessary:
+    def test_month_column_needed(self):
+        # Same sales, but day 1 moved to another month: identical
+        # auxiliary data without timedtl.month, different groups in V.
+        db_a = paper_database(sale_rows([(1, 1, [10])]))
+        db_b = paper_database(sale_rows([(1, 1, [10])]))
+        db_b.table("time").relation.delete((1, 1, 1, 1997))
+        db_b.table("time").relation.insert((1, 1, 7, 1997))
+        __, aux_a = crippled_aux(db_a, drop_column=("time", "time.month"))
+        __, aux_b = crippled_aux(db_b, drop_column=("time", "time.month"))
+        assert details_agree(aux_a, aux_b)
+        assert views_differ(db_a, db_b)
+
+    def test_brand_column_needed(self):
+        db_a = paper_database(sale_rows([(1, 1, [10]), (1, 2, [10])]))
+        db_b = paper_database(sale_rows([(1, 1, [10]), (1, 2, [10])]))
+        # In db_b product 2 carries a different brand.
+        db_b.table("product").relation.delete((2, "acme", "bakery"))
+        db_b.table("product").relation.insert((2, "otherbrand", "bakery"))
+        __, aux_a = crippled_aux(db_a, drop_column=("product", "product.brand"))
+        __, aux_b = crippled_aux(db_b, drop_column=("product", "product.brand"))
+        assert details_agree(aux_a, aux_b)
+        assert views_differ(db_a, db_b)
+
+
+class TestWholeViewsAreNecessary:
+    def test_productdtl_needed(self):
+        db_a = paper_database(sale_rows([(1, 1, [10]), (1, 2, [10])]))
+        db_b = paper_database(sale_rows([(1, 1, [10]), (1, 2, [10])]))
+        db_b.table("product").relation.delete((2, "acme", "bakery"))
+        db_b.table("product").relation.insert((2, "zeta", "bakery"))
+        __, aux_a = crippled_aux(db_a, drop_table="product")
+        __, aux_b = crippled_aux(db_b, drop_table="product")
+        assert details_agree(aux_a, aux_b)
+        assert views_differ(db_a, db_b)
+
+    def test_timedtl_needed(self):
+        db_a = paper_database(sale_rows([(2, 1, [10])]))
+        db_b = paper_database(sale_rows([(2, 1, [10])]))
+        db_b.table("time").relation.delete((2, 2, 1, 1997))
+        db_b.table("time").relation.insert((2, 2, 9, 1997))
+        __, aux_a = crippled_aux(db_a, drop_table="time")
+        __, aux_b = crippled_aux(db_b, drop_table="time")
+        assert details_agree(aux_a, aux_b)
+        assert views_differ(db_a, db_b)
+
+
+class TestTuplesAreNecessary:
+    def test_unsold_product_tuple_needed_for_future_insertions(self):
+        # productdtl keeps even currently-unsold products: a sale of one
+        # can arrive later, and its brand must be known then.  Witness:
+        # dbs differing only in the brand of the unsold product 3 have
+        # identical details once that tuple is dropped, but diverge after
+        # the same insertion.
+        from repro.engine.deltas import Delta, Transaction
+
+        base_rows = sale_rows([(1, 1, [10])])
+        db_a = paper_database(base_rows)
+        db_b = paper_database(base_rows)
+        db_b.table("product").relation.delete((3, "bestco", "dairy"))
+        db_b.table("product").relation.insert((3, "acme", "dairy"))
+
+        def drop_product_3(relations):
+            relation = relations["product"]
+            relations["product"] = type(relation)(
+                relation.schema,
+                [row for row in relation if row[0] != 3],
+                validate=False,
+            )
+            return relations
+
+        __, aux_a = crippled_aux(db_a)
+        __, aux_b = crippled_aux(db_b)
+        assert details_agree(drop_product_3(aux_a), drop_product_3(aux_b))
+
+        transaction = Transaction.of(
+            Delta.insertion("sale", [(90, 1, 3, 1, 7)])
+        )
+        db_a.apply(transaction)
+        db_b.apply(transaction)
+        assert views_differ(db_a, db_b)
+
+    def test_reduced_out_tuples_are_not_needed(self):
+        # Sanity inverse: tuples removed by local reduction (1996 times)
+        # never matter — two dbs differing only there have identical
+        # auxiliary sets AND identical views, before and after valid
+        # changes that the reductions filter out.
+        db_a = paper_database(sale_rows([(1, 1, [10])]))
+        db_b = paper_database(sale_rows([(1, 1, [10])]))
+        db_b.table("time").relation.delete((4, 1, 1, 1996))
+        db_b.table("time").relation.insert((4, 9, 1, 1996))
+        __, aux_a = crippled_aux(db_a)
+        __, aux_b = crippled_aux(db_b)
+        assert details_agree(aux_a, aux_b)
+        assert not views_differ(db_a, db_b)

@@ -1,0 +1,252 @@
+"""Unit and property tests for the relational operators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.expressions import Column, Comparison, Literal
+from repro.engine.operators import (
+    AggregateItem,
+    GroupByItem,
+    OperatorError,
+    antijoin,
+    cross_product,
+    equijoin,
+    generalized_project,
+    project,
+    projection_schema,
+    rename,
+    select,
+    semijoin,
+    union_all,
+)
+from repro.engine.relation import Relation
+from repro.engine.types import AttributeType
+
+from tests.helpers import assert_same_bag
+
+
+def left_relation():
+    return Relation.from_columns(
+        ["id", "fk", "v"],
+        [AttributeType.INT] * 3,
+        [(1, 10, 5), (2, 10, 7), (3, 20, 9), (4, 30, 2)],
+        qualifier="l",
+    )
+
+
+def right_relation():
+    return Relation.from_columns(
+        ["id", "w"],
+        [AttributeType.INT] * 2,
+        [(10, 100), (20, 200), (40, 400)],
+        qualifier="r",
+    )
+
+
+class TestSelectProject:
+    def test_select(self):
+        result = select(left_relation(), Comparison(">", Column("v"), Literal(5)))
+        assert sorted(result.column("id")) == [2, 3]
+
+    def test_project_distinct(self):
+        result = project(left_relation(), ["l.fk"])
+        assert sorted(result.rows) == [(10,), (20,), (30,)]
+
+    def test_project_bag(self):
+        result = project(left_relation(), ["l.fk"], distinct=False)
+        assert len(result) == 4
+
+    def test_rename(self):
+        renamed = rename(left_relation(), "x")
+        assert renamed.schema.qualified_names()[0] == "x.id"
+
+
+class TestJoins:
+    def test_equijoin(self):
+        result = equijoin(left_relation(), right_relation(), [("l.fk", "r.id")])
+        assert len(result) == 3
+        assert result.schema.qualified_names() == (
+            "l.id", "l.fk", "l.v", "r.id", "r.w",
+        )
+
+    def test_equijoin_no_pairs_is_cross_product(self):
+        result = equijoin(left_relation(), right_relation(), [])
+        assert len(result) == 12
+
+    def test_cross_product(self):
+        assert len(cross_product(left_relation(), right_relation())) == 12
+
+    def test_semijoin(self):
+        result = semijoin(left_relation(), right_relation(), [("l.fk", "r.id")])
+        assert sorted(result.column("id")) == [1, 2, 3]
+        assert result.schema == left_relation().schema
+
+    def test_antijoin(self):
+        result = antijoin(left_relation(), right_relation(), [("l.fk", "r.id")])
+        assert result.column("id") == [4]
+
+    def test_semijoin_antijoin_partition(self):
+        left = left_relation()
+        pairs = [("l.fk", "r.id")]
+        kept = semijoin(left, right_relation(), pairs)
+        dropped = antijoin(left, right_relation(), pairs)
+        assert len(kept) + len(dropped) == len(left)
+
+    def test_union_all(self):
+        result = union_all(left_relation(), left_relation())
+        assert len(result) == 8
+
+    def test_union_arity_mismatch(self):
+        with pytest.raises(OperatorError):
+            union_all(left_relation(), right_relation())
+
+
+class TestGeneralizedProjection:
+    def test_group_by_with_aggregates(self):
+        result = generalized_project(
+            left_relation(),
+            [
+                GroupByItem(Column("fk", "l")),
+                AggregateItem(AggregateFunction.SUM, Column("v", "l"), alias="sv"),
+                AggregateItem(AggregateFunction.COUNT, None, alias="c"),
+            ],
+        )
+        assert sorted(result.rows) == [(10, 12, 2), (20, 9, 1), (30, 2, 1)]
+
+    def test_no_aggregates_is_distinct_projection(self):
+        duplicated = Relation.from_columns(
+            ["a"], [AttributeType.INT], [(1,), (1,), (2,)], qualifier="t"
+        )
+        result = generalized_project(duplicated, [GroupByItem(Column("a", "t"))])
+        assert sorted(result.rows) == [(1,), (2,)]
+
+    def test_global_aggregation_over_empty_input_is_empty(self):
+        # GPSJ semantics: a group exists only with at least one tuple.
+        empty = Relation(left_relation().schema)
+        result = generalized_project(
+            empty, [AggregateItem(AggregateFunction.COUNT, None, alias="c")]
+        )
+        assert len(result) == 0
+
+    def test_distinct_aggregate(self):
+        relation = Relation.from_columns(
+            ["g", "x"],
+            [AttributeType.INT] * 2,
+            [(1, 5), (1, 5), (1, 7), (2, 5)],
+            qualifier="t",
+        )
+        result = generalized_project(
+            relation,
+            [
+                GroupByItem(Column("g", "t")),
+                AggregateItem(
+                    AggregateFunction.COUNT, Column("x", "t"), distinct=True,
+                    alias="d",
+                ),
+            ],
+        )
+        assert sorted(result.rows) == [(1, 2), (2, 1)]
+
+    def test_min_max_over_strings(self):
+        relation = Relation.from_columns(
+            ["s"], [AttributeType.STRING], [("b",), ("a",)], qualifier="t"
+        )
+        result = generalized_project(
+            relation,
+            [
+                AggregateItem(AggregateFunction.MIN, Column("s", "t"), alias="lo"),
+                AggregateItem(AggregateFunction.MAX, Column("s", "t"), alias="hi"),
+            ],
+        )
+        assert result.rows == [("a", "b")]
+
+    def test_output_schema_types(self):
+        items = [
+            GroupByItem(Column("fk", "l")),
+            AggregateItem(AggregateFunction.AVG, Column("v", "l"), alias="m"),
+            AggregateItem(AggregateFunction.SUM, Column("v", "l"), alias="s"),
+            AggregateItem(AggregateFunction.COUNT, None, alias="c"),
+        ]
+        schema = projection_schema(items, left_relation().schema, qualifier="o")
+        assert [a.atype for a in schema] == [
+            AttributeType.INT,
+            AttributeType.FLOAT,
+            AttributeType.INT,
+            AttributeType.INT,
+        ]
+        assert schema.qualified_names()[0] == "o.fk"
+
+    def test_count_star_requires_count(self):
+        with pytest.raises(OperatorError):
+            AggregateItem(AggregateFunction.SUM, None)
+
+    def test_output_names(self):
+        item = AggregateItem(AggregateFunction.SUM, Column("v", "l"))
+        assert item.output_name == "sum_v"
+        distinct = AggregateItem(
+            AggregateFunction.COUNT, Column("v", "l"), distinct=True
+        )
+        assert distinct.output_name == "count_distinct_v"
+        star = AggregateItem(AggregateFunction.COUNT, None)
+        assert star.output_name == "count_star"
+
+    def test_to_sql(self):
+        item = AggregateItem(
+            AggregateFunction.COUNT, Column("brand", "product"),
+            distinct=True, alias="DifferentBrands",
+        )
+        assert item.to_sql() == "COUNT(DISTINCT product.brand) AS DifferentBrands"
+        assert GroupByItem(Column("month", "time")).to_sql() == "time.month"
+        aliased = GroupByItem(Column("month", "time"), alias="m")
+        assert aliased.to_sql() == "time.month AS m"
+
+
+@st.composite
+def grouped_rows(draw):
+    n = draw(st.integers(1, 30))
+    return [
+        (draw(st.integers(0, 3)), draw(st.integers(-50, 50)))
+        for __ in range(n)
+    ]
+
+
+class TestGeneralizedProjectionProperties:
+    @given(grouped_rows())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_bruteforce_grouping(self, rows):
+        relation = Relation.from_columns(
+            ["g", "x"], [AttributeType.INT] * 2, rows, qualifier="t"
+        )
+        result = generalized_project(
+            relation,
+            [
+                GroupByItem(Column("g", "t")),
+                AggregateItem(AggregateFunction.SUM, Column("x", "t"), alias="s"),
+                AggregateItem(AggregateFunction.MIN, Column("x", "t"), alias="lo"),
+                AggregateItem(AggregateFunction.MAX, Column("x", "t"), alias="hi"),
+                AggregateItem(AggregateFunction.COUNT, None, alias="c"),
+            ],
+        )
+        groups = {}
+        for g, x in rows:
+            groups.setdefault(g, []).append(x)
+        expected_rows = [
+            (g, sum(xs), min(xs), max(xs), len(xs)) for g, xs in groups.items()
+        ]
+        expected = Relation(result.schema, expected_rows, validate=False)
+        assert_same_bag(result, expected)
+
+    @given(grouped_rows())
+    @settings(max_examples=40, deadline=None)
+    def test_join_then_semijoin_consistency(self, rows):
+        left = Relation.from_columns(
+            ["k", "x"], [AttributeType.INT] * 2, rows, qualifier="a"
+        )
+        right = Relation.from_columns(
+            ["k"], [AttributeType.INT], [(0,), (2,)], qualifier="b"
+        )
+        joined = equijoin(left, right, [("a.k", "b.k")])
+        reduced = semijoin(left, right, [("a.k", "b.k")])
+        # Every semijoin survivor appears in the join at least once.
+        assert len(joined) == len(reduced)  # key join: exactly once

@@ -1,0 +1,116 @@
+"""Unit tests for relations (bags of typed rows)."""
+
+import pytest
+
+from repro.engine.relation import Relation, RelationError
+from repro.engine.schema import Attribute, Schema
+from repro.engine.types import AttributeType
+
+
+def make_relation(rows=((1, "a"), (2, "b"), (2, "b"))):
+    return Relation.from_columns(
+        ["id", "tag"],
+        [AttributeType.INT, AttributeType.STRING],
+        rows,
+        qualifier="t",
+    )
+
+
+class TestConstruction:
+    def test_from_columns_qualifies(self):
+        relation = make_relation()
+        assert relation.schema.qualified_names() == ("t.id", "t.tag")
+
+    def test_rows_validated(self):
+        with pytest.raises(TypeError):
+            make_relation([("one", "a")])
+
+    def test_len_bool_iter(self):
+        relation = make_relation()
+        assert len(relation) == 3
+        assert bool(relation)
+        assert not Relation(relation.schema)
+        assert sorted(relation)[0] == (1, "a")
+
+    def test_copy_is_independent(self):
+        relation = make_relation()
+        clone = relation.copy()
+        clone.insert((3, "c"))
+        assert len(relation) == 3
+        assert len(clone) == 4
+
+
+class TestBagSemantics:
+    def test_duplicates_allowed(self):
+        relation = make_relation()
+        assert relation.as_multiset()[(2, "b")] == 2
+
+    def test_delete_removes_one_occurrence(self):
+        relation = make_relation()
+        relation.delete((2, "b"))
+        assert relation.as_multiset()[(2, "b")] == 1
+
+    def test_delete_absent_row_raises(self):
+        relation = make_relation()
+        with pytest.raises(RelationError):
+            relation.delete((9, "z"))
+
+    def test_delete_all_batch(self):
+        relation = make_relation()
+        relation.delete_all([(2, "b"), (2, "b")])
+        assert relation.as_multiset()[(2, "b")] == 0
+        assert len(relation) == 1
+
+    def test_delete_all_missing_raises_and_reports(self):
+        relation = make_relation()
+        with pytest.raises(RelationError, match="absent"):
+            relation.delete_all([(2, "b"), (9, "z")])
+
+    def test_delete_where(self):
+        relation = make_relation()
+        removed = relation.delete_where(lambda row: row[0] == 2)
+        assert len(removed) == 2
+        assert len(relation) == 1
+
+    def test_same_bag_ignores_order(self):
+        left = make_relation([(1, "a"), (2, "b")])
+        right = make_relation([(2, "b"), (1, "a")])
+        assert left.same_bag(right)
+
+    def test_same_bag_respects_multiplicity(self):
+        left = make_relation([(1, "a"), (1, "a")])
+        right = make_relation([(1, "a")])
+        assert not left.same_bag(right)
+
+    def test_same_bag_arity_mismatch(self):
+        other = Relation.from_columns(["x"], [AttributeType.INT], [(1,)])
+        assert not make_relation().same_bag(other)
+
+
+class TestAccessors:
+    def test_column(self):
+        relation = make_relation()
+        assert relation.column("id") == [1, 2, 2]
+        assert relation.column("tag", "t") == ["a", "b", "b"]
+
+    def test_size_bytes(self):
+        relation = make_relation()
+        assert relation.size_bytes() == 3 * 2 * 4
+
+    def test_sorted_rows_handles_mixed_types(self):
+        relation = Relation.from_columns(
+            ["x"], [AttributeType.INT], [(3,), (1,), (2,)]
+        )
+        assert relation.sorted_rows() == [(1,), (2,), (3,)]
+
+    def test_pretty_contains_headers_and_rows(self):
+        text = make_relation().pretty()
+        assert "t.id" in text
+        assert "a" in text
+
+    def test_pretty_truncates(self):
+        relation = Relation.from_columns(
+            ["x"], [AttributeType.INT], [(i,) for i in range(50)]
+        )
+        text = relation.pretty(limit=5)
+        assert "50 rows total" in text

@@ -1,0 +1,139 @@
+"""Unit tests for schemas and qualified attribute resolution."""
+
+import pytest
+
+from repro.engine.schema import Attribute, Schema, SchemaError
+from repro.engine.types import AttributeType
+
+
+def make_schema() -> Schema:
+    return Schema(
+        [
+            Attribute("id", AttributeType.INT, "sale"),
+            Attribute("price", AttributeType.INT, "sale"),
+            Attribute("id", AttributeType.INT, "time"),
+            Attribute("month", AttributeType.INT, "time"),
+        ]
+    )
+
+
+class TestLookup:
+    def test_qualified_lookup(self):
+        schema = make_schema()
+        assert schema.index_of("id", "sale") == 0
+        assert schema.index_of("id", "time") == 2
+
+    def test_dotted_lookup(self):
+        schema = make_schema()
+        assert schema.index_of("time.month") == 3
+
+    def test_explicit_qualifier_beats_dotted(self):
+        schema = make_schema()
+        assert schema.index_of("id", "time") == 2
+
+    def test_unambiguous_bare_lookup(self):
+        schema = make_schema()
+        assert schema.index_of("price") == 1
+
+    def test_ambiguous_bare_lookup_raises(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError, match="ambiguous"):
+            schema.index_of("id")
+
+    def test_missing_attribute_raises(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError, match="no attribute"):
+            schema.index_of("colour")
+
+    def test_has(self):
+        schema = make_schema()
+        assert schema.has("price")
+        assert schema.has("id", "sale")
+        assert not schema.has("id")  # ambiguous counts as absent
+        assert not schema.has("colour")
+
+
+class TestConstruction:
+    def test_duplicate_qualified_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema(
+                [
+                    Attribute("id", AttributeType.INT, "t"),
+                    Attribute("id", AttributeType.INT, "t"),
+                ]
+            )
+
+    def test_same_name_different_qualifiers_allowed(self):
+        schema = make_schema()
+        assert len(schema) == 4
+
+    def test_concat(self):
+        left = Schema([Attribute("a", AttributeType.INT, "x")])
+        right = Schema([Attribute("b", AttributeType.INT, "y")])
+        combined = left.concat(right)
+        assert combined.qualified_names() == ("x.a", "y.b")
+
+    def test_project(self):
+        schema = make_schema()
+        projected = schema.project(["time.month", "sale.price"])
+        assert projected.qualified_names() == ("time.month", "sale.price")
+
+    def test_with_qualifier(self):
+        schema = make_schema().project(["sale.id", "price"]).with_qualifier("v")
+        assert all(a.qualifier == "v" for a in schema)
+
+    def test_with_qualifier_detects_collisions(self):
+        # Both sale.id and time.id would become v.id.
+        with pytest.raises(SchemaError, match="duplicate"):
+            make_schema().with_qualifier("v")
+
+    def test_equality_and_hash(self):
+        assert make_schema() == make_schema()
+        assert hash(make_schema()) == hash(make_schema())
+
+
+class TestRowValidation:
+    def test_valid_row_coerced(self):
+        schema = Schema([Attribute("x", AttributeType.FLOAT)])
+        assert schema.validate_row((3,)) == (3.0,)
+
+    def test_arity_mismatch_raises(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError, match="arity"):
+            schema.validate_row((1, 2))
+
+    def test_type_mismatch_raises(self):
+        schema = Schema([Attribute("x", AttributeType.INT)])
+        with pytest.raises(TypeError):
+            schema.validate_row(("not an int",))
+
+
+class TestStorageModel:
+    def test_row_width_defaults_to_four_bytes_per_field(self):
+        assert make_schema().row_width_bytes() == 16
+
+    def test_explicit_size_override(self):
+        schema = Schema(
+            [Attribute("name", AttributeType.STRING, size_bytes=20)]
+        )
+        assert schema.row_width_bytes() == 20
+
+
+class TestAttribute:
+    def test_qualified_name(self):
+        assert Attribute("a", AttributeType.INT, "t").qualified_name == "t.a"
+        assert Attribute("a", AttributeType.INT).qualified_name == "a"
+
+    def test_renamed_preserves_type(self):
+        attribute = Attribute("a", AttributeType.STRING, "t")
+        renamed = attribute.renamed("b")
+        assert renamed.name == "b"
+        assert renamed.atype is AttributeType.STRING
+        assert renamed.qualifier == "t"
+
+    def test_matches(self):
+        attribute = Attribute("a", AttributeType.INT, "t")
+        assert attribute.matches("a")
+        assert attribute.matches("a", "t")
+        assert not attribute.matches("a", "u")
+        assert not attribute.matches("b")

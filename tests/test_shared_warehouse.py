@@ -1,0 +1,126 @@
+"""Tests for the shared-detail warehouse (operational Section 4 sharing)."""
+
+from repro.warehouse.shared import SharedDetailWarehouse
+from repro.workloads.retail import (
+    RetailConfig,
+    build_retail_database,
+    product_sales_max_view,
+    product_sales_view,
+)
+from repro.workloads.snowflake import (
+    build_snowflake_database,
+    category_sales_by_product_view,
+    category_sales_view,
+)
+from repro.workloads.streams import TransactionGenerator
+
+from tests.helpers import assert_same_bag, paper_database
+
+
+def retail_views():
+    return [product_sales_view(1997), product_sales_max_view()]
+
+
+class TestInitialState:
+    def test_summaries_match_evaluation(self):
+        database = paper_database()
+        warehouse = SharedDetailWarehouse(retail_views(), database)
+        for view in retail_views():
+            assert_same_bag(
+                warehouse.summary(view.name), view.evaluate(database)
+            )
+
+    def test_view_auxiliaries_match_direct_derivation(self):
+        from repro.core.derivation import derive_auxiliary_views
+
+        database = paper_database()
+        warehouse = SharedDetailWarehouse(retail_views(), database)
+        for view in retail_views():
+            aux_set = derive_auxiliary_views(
+                view, database, allow_elimination=False
+            )
+            direct = aux_set.materialize(database)
+            recovered = warehouse.view_auxiliaries(view.name)
+            for table in direct:
+                assert_same_bag(recovered[table], direct[table])
+
+    def test_view_names(self):
+        warehouse = SharedDetailWarehouse(retail_views(), paper_database())
+        assert set(warehouse.view_names) == {
+            "product_sales", "product_sales_max",
+        }
+
+
+class TestMaintenance:
+    def test_retail_stream(self):
+        database = build_retail_database(
+            RetailConfig(
+                days=15,
+                stores=2,
+                products=20,
+                products_sold_per_day=8,
+                transactions_per_product=2,
+                start_year=1997,
+            )
+        )
+        views = retail_views()
+        warehouse = SharedDetailWarehouse(views, database)
+        generator = TransactionGenerator(database, seed=5)
+        for step in range(30):
+            warehouse.apply(generator.step())
+        for view in views:
+            assert_same_bag(
+                warehouse.summary(view.name), view.evaluate(database)
+            )
+
+    def test_snowflake_stream_with_eliminable_view(self):
+        # category_sales_by_product would eliminate its root under solo
+        # maintenance; under shared detail it reconstructs instead.
+        database = build_snowflake_database()
+        views = [category_sales_view(), category_sales_by_product_view()]
+        warehouse = SharedDetailWarehouse(views, database)
+        generator = TransactionGenerator(database, seed=8)
+        for __ in range(30):
+            warehouse.apply(generator.step())
+        for view in views:
+            assert_same_bag(
+                warehouse.summary(view.name), view.evaluate(database)
+            )
+
+    def test_unreferenced_table_deltas_ignored(self):
+        from repro.engine.deltas import Delta, Transaction
+
+        database = paper_database()
+        views = [product_sales_max_view()]  # only references sale
+        warehouse = SharedDetailWarehouse(views, database)
+        transaction = Transaction.of(
+            Delta.insertion("product", [(9, "zeta", "misc")])
+        )
+        database.apply(transaction)
+        warehouse.apply(transaction)
+        assert_same_bag(
+            warehouse.summary("product_sales_max"),
+            product_sales_max_view().evaluate(database),
+        )
+
+
+class TestStorage:
+    def test_shared_detail_counts_once(self):
+        from repro.core.derivation import derive_auxiliary_views
+        from repro.core.sharing import sharing_report
+
+        database = build_retail_database(
+            RetailConfig(
+                days=15,
+                stores=2,
+                products=20,
+                products_sold_per_day=10,
+                transactions_per_product=3,
+                start_year=1997,
+            )
+        )
+        views = retail_views()
+        warehouse = SharedDetailWarehouse(views, database)
+        aux_sets = [derive_auxiliary_views(v, database) for v in views]
+        report = sharing_report(views, aux_sets, database)
+        assert warehouse.detail_size_bytes() == report.shared_bytes

@@ -1,0 +1,225 @@
+"""Tests for shared detail data across classes of views (Section 4)."""
+
+import pytest
+
+from repro.core.derivation import derive_auxiliary_views
+from repro.core.sharing import (
+    SharingError,
+    materialize_from_merged,
+    merge_views,
+    sharing_report,
+)
+from repro.core.view import JoinCondition, make_view
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.expressions import Column, Comparison, Literal
+from repro.engine.operators import AggregateItem, GroupByItem
+from repro.workloads.retail import (
+    RetailConfig,
+    build_retail_database,
+    product_sales_max_view,
+    product_sales_view,
+)
+
+from tests.helpers import assert_same_bag, paper_database
+
+
+def monthly_revenue_view():
+    return make_view(
+        "monthly_revenue",
+        ("sale", "time"),
+        [
+            GroupByItem(Column("month", "time")),
+            AggregateItem(
+                AggregateFunction.SUM, Column("price", "sale"), alias="rev"
+            ),
+            AggregateItem(AggregateFunction.COUNT, None, alias="n"),
+        ],
+        selection=[Comparison("=", Column("year", "time"), Literal(1997))],
+        joins=[JoinCondition("sale", "timeid", "time", "id")],
+    )
+
+
+def store_revenue_view():
+    return make_view(
+        "store_revenue",
+        ("sale", "store"),
+        [
+            GroupByItem(Column("city", "store")),
+            AggregateItem(
+                AggregateFunction.AVG, Column("price", "sale"), alias="avg_p"
+            ),
+        ],
+        joins=[JoinCondition("sale", "storeid", "store", "id")],
+    )
+
+
+class TestMerge:
+    def test_union_of_tables(self):
+        database = paper_database()
+        shared = merge_views(
+            [monthly_revenue_view(), store_revenue_view()], database
+        )
+        assert {m.table for m in shared.merged} == {"sale", "time", "store"}
+
+    def test_merged_sale_plan_unions_attributes(self):
+        database = paper_database()
+        shared = merge_views(
+            [monthly_revenue_view(), store_revenue_view()], database
+        )
+        sale = shared.for_table("sale")
+        # timeid from view 1, storeid from view 2, price folded by both.
+        assert set(sale.plan.pinned) == {"timeid", "storeid"}
+        assert sale.plan.folded_sums == ("price",)
+        assert sale.serves == ("monthly_revenue", "store_revenue")
+
+    def test_disjunction_of_local_conditions(self):
+        database = paper_database()
+        v96 = monthly_revenue_view().with_name("rev96")
+        v96 = make_view(
+            "rev96",
+            v96.tables,
+            v96.projection,
+            [Comparison("=", Column("year", "time"), Literal(1996))],
+            v96.joins,
+        )
+        shared = merge_views([monthly_revenue_view(), v96], database)
+        time = shared.for_table("time")
+        assert time.local_condition is not None
+        sql = time.local_condition.to_sql()
+        assert "1997" in sql and "1996" in sql and "OR" in sql
+
+    def test_unconditioned_view_opens_the_filter(self):
+        database = paper_database()
+        no_filter = make_view(
+            "all_years",
+            ("sale", "time"),
+            [
+                GroupByItem(Column("month", "time")),
+                AggregateItem(AggregateFunction.COUNT, None, alias="n"),
+            ],
+            joins=[JoinCondition("sale", "timeid", "time", "id")],
+        )
+        shared = merge_views([monthly_revenue_view(), no_filter], database)
+        assert shared.for_table("time").local_condition is None
+
+    def test_condition_attributes_are_pinned(self):
+        # year must be stored in the shared timedtl so each view's filter
+        # stays evaluable.
+        database = paper_database()
+        v96 = make_view(
+            "rev96",
+            ("sale", "time"),
+            [
+                GroupByItem(Column("month", "time")),
+                AggregateItem(AggregateFunction.COUNT, None, alias="n"),
+            ],
+            [Comparison("=", Column("year", "time"), Literal(1996))],
+            [JoinCondition("sale", "timeid", "time", "id")],
+        )
+        shared = merge_views([monthly_revenue_view(), v96], database)
+        assert "year" in shared.for_table("time").plan.pinned
+
+    def test_non_csmas_pins_in_merged_view(self):
+        database = paper_database()
+        shared = merge_views(
+            [product_sales_view(1997), product_sales_max_view()], database
+        )
+        sale = shared.for_table("sale")
+        assert "price" in sale.plan.pinned  # MAX in the second view
+        assert sale.plan.folded_sums == ()
+
+    def test_errors(self):
+        database = paper_database()
+        with pytest.raises(SharingError, match="no views"):
+            merge_views([], database)
+        with pytest.raises(SharingError, match="duplicate"):
+            merge_views(
+                [monthly_revenue_view(), monthly_revenue_view()], database
+            )
+
+
+class TestRollupCorrectness:
+    """Each view's own auxiliary views must be derivable from the shared
+    detail tuple-for-tuple — the soundness of sharing."""
+
+    def views(self):
+        return [
+            product_sales_view(1997),
+            monthly_revenue_view(),
+            store_revenue_view(),
+        ]
+
+    def test_per_view_aux_recovered_from_shared(self):
+        database = build_retail_database(
+            RetailConfig(
+                days=20,
+                stores=3,
+                products=25,
+                products_sold_per_day=10,
+                transactions_per_product=2,
+                start_year=1997,
+            )
+        )
+        views = self.views()
+        shared = merge_views(views, database)
+        shared_relations = shared.materialize(database)
+        for view in views:
+            aux_set = derive_auxiliary_views(view, database)
+            direct = aux_set.materialize(database)
+            from_shared = materialize_from_merged(
+                aux_set, shared, shared_relations
+            )
+            for table in direct:
+                assert_same_bag(
+                    from_shared[table],
+                    direct[table],
+                    f"{view.name}/{table}",
+                )
+
+    def test_rollup_with_degenerate_target(self):
+        # product_sales_max pins price: its saledtl is compressed but
+        # groups more finely; the shared view (merged with product_sales)
+        # pins price too, so the rollup must reweight sums by counts.
+        database = paper_database()
+        views = [product_sales_view(1997), product_sales_max_view()]
+        shared = merge_views(views, database)
+        shared_relations = shared.materialize(database)
+        for view in views:
+            aux_set = derive_auxiliary_views(view, database)
+            direct = aux_set.materialize(database)
+            from_shared = materialize_from_merged(
+                aux_set, shared, shared_relations
+            )
+            for table in direct:
+                assert_same_bag(from_shared[table], direct[table])
+
+
+class TestSharingReport:
+    def test_sharing_saves_storage(self):
+        database = build_retail_database(
+            RetailConfig(
+                days=20,
+                stores=3,
+                products=25,
+                products_sold_per_day=15,
+                transactions_per_product=3,
+                start_year=1997,
+            )
+        )
+        views = [product_sales_view(1997), monthly_revenue_view()]
+        aux_sets = [derive_auxiliary_views(v, database) for v in views]
+        report = sharing_report(views, aux_sets, database)
+        assert report.shared_bytes < report.total_individual
+        assert report.savings_factor > 1
+        assert set(report.individual_bytes) == {
+            "product_sales", "monthly_revenue",
+        }
+
+    def test_sql_rendering(self):
+        database = paper_database()
+        shared = merge_views(
+            [monthly_revenue_view(), store_revenue_view()], database
+        )
+        sql = shared.to_sql()
+        assert "CREATE VIEW saleshared AS" in sql
+        assert "SUM(sale.price) AS sum_price" in sql

@@ -1,0 +1,226 @@
+"""Tests for the SQL lexer and GPSJ parser."""
+
+import pytest
+
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.expressions import Column, Comparison, InList
+from repro.engine.operators import AggregateItem, GroupByItem
+from repro.core.view import JoinCondition
+from repro.sql.lexer import SqlLexError, tokenize
+from repro.sql.parser import SqlParseError, parse_view
+
+from tests.helpers import assert_same_bag, paper_database
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_preserve_case(self):
+        token = tokenize("TotalPrice")[0]
+        assert token.kind == "IDENT"
+        assert token.value == "TotalPrice"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.5")
+        assert tokens[0].value == 42
+        assert tokens[1].value == 3.5
+
+    def test_strings_with_escapes(self):
+        token = tokenize("'o''brien'")[0]
+        assert token.kind == "STRING"
+        assert token.value == "o'brien"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlLexError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_operators(self):
+        values = [t.value for t in tokenize("<= >= <> != = < >")[:-1]]
+        assert values == ["<=", ">=", "<>", "!=", "=", "<", ">"]
+
+    def test_dotted_reference_tokens(self):
+        kinds = [t.kind for t in tokenize("time.month")[:-1]]
+        assert kinds == ["IDENT", "PUNCT", "IDENT"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- comment\n x")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "x"]
+
+    def test_unknown_character(self):
+        with pytest.raises(SqlLexError, match="unexpected"):
+            tokenize("SELECT @")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+
+PAPER_SQL = """
+CREATE VIEW product_sales AS
+SELECT time.month, SUM(price) AS TotalPrice, COUNT(*) AS TotalCount,
+       COUNT(DISTINCT brand) AS DifferentBrands
+FROM sale, time, product
+WHERE time.year = 1997 AND sale.timeid = time.id AND sale.productid = product.id
+GROUP BY time.month
+"""
+
+
+class TestParser:
+    def test_paper_view_parses(self):
+        view = parse_view(PAPER_SQL, paper_database())
+        assert view.name == "product_sales"
+        assert view.tables == ("sale", "time", "product")
+        assert set(view.joins) == {
+            JoinCondition("sale", "timeid", "time", "id"),
+            JoinCondition("sale", "productid", "product", "id"),
+        }
+        assert view.selection == (
+            Comparison("=", Column("year", "time"), Literal_(1997)),
+        )
+        assert view.projection[0] == GroupByItem(Column("month", "time"))
+        assert view.projection[1] == AggregateItem(
+            AggregateFunction.SUM, Column("price", "sale"), alias="TotalPrice"
+        )
+        assert view.projection[3].distinct
+
+    def test_unqualified_columns_resolved(self):
+        view = parse_view(PAPER_SQL, paper_database())
+        # `price` and `brand` were unqualified in the SQL.
+        assert view.projection[1].column.qualifier == "sale"
+        assert view.projection[3].column.qualifier == "product"
+
+    def test_bare_select_needs_name(self):
+        with pytest.raises(SqlParseError, match="view name"):
+            parse_view("SELECT COUNT(*) FROM sale", paper_database())
+
+    def test_bare_select_with_name(self):
+        view = parse_view(
+            "SELECT COUNT(*) AS c FROM sale", paper_database(), name="n"
+        )
+        assert view.name == "n"
+
+    def test_ambiguous_column_rejected(self):
+        with pytest.raises(SqlParseError, match="ambiguous"):
+            parse_view(
+                "SELECT id, COUNT(*) AS c FROM sale, time "
+                "WHERE sale.timeid = time.id GROUP BY id",
+                paper_database(),
+                name="v",
+            )
+
+    def test_unknown_table(self):
+        with pytest.raises(SqlParseError, match="unknown table"):
+            parse_view("SELECT COUNT(*) AS c FROM ghosts", paper_database(), name="v")
+
+    def test_unknown_column(self):
+        with pytest.raises(SqlParseError, match="unknown column"):
+            parse_view("SELECT COUNT(colour) AS c FROM sale", paper_database(), name="v")
+
+    def test_group_by_must_match_select(self):
+        with pytest.raises(SqlParseError, match="GROUP BY"):
+            parse_view(
+                "SELECT month, COUNT(*) AS c FROM time GROUP BY year",
+                paper_database(),
+                name="v",
+            )
+
+    def test_non_key_join_rejected(self):
+        with pytest.raises(SqlParseError, match="join on a key"):
+            parse_view(
+                "SELECT COUNT(*) AS c FROM sale, time WHERE sale.timeid = time.month",
+                paper_database(),
+                name="v",
+            )
+
+    def test_join_orientation_detected(self):
+        # The key side may appear on the left.
+        view = parse_view(
+            "SELECT COUNT(*) AS c FROM sale, time WHERE time.id = sale.timeid",
+            paper_database(),
+            name="v",
+        )
+        assert view.joins == (JoinCondition("sale", "timeid", "time", "id"),)
+
+    def test_in_list_condition(self):
+        view = parse_view(
+            "SELECT COUNT(*) AS c FROM time WHERE month IN (1, 2, 3)",
+            paper_database(),
+            name="v",
+        )
+        condition = view.selection[0]
+        assert isinstance(condition, InList)
+        assert condition.values == (1, 2, 3)
+
+    def test_string_literal_condition(self):
+        view = parse_view(
+            "SELECT COUNT(*) AS c FROM product WHERE brand = 'acme'",
+            paper_database(),
+            name="v",
+        )
+        assert len(view.evaluate(paper_database())) == 1
+
+    def test_having_clause(self):
+        view = parse_view(
+            "SELECT productid, COUNT(*) AS c FROM sale GROUP BY productid "
+            "HAVING c >= 2 AND NOT c > 100",
+            paper_database(),
+            name="v",
+        )
+        result = view.evaluate(paper_database())
+        assert all(row[1] >= 2 for row in result)
+
+    def test_count_star_distinct_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_view(
+                "SELECT COUNT(DISTINCT *) AS c FROM sale",
+                paper_database(),
+                name="v",
+            )
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_view("SELECT SUM(*) AS s FROM sale", paper_database(), name="v")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlParseError, match="trailing"):
+            parse_view(
+                "SELECT COUNT(*) AS c FROM sale extra",
+                paper_database(),
+                name="v",
+            )
+
+    def test_arithmetic_in_where(self):
+        view = parse_view(
+            "SELECT COUNT(*) AS c FROM sale WHERE price * 2 > 10",
+            paper_database(),
+            name="v",
+        )
+        expected = parse_view(
+            "SELECT COUNT(*) AS c FROM sale WHERE price > 5",
+            paper_database(),
+            name="v",
+        )
+        assert_same_bag(
+            view.evaluate(paper_database()), expected.evaluate(paper_database())
+        )
+
+    def test_parsed_equals_programmatic(self):
+        from repro.workloads.retail import product_sales_view
+
+        database = paper_database()
+        parsed = parse_view(PAPER_SQL, database)
+        built = product_sales_view(1997)
+        assert_same_bag(parsed.evaluate(database), built.evaluate(database))
+
+    def test_roundtrip_through_to_sql(self):
+        database = paper_database()
+        view = parse_view(PAPER_SQL, database)
+        reparsed = parse_view(view.to_sql(), database)
+        assert_same_bag(view.evaluate(database), reparsed.evaluate(database))
+
+
+def Literal_(value):
+    from repro.engine.expressions import Literal
+
+    return Literal(value)

@@ -1,0 +1,151 @@
+"""Tests for the CREATE TABLE (DDL) parser."""
+
+import pytest
+
+from repro.engine.types import AttributeType
+from repro.sql.ddl import SqlDdlError, parse_schema, parse_table
+
+RETAIL_DDL = """
+CREATE TABLE time (
+    id INT PRIMARY KEY,
+    day INT,
+    month INT,
+    year INT
+)
+
+CREATE TABLE product (
+    id INT PRIMARY KEY,
+    brand STRING,
+    category VARCHAR(32)
+)
+
+CREATE TABLE store (
+    id INT PRIMARY KEY,
+    city TEXT
+)
+
+CREATE TABLE sale (
+    id INT PRIMARY KEY,
+    timeid INT REFERENCES time,
+    productid INT REFERENCES product(id),
+    storeid INT REFERENCES store,
+    price INT NOT NULL
+)
+"""
+
+
+class TestParseSchema:
+    def test_retail_schema_roundtrip(self):
+        database = parse_schema(RETAIL_DDL)
+        assert set(database.table_names) == {"time", "product", "store", "sale"}
+        sale = database.table("sale")
+        assert sale.key == "id"
+        assert sale.reference_for("timeid").referenced == "time"
+        assert sale.reference_for("productid").referenced == "product"
+        assert sale.schema.attribute("price").atype is AttributeType.INT
+
+    def test_type_synonyms(self):
+        table = parse_table(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, a REAL, b DOUBLE, "
+            "c TEXT, d CHAR(3), e BOOLEAN)"
+        )
+        types = {a.name: a.atype for a in table.schema}
+        assert types["a"] is AttributeType.FLOAT
+        assert types["b"] is AttributeType.FLOAT
+        assert types["c"] is AttributeType.STRING
+        assert types["d"] is AttributeType.STRING
+        assert types["e"] is AttributeType.BOOL
+
+    def test_exposed_updates_flag(self):
+        table = parse_table(
+            "CREATE TABLE t (id INT PRIMARY KEY) WITH EXPOSED UPDATES"
+        )
+        assert table.exposed_updates
+
+    def test_default_is_not_exposed(self):
+        assert not parse_table("CREATE TABLE t (id INT PRIMARY KEY)").exposed_updates
+
+    def test_forward_references_allowed(self):
+        database = parse_schema(
+            """
+            CREATE TABLE fact (id INT PRIMARY KEY, fk INT REFERENCES dim)
+            CREATE TABLE dim (id INT PRIMARY KEY)
+            """
+        )
+        assert database.table("fact").reference_for("fk").referenced == "dim"
+
+
+class TestErrors:
+    def test_missing_primary_key(self):
+        with pytest.raises(SqlDdlError, match="PRIMARY KEY"):
+            parse_table("CREATE TABLE t (a INT)")
+
+    def test_two_primary_keys(self):
+        with pytest.raises(SqlDdlError, match="two primary keys"):
+            parse_table(
+                "CREATE TABLE t (a INT PRIMARY KEY, b INT PRIMARY KEY)"
+            )
+
+    def test_duplicate_column(self):
+        with pytest.raises(SqlDdlError, match="duplicate column"):
+            parse_table("CREATE TABLE t (a INT PRIMARY KEY, a INT)")
+
+    def test_unknown_type(self):
+        with pytest.raises(SqlDdlError, match="unknown type"):
+            parse_table("CREATE TABLE t (a BLOB PRIMARY KEY)")
+
+    def test_reference_to_undeclared_table(self):
+        with pytest.raises(SqlDdlError, match="undeclared"):
+            parse_schema(
+                "CREATE TABLE t (id INT PRIMARY KEY, fk INT REFERENCES ghost)"
+            )
+
+    def test_reference_to_non_key_column(self):
+        with pytest.raises(SqlDdlError, match="must target the key"):
+            parse_schema(
+                """
+                CREATE TABLE d (id INT PRIMARY KEY, other INT)
+                CREATE TABLE f (id INT PRIMARY KEY, fk INT REFERENCES d(other))
+                """
+            )
+
+    def test_reference_type_mismatch(self):
+        with pytest.raises(SqlDdlError, match="type"):
+            parse_schema(
+                """
+                CREATE TABLE d (id INT PRIMARY KEY)
+                CREATE TABLE f (id INT PRIMARY KEY, fk STRING REFERENCES d)
+                """
+            )
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlDdlError, match="trailing"):
+            parse_table("CREATE TABLE t (id INT PRIMARY KEY) extra")
+
+
+class TestEndToEndWithViews:
+    def test_ddl_plus_view_plus_derivation(self):
+        from repro.core.derivation import derive_auxiliary_views
+        from repro.sql.parser import parse_view
+
+        database = parse_schema(RETAIL_DDL)
+        database.table("time").relation.insert_all(
+            [(1, 1, 1, 1997), (2, 2, 1, 1997)]
+        )
+        database.table("product").relation.insert_all(
+            [(1, "acme", "dairy")]
+        )
+        database.table("store").relation.insert_all([(1, "Aalborg")])
+        database.table("sale").relation.insert_all(
+            [(1, 1, 1, 1, 10), (2, 2, 1, 1, 20)]
+        )
+        database.validate_integrity()
+        view = parse_view(
+            "SELECT month, SUM(price) AS total FROM sale, time "
+            "WHERE sale.timeid = time.id GROUP BY month",
+            database,
+            name="monthly",
+        )
+        aux = derive_auxiliary_views(view, database)
+        assert aux.has_view("sale")
+        assert aux.for_table("sale").is_compressed

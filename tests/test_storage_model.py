@@ -1,0 +1,71 @@
+"""Tests for the Section 1.1 analytic storage model."""
+
+from repro.storage.model import (
+    GIB,
+    MIB,
+    auxiliary_view_upper_bound,
+    format_bytes,
+    paper_auxiliary_view_estimate,
+    paper_fact_table_estimate,
+    relation_estimate,
+)
+
+from tests.helpers import paper_database
+
+
+class TestPaperNumbers:
+    def test_fact_table_tuple_count(self):
+        estimate = paper_fact_table_estimate()
+        # 730 x 300 x 3000 x 20 = 13,140,000,000 (Section 1.1).
+        assert estimate.tuples == 13_140_000_000
+
+    def test_fact_table_bytes(self):
+        estimate = paper_fact_table_estimate()
+        assert estimate.total_bytes == 13_140_000_000 * 5 * 4
+        # The paper reports ~245 GB.
+        assert round(estimate.total_bytes / GIB) == 245
+
+    def test_auxiliary_view_tuple_count(self):
+        estimate = paper_auxiliary_view_estimate()
+        # 365 x 30,000 = 10,950,000 (Section 1.1).
+        assert estimate.tuples == 10_950_000
+
+    def test_auxiliary_view_bytes(self):
+        estimate = paper_auxiliary_view_estimate()
+        assert estimate.total_bytes == 10_950_000 * 4 * 4
+        # The paper reports ~167 MB.
+        assert round(estimate.total_bytes / MIB) == 167
+
+    def test_reduction_factor(self):
+        fact = paper_fact_table_estimate()
+        aux = paper_auxiliary_view_estimate()
+        # 245 GB / 167 MB = three orders of magnitude.
+        assert aux.ratio_to(fact) > 1_000
+
+
+class TestEstimators:
+    def test_relation_estimate_measures_live_relation(self):
+        database = paper_database()
+        estimate = relation_estimate("sale", database.relation("sale"))
+        assert estimate.tuples == 9
+        assert estimate.fields == 5
+        assert estimate.total_bytes == database.relation("sale").size_bytes()
+
+    def test_upper_bound_is_product_of_cardinalities(self):
+        bound = auxiliary_view_upper_bound(
+            {"timeid": 365, "productid": 30_000}, fields=4
+        )
+        assert bound.tuples == 365 * 30_000
+
+    def test_str_rendering(self):
+        text = str(paper_fact_table_estimate())
+        assert "13,140,000,000" in text
+        assert "GB" in text
+
+
+class TestFormatBytes:
+    def test_units(self):
+        assert format_bytes(500) == "500 B"
+        assert format_bytes(2048) == "2.0 KB"
+        assert format_bytes(3 * MIB) == "3.0 MB"
+        assert format_bytes(2 * GIB) == "2.0 GB"

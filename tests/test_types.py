@@ -1,0 +1,65 @@
+"""Unit tests for the attribute type system and its storage model."""
+
+import pytest
+
+from repro.engine.types import AttributeType
+
+
+class TestValidation:
+    def test_int_accepts_integers(self):
+        assert AttributeType.INT.validate(7)
+        assert AttributeType.INT.validate(-3)
+
+    def test_int_rejects_bool_and_float(self):
+        assert not AttributeType.INT.validate(True)
+        assert not AttributeType.INT.validate(1.5)
+
+    def test_float_accepts_real_numbers(self):
+        assert AttributeType.FLOAT.validate(1.5)
+        assert AttributeType.FLOAT.validate(3)
+
+    def test_float_rejects_bool(self):
+        assert not AttributeType.FLOAT.validate(False)
+
+    def test_string_accepts_text_only(self):
+        assert AttributeType.STRING.validate("abc")
+        assert not AttributeType.STRING.validate(1)
+
+    def test_bool_accepts_booleans_only(self):
+        assert AttributeType.BOOL.validate(True)
+        assert not AttributeType.BOOL.validate(1)
+
+    def test_no_nulls_anywhere(self):
+        # Section 2.1: base tables contain no null values.
+        for atype in AttributeType:
+            assert not atype.validate(None)
+
+
+class TestCoercion:
+    def test_int_to_float_coercion(self):
+        assert AttributeType.FLOAT.coerce(3) == 3.0
+        assert isinstance(AttributeType.FLOAT.coerce(3), float)
+
+    def test_invalid_value_raises(self):
+        with pytest.raises(TypeError):
+            AttributeType.INT.coerce("seven")
+
+    def test_none_raises(self):
+        with pytest.raises(TypeError):
+            AttributeType.STRING.coerce(None)
+
+    def test_valid_value_passes_through(self):
+        assert AttributeType.STRING.coerce("x") == "x"
+
+
+class TestSizeModel:
+    def test_every_type_defaults_to_four_bytes(self):
+        # The paper's model: every field is 4 bytes (Section 1.1).
+        for atype in AttributeType:
+            assert atype.default_size_bytes == 4
+
+    def test_numeric_classification(self):
+        assert AttributeType.INT.is_numeric
+        assert AttributeType.FLOAT.is_numeric
+        assert not AttributeType.STRING.is_numeric
+        assert not AttributeType.BOOL.is_numeric

@@ -1,0 +1,180 @@
+"""Unit tests for GPSJ view definitions and their evaluation."""
+
+import pytest
+
+from repro.core.view import JoinCondition, ViewDefinition, ViewError, make_view
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.expressions import Column, Comparison, Literal
+from repro.engine.operators import AggregateItem, GroupByItem
+from repro.workloads.retail import product_sales_view
+
+from tests.helpers import assert_same_bag, paper_database
+
+
+def count_view(tables=("sale",), **kwargs):
+    return make_view(
+        "v",
+        tables,
+        [AggregateItem(AggregateFunction.COUNT, None, alias="c")],
+        **kwargs,
+    )
+
+
+class TestValidation:
+    def test_requires_tables(self):
+        with pytest.raises(ViewError, match="no tables"):
+            count_view(tables=())
+
+    def test_rejects_self_joins(self):
+        with pytest.raises(ViewError, match="twice"):
+            count_view(tables=("sale", "sale"))
+
+    def test_requires_projection(self):
+        with pytest.raises(ViewError, match="projects nothing"):
+            make_view("v", ("sale",), [])
+
+    def test_rejects_unqualified_columns(self):
+        with pytest.raises(ViewError, match="qualified"):
+            make_view("v", ("sale",), [GroupByItem(Column("price"))])
+
+    def test_rejects_unknown_table_in_projection(self):
+        with pytest.raises(ViewError, match="unknown table"):
+            make_view("v", ("sale",), [GroupByItem(Column("month", "time"))])
+
+    def test_rejects_cross_table_selection(self):
+        condition = Comparison(
+            "=", Column("price", "sale"), Column("month", "time")
+        )
+        with pytest.raises(ViewError, match="join conditions belong"):
+            make_view(
+                "v",
+                ("sale", "time"),
+                [AggregateItem(AggregateFunction.COUNT, None, alias="c")],
+                selection=[condition],
+            )
+
+    def test_rejects_join_with_unknown_table(self):
+        with pytest.raises(ViewError, match="unknown table"):
+            count_view(joins=[JoinCondition("sale", "timeid", "ghost", "id")])
+
+    def test_rejects_duplicate_output_names(self):
+        with pytest.raises(ViewError, match="duplicate output"):
+            make_view(
+                "v",
+                ("sale",),
+                [
+                    AggregateItem(AggregateFunction.COUNT, None, alias="c"),
+                    AggregateItem(
+                        AggregateFunction.SUM, Column("price", "sale"), alias="c"
+                    ),
+                ],
+            )
+
+
+class TestAccessors:
+    def test_structure_of_paper_view(self):
+        view = product_sales_view(1997)
+        assert [i.output_name for i in view.group_by_items] == ["month"]
+        assert len(view.aggregate_items) == 3
+        assert view.group_by_attributes("time") == ("month",)
+        assert view.group_by_attributes("sale") == ()
+        assert view.preserved_attributes("sale") == ("price",)
+        assert view.preserved_attributes("product") == ("brand",)
+        assert view.join_attributes("sale") == ("timeid", "productid")
+        assert view.join_attributes("time") == ("id",)
+        assert len(view.local_conditions("time")) == 1
+        assert view.local_conditions("sale") == ()
+        assert len(view.joins_from("sale")) == 2
+        assert len(view.joins_to("time")) == 1
+
+    def test_aggregated_attributes_excludes_count_star(self):
+        view = product_sales_view(1997)
+        names = [i.column.name for i in view.aggregated_attributes("sale")]
+        assert names == ["price"]
+
+    def test_with_name(self):
+        view = product_sales_view().with_name("renamed")
+        assert view.name == "renamed"
+
+
+class TestEvaluation:
+    def test_paper_view_small_instance(self):
+        database = paper_database()
+        result = product_sales_view(1997).evaluate(database)
+        # month 1: sales 1,2,3,4,5,6,7 -> price sum 55, count 7,
+        #          brands {acme (p1,p2), bestco (p3)} -> 2
+        # month 2: sale 8 -> sum 5, count 1, brands {acme} -> 1
+        assert sorted(result.rows) == [(1, 55, 7, 2), (2, 5, 1, 1)]
+
+    def test_local_conditions_filter(self):
+        database = paper_database()
+        view = product_sales_view(1996)
+        result = view.evaluate(database)
+        assert sorted(result.rows) == [(1, 99, 1, 1)]
+
+    def test_single_table_view(self):
+        database = paper_database()
+        view = make_view(
+            "v",
+            ("sale",),
+            [
+                GroupByItem(Column("productid", "sale")),
+                AggregateItem(
+                    AggregateFunction.SUM, Column("price", "sale"), alias="s"
+                ),
+            ],
+        )
+        result = view.evaluate(database)
+        assert sorted(result.rows) == [(1, 134), (2, 20), (3, 5)]
+
+    def test_empty_result_when_nothing_matches(self):
+        database = paper_database()
+        view = make_view(
+            "v",
+            ("time",),
+            [AggregateItem(AggregateFunction.COUNT, None, alias="c")],
+            selection=[Comparison("=", Column("year", "time"), Literal(2099))],
+        )
+        assert len(view.evaluate(database)) == 0
+
+    def test_having_filters_groups(self):
+        database = paper_database()
+        view = make_view(
+            "v",
+            ("sale",),
+            [
+                GroupByItem(Column("productid", "sale")),
+                AggregateItem(AggregateFunction.COUNT, None, alias="c"),
+            ],
+            having=Comparison(">", Column("c"), Literal(2)),
+        )
+        result = view.evaluate(database)
+        # product 1 sells 5 times, product 2 three times, product 3 once.
+        assert sorted(result.rows) == [(1, 5), (2, 3)]
+
+    def test_join_order_independence(self):
+        database = paper_database()
+        view = product_sales_view(1997)
+        reordered = ViewDefinition(
+            view.name,
+            ("product", "sale", "time"),
+            view.projection,
+            view.selection,
+            view.joins,
+        )
+        assert_same_bag(view.evaluate(database), reordered.evaluate(database))
+
+
+class TestRendering:
+    def test_to_sql_shape(self):
+        sql = product_sales_view(1997).to_sql()
+        assert sql.startswith("CREATE VIEW product_sales AS")
+        assert "COUNT(DISTINCT product.brand) AS DifferentBrands" in sql
+        assert "GROUP BY time.month" in sql
+        assert "sale.timeid = time.id" in sql
+
+    def test_join_condition_rendering(self):
+        join = JoinCondition("sale", "timeid", "time", "id")
+        assert join.to_sql() == "sale.timeid = time.id"
+        assert join.left_column == Column("timeid", "sale")
+        assert join.right_column == Column("id", "time")

@@ -1,0 +1,174 @@
+"""A systematic matrix of view shapes under a fixed transaction battery.
+
+Property tests explore the space randomly; this file pins it down
+systematically: every combination of grouping shape x aggregate set x
+selection shape over the paper's star schema is maintained through the
+same scripted battery of insertions, deletions, and updates, and checked
+against recomputation after every transaction.
+"""
+
+import pytest
+
+from repro.core.maintenance import SelfMaintainer
+from repro.core.view import JoinCondition, ViewDefinition
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.deltas import Delta, Transaction
+from repro.engine.expressions import Column, Comparison, Literal
+from repro.engine.operators import AggregateItem, GroupByItem
+
+from tests.helpers import assert_same_bag, paper_database
+
+JOINS = (
+    JoinCondition("sale", "timeid", "time", "id"),
+    JoinCondition("sale", "productid", "product", "id"),
+)
+
+GROUPINGS = {
+    "global": (),
+    "dim-attr": (GroupByItem(Column("month", "time")),),
+    "dim-key": (GroupByItem(Column("id", "product")),),
+    "root-attr": (GroupByItem(Column("storeid", "sale")),),
+    "root-key": (GroupByItem(Column("id", "sale")),),
+    "mixed": (
+        GroupByItem(Column("month", "time")),
+        GroupByItem(Column("id", "product")),
+    ),
+}
+
+AGGREGATES = {
+    "count": (AggregateItem(AggregateFunction.COUNT, None, alias="a0"),),
+    "sum": (
+        AggregateItem(AggregateFunction.SUM, Column("price", "sale"), alias="a0"),
+        AggregateItem(AggregateFunction.COUNT, None, alias="a1"),
+    ),
+    "avg": (
+        AggregateItem(AggregateFunction.AVG, Column("price", "sale"), alias="a0"),
+    ),
+    "minmax": (
+        AggregateItem(AggregateFunction.MIN, Column("price", "sale"), alias="a0"),
+        AggregateItem(AggregateFunction.MAX, Column("price", "sale"), alias="a1"),
+    ),
+    "distinct": (
+        AggregateItem(
+            AggregateFunction.COUNT,
+            Column("brand", "product"),
+            distinct=True,
+            alias="a0",
+        ),
+    ),
+    "dim-sum": (
+        AggregateItem(AggregateFunction.SUM, Column("month", "time"), alias="a0"),
+    ),
+    "everything": (
+        AggregateItem(AggregateFunction.COUNT, None, alias="a0"),
+        AggregateItem(AggregateFunction.SUM, Column("price", "sale"), alias="a1"),
+        AggregateItem(AggregateFunction.AVG, Column("price", "sale"), alias="a2"),
+        AggregateItem(AggregateFunction.MAX, Column("price", "sale"), alias="a3"),
+        AggregateItem(
+            AggregateFunction.SUM,
+            Column("price", "sale"),
+            distinct=True,
+            alias="a4",
+        ),
+    ),
+}
+
+SELECTIONS = {
+    "none": (),
+    "time-filter": (Comparison("=", Column("year", "time"), Literal(1997)),),
+    "root-filter": (Comparison(">", Column("price", "sale"), Literal(6)),),
+}
+
+
+def battery():
+    """The scripted change battery every view shape must survive."""
+    return [
+        # fact insert into existing region
+        Transaction.of(Delta.insertion("sale", [(101, 1, 1, 1, 33)])),
+        # fact insert creating fresh groups / new extremum
+        Transaction.of(Delta.insertion("sale", [(102, 3, 3, 1, 500)])),
+        # fact delete (removes an extremum candidate)
+        Transaction.of(Delta.deletion("sale", [(9, 4, 1, 1, 99)])),
+        # dimension insert + referencing fact in one transaction
+        Transaction.of(
+            Delta.insertion("product", [(9, "omega", "misc")]),
+            Delta.insertion("sale", [(103, 2, 9, 1, 4)]),
+        ),
+        # dimension update changing a preserved attribute
+        Transaction.of(
+            Delta.update(
+                "product",
+                old_rows=[(2, "acme", "bakery")],
+                new_rows=[(2, "rebrand", "bakery")],
+            )
+        ),
+        # fact update moving a row between groups
+        Transaction.of(
+            Delta.update(
+                "sale",
+                old_rows=[(5, 2, 1, 1, 10)],
+                new_rows=[(5, 3, 2, 1, 11)],
+            )
+        ),
+        # cascade: delete a product and its sales
+        Transaction.of(
+            Delta.deletion("product", [(9, "omega", "misc")]),
+            Delta.deletion("sale", [(103, 2, 9, 1, 4)]),
+        ),
+        # group-draining deletes
+        Transaction.of(Delta.deletion("sale", [(8, 3, 1, 1, 5)])),
+    ]
+
+
+def build_view(grouping_key: str, aggregate_key: str, selection_key: str):
+    return ViewDefinition(
+        name=f"m_{grouping_key}_{aggregate_key}_{selection_key}",
+        tables=("sale", "time", "product"),
+        projection=GROUPINGS[grouping_key] + AGGREGATES[aggregate_key],
+        selection=SELECTIONS[selection_key],
+        joins=JOINS,
+    )
+
+
+@pytest.mark.parametrize("grouping", sorted(GROUPINGS))
+@pytest.mark.parametrize("aggregates", sorted(AGGREGATES))
+def test_matrix_no_selection(grouping, aggregates):
+    _run(grouping, aggregates, "none")
+
+
+@pytest.mark.parametrize("grouping", sorted(GROUPINGS))
+@pytest.mark.parametrize("selection", sorted(SELECTIONS))
+def test_matrix_selections_with_full_aggregates(grouping, selection):
+    _run(grouping, "everything", selection)
+
+
+@pytest.mark.parametrize("aggregates", sorted(AGGREGATES))
+def test_matrix_filtered_distinct_combinations(aggregates):
+    _run("dim-attr", aggregates, "time-filter")
+
+
+def _run(grouping: str, aggregates: str, selection: str) -> None:
+    database = paper_database()
+    view = build_view(grouping, aggregates, selection)
+    maintainer = SelfMaintainer(view, database)
+    assert_same_bag(
+        maintainer.current_view(),
+        view.evaluate(database),
+        f"{view.name} initial",
+    )
+    for index, transaction in enumerate(battery()):
+        database.apply(transaction)
+        maintainer.apply(transaction)
+        assert_same_bag(
+            maintainer.current_view(),
+            view.evaluate(database),
+            f"{view.name} step {index}",
+        )
+    # The auxiliary views must still match their definitions at the end.
+    expected = maintainer.aux_set.materialize(database)
+    for aux in maintainer.aux_set:
+        assert_same_bag(
+            maintainer.aux_relation(aux.table),
+            expected[aux.table],
+            f"{view.name} aux {aux.table}",
+        )

@@ -1,0 +1,142 @@
+"""Tests for the warehouse runtime and sealed sources (Figure 1)."""
+
+import pytest
+
+from repro.engine.deltas import Delta, Transaction
+from repro.core.maintenance import SelfMaintainer
+from repro.warehouse.sources import SealedSource, SourceAccessError
+from repro.warehouse.warehouse import Warehouse
+from repro.workloads.retail import (
+    RetailConfig,
+    build_retail_database,
+    product_sales_max_view,
+    product_sales_view,
+)
+from repro.workloads.streams import TransactionGenerator
+
+from tests.helpers import assert_same_bag, paper_database
+
+
+class TestSealedSource:
+    def test_reads_allowed_before_seal(self):
+        source = SealedSource(paper_database())
+        assert len(source.relation("sale")) > 0
+
+    def test_reads_blocked_after_seal(self):
+        source = SealedSource(paper_database())
+        source.seal()
+        with pytest.raises(SourceAccessError):
+            source.relation("sale")
+        with pytest.raises(SourceAccessError):
+            source.table("sale")
+        with pytest.raises(SourceAccessError):
+            __ = source.tables
+        assert source.blocked_reads == 3
+
+    def test_catalog_metadata_stays_readable(self):
+        source = SealedSource(paper_database())
+        source.seal()
+        assert "sale" in source.table_names
+        assert "sale" in source
+
+    def test_writes_allowed_while_sealed(self):
+        source = SealedSource(paper_database())
+        source.seal()
+        source.apply(
+            Transaction.of(Delta.insertion("sale", [(100, 1, 1, 1, 5)]))
+        )
+        assert len(source.ground_truth().relation("sale")) == 10
+
+    def test_unseal(self):
+        source = SealedSource(paper_database())
+        source.seal()
+        source.unseal()
+        assert len(source.relation("sale")) > 0
+
+
+class TestSelfMaintenanceIsGenuine:
+    def test_maintainer_never_reads_sealed_sources(self):
+        """The headline property: after initialization the warehouse
+        operates with base data physically unreachable."""
+        database = paper_database()
+        source = SealedSource(database)
+        maintainer = SelfMaintainer(product_sales_view(1997), source)
+        source.seal()
+
+        generator = TransactionGenerator(database, seed=17)
+        for __ in range(25):
+            transaction = generator.step()
+            maintainer.apply(transaction)  # would raise if it read source
+        source.unseal()
+        assert_same_bag(
+            maintainer.current_view(),
+            product_sales_view(1997).evaluate(database),
+        )
+        assert source.blocked_reads == 0
+
+
+class TestWarehouse:
+    def make(self):
+        database = build_retail_database(
+            RetailConfig(
+                days=8,
+                stores=2,
+                products=10,
+                products_sold_per_day=4,
+                transactions_per_product=2,
+                start_year=1997,
+            )
+        )
+        warehouse = Warehouse(database)
+        warehouse.register(product_sales_view(1997))
+        warehouse.register(product_sales_max_view())
+        return database, warehouse
+
+    def test_register_and_read(self):
+        database, warehouse = self.make()
+        assert set(warehouse.view_names) == {
+            "product_sales", "product_sales_max",
+        }
+        assert_same_bag(
+            warehouse.summary("product_sales"),
+            product_sales_view(1997).evaluate(database),
+        )
+
+    def test_duplicate_registration_rejected(self):
+        database, warehouse = self.make()
+        with pytest.raises(ValueError, match="already registered"):
+            warehouse.register(product_sales_view(1997))
+
+    def test_detail_access(self):
+        __, warehouse = self.make()
+        detail = warehouse.detail("product_sales", "sale")
+        assert detail.schema.has("sale.cnt")
+
+    def test_one_stream_maintains_all_views(self):
+        database, warehouse = self.make()
+        generator = TransactionGenerator(database, seed=23)
+        for __ in range(20):
+            warehouse.apply(generator.step())
+        assert_same_bag(
+            warehouse.summary("product_sales"),
+            product_sales_view(1997).evaluate(database),
+        )
+        assert_same_bag(
+            warehouse.summary("product_sales_max"),
+            product_sales_max_view().evaluate(database),
+        )
+
+    def test_storage_report(self):
+        __, warehouse = self.make()
+        report = warehouse.storage_report("product_sales")
+        assert report.view == "product_sales"
+        assert set(report.per_auxiliary) == {"sale", "time", "product"}
+        assert report.detail_bytes == sum(report.per_auxiliary.values())
+        assert report.total_bytes == report.summary_bytes + report.detail_bytes
+        assert report.eliminated == ()
+
+    def test_detail_is_smaller_than_fact_table(self):
+        database, warehouse = self.make()
+        report = warehouse.storage_report("product_sales")
+        fact_bytes = database.relation("sale").size_bytes()
+        assert report.per_auxiliary["sale"] < fact_bytes

@@ -1,0 +1,146 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.catalog.database import IntegrityError
+from repro.workloads.random_gen import random_scenario
+from repro.workloads.retail import (
+    RetailConfig,
+    build_retail_database,
+    paper_example_rows,
+    product_sales_view,
+)
+from repro.workloads.snowflake import build_snowflake_database
+from repro.workloads.streams import TransactionGenerator
+
+
+class TestRetailGenerator:
+    def test_cardinalities_match_config(self):
+        config = RetailConfig(
+            days=10,
+            stores=3,
+            products=20,
+            products_sold_per_day=5,
+            transactions_per_product=2,
+        )
+        database = build_retail_database(config)
+        assert len(database.relation("time")) == 10
+        assert len(database.relation("store")) == 3
+        assert len(database.relation("product")) == 20
+        assert len(database.relation("sale")) == config.fact_rows()
+        assert config.fact_rows() == 10 * 3 * 5 * 2
+
+    def test_integrity_holds(self):
+        build_retail_database(RetailConfig(days=5)).validate_integrity()
+
+    def test_deterministic_per_seed(self):
+        a = build_retail_database(RetailConfig(days=5, seed=3))
+        b = build_retail_database(RetailConfig(days=5, seed=3))
+        assert a.relation("sale").rows == b.relation("sale").rows
+
+    def test_different_seeds_differ(self):
+        a = build_retail_database(RetailConfig(days=5, seed=3))
+        b = build_retail_database(RetailConfig(days=5, seed=4))
+        assert a.relation("sale").rows != b.relation("sale").rows
+
+    def test_years_span(self):
+        config = RetailConfig(days=730, start_year=1996)
+        assert config.years == (1996, 1997)
+
+    def test_paper_example_rows_have_expected_groups(self):
+        rows = paper_example_rows()
+        groups = {}
+        for __, timeid, productid, __store, price in rows:
+            groups[(timeid, productid)] = groups.get((timeid, productid), 0) + 1
+        assert groups[(1, 1)] == 2
+        assert groups[(1, 3)] == 3
+        assert len(rows) == 10
+
+
+class TestSnowflakeGenerator:
+    def test_structure(self):
+        database = build_snowflake_database(categories=4, products_per_category=3)
+        database.validate_integrity()
+        assert len(database.relation("category")) == 4
+        assert len(database.relation("product")) == 12
+
+    def test_product_references_category(self):
+        database = build_snowflake_database()
+        constraint = database.table("product").reference_for("categoryid")
+        assert constraint.referenced == "category"
+
+
+class TestTransactionGenerator:
+    def test_stream_preserves_integrity(self):
+        database = build_snowflake_database()
+        generator = TransactionGenerator(database, seed=5)
+        for __ in range(60):
+            generator.step()  # Database.apply validates after each step
+
+    def test_transactions_are_replayable(self):
+        database = build_snowflake_database()
+        replica = database.snapshot()
+        generator = TransactionGenerator(database, seed=7)
+        for __ in range(30):
+            replica.apply(generator.step())
+        for name in database.table_names:
+            assert database.relation(name).same_bag(replica.relation(name))
+
+    def test_fresh_keys_never_collide(self):
+        database = build_snowflake_database()
+        generator = TransactionGenerator(database, seed=9)
+        seen = set(database.table("sale").key_values())
+        for __ in range(40):
+            transaction = generator.step()
+            for row in transaction.delta_for("sale").inserted:
+                assert row[0] not in seen or row[0] in {
+                    d[0] for d in transaction.delta_for("sale").deleted
+                }
+                seen.add(row[0])
+
+    def test_frozen_attributes_respected(self):
+        database = build_snowflake_database()
+        frozen = {"time": {"month", "year"}}
+        generator = TransactionGenerator(
+            database, seed=11, frozen_attributes=frozen
+        )
+        for __ in range(40):
+            transaction = generator.step()
+            delta = transaction.delta_for("time")
+            deleted = {row[0]: row for row in delta.deleted}
+            for row in delta.inserted:
+                if row[0] in deleted:  # an update
+                    old = deleted[row[0]]
+                    assert row[1] == old[1] and row[2] == old[2]
+
+    def test_invalid_manual_transaction_still_caught(self):
+        database = build_snowflake_database()
+        from repro.engine.deltas import Delta, Transaction
+
+        with pytest.raises(IntegrityError):
+            database.apply(
+                Transaction.of(
+                    Delta.insertion("sale", [(10**6, 1, 10**6, 1, 1)])
+                )
+            )
+
+
+class TestRandomScenario:
+    def test_deterministic(self):
+        a = random_scenario(42)
+        b = random_scenario(42)
+        assert a.view.to_sql() == b.view.to_sql()
+        for name in a.database.table_names:
+            assert a.database.relation(name).rows == b.database.relation(name).rows
+
+    def test_views_are_valid_gpsj(self):
+        from repro.core.joingraph import ExtendedJoinGraph
+
+        for seed in range(25):
+            scenario = random_scenario(seed)
+            graph = ExtendedJoinGraph(scenario.view, scenario.database)
+            assert graph.root == "t0"
+
+    def test_integrity_holds(self):
+        for seed in range(10):
+            random_scenario(seed).database.validate_integrity()
