@@ -1,0 +1,225 @@
+"""Hot-path maintenance throughput: indexed/batched vs the legacy loop.
+
+Replays identical deterministic update streams (insert-heavy,
+delete-heavy, mixed-with-churn) against two maintainers over the same
+warehouse — ``hotpath=True`` (delta coalescing, maintained indexes,
+full join-tree restriction) and ``hotpath=False`` (the pre-optimization
+loop: invalidate-and-rebuild key caches, full-relation hash builds for
+every fact delta) — checks the final states are bag-identical, and
+reports rows/second for both plus the speedup.
+
+Standalone::
+
+    python benchmarks/bench_hotpath_maintenance.py --scale large
+
+writes ``BENCH_hotpath.json``; ``--scale all`` covers all three scales.
+Also collectable by pytest (``pytest benchmarks/bench_hotpath_maintenance.py``)
+as a smoke test at the smallest scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.maintenance import SelfMaintainer
+from repro.core.view import JoinCondition, make_view
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.deltas import Delta, Transaction
+from repro.engine.expressions import Column, Comparison, Literal
+from repro.engine.operators import AggregateItem, GroupByItem
+from repro.workloads.retail import RetailConfig, build_retail_database
+
+SCALES = {
+    "small": RetailConfig(
+        days=30, stores=2, products=200, products_sold_per_day=10,
+        transactions_per_product=2, start_year=1997, seed=11,
+    ),
+    "medium": RetailConfig(
+        days=90, stores=3, products=1000, products_sold_per_day=20,
+        transactions_per_product=2, start_year=1997, seed=11,
+    ),
+    "large": RetailConfig(
+        days=180, stores=4, products=3000, products_sold_per_day=25,
+        transactions_per_product=2, start_year=1997, seed=11,
+    ),
+}
+
+STREAMS = ("insert_heavy", "delete_heavy", "mixed")
+
+
+def hotpath_view(year: int = 1997):
+    """A fully-CSMAS view (no DISTINCT), so throughput measures the
+    maintenance loop itself rather than Section 3.2's recomputation."""
+    return make_view(
+        "monthly_category_sales",
+        ("sale", "time", "product"),
+        [
+            GroupByItem(Column("month", "time")),
+            GroupByItem(Column("category", "product")),
+            AggregateItem(
+                AggregateFunction.SUM, Column("price", "sale"), alias="TotalPrice"
+            ),
+            AggregateItem(AggregateFunction.COUNT, None, alias="TotalCount"),
+        ],
+        selection=[Comparison("=", Column("year", "time"), Literal(year))],
+        joins=[
+            JoinCondition("sale", "timeid", "time", "id"),
+            JoinCondition("sale", "productid", "product", "id"),
+        ],
+    )
+
+
+def make_stream(
+    database, kind: str, transactions: int = 120, batch: int = 8, seed: int = 5
+) -> list[Transaction]:
+    """A deterministic, integrity-valid stream of ``sale`` transactions.
+
+    ``insert_heavy`` is ~80% insertions, ``delete_heavy`` ~80% deletions
+    of live rows, and ``mixed`` alternates both and adds churn pairs —
+    live rows deleted and re-inserted within one transaction, which the
+    hot path coalesces away and the legacy loop propagates twice.
+    """
+    rng = random.Random(seed)
+    live = list(database.relation("sale"))
+    next_id = max(row[0] for row in live) + 1
+    days = len(database.relation("time"))
+    products = len(database.relation("product"))
+    stores = len(database.relation("store"))
+    stream: list[Transaction] = []
+
+    def fresh_rows(count: int) -> list[tuple]:
+        nonlocal next_id
+        rows = []
+        for __ in range(count):
+            rows.append(
+                (
+                    next_id,
+                    rng.randint(1, days),
+                    rng.randint(1, products),
+                    rng.randint(1, stores),
+                    rng.randint(50, 5_000),
+                )
+            )
+            next_id += 1
+        return rows
+
+    def take_live(count: int) -> list[tuple]:
+        count = min(count, len(live))
+        taken = []
+        for __ in range(count):
+            taken.append(live.pop(rng.randrange(len(live))))
+        return taken
+
+    for step in range(transactions):
+        inserted: list[tuple] = []
+        deleted: list[tuple] = []
+        if kind == "insert_heavy":
+            inserted = fresh_rows(batch)
+            if step % 5 == 4:
+                deleted = take_live(batch // 4)
+        elif kind == "delete_heavy":
+            deleted = take_live(batch)
+            if step % 5 == 4:
+                inserted = fresh_rows(batch // 4)
+        else:  # mixed: half in, half out, plus churn pairs
+            inserted = fresh_rows(batch // 2)
+            deleted = take_live(batch // 2)
+            churn = take_live(batch // 2)
+            inserted += churn  # churn returns to live below, via inserted
+            deleted += churn
+        live.extend(inserted)
+        stream.append(Transaction.of(Delta("sale", inserted, deleted)))
+    return stream
+
+
+def _replay(maintainer: SelfMaintainer, stream: list[Transaction]) -> float:
+    started = time.perf_counter()
+    for transaction in stream:
+        maintainer.apply(transaction)
+    return time.perf_counter() - started
+
+
+def run_scale(scale: str, transactions: int = 120) -> dict:
+    """Replay all three streams at ``scale``; return the measurements."""
+    config = SCALES[scale]
+    database = build_retail_database(config)
+    view = hotpath_view(config.start_year)
+    results: dict = {
+        "fact_rows": config.fact_rows(),
+        "transactions_per_stream": transactions,
+        "streams": {},
+    }
+    for kind in STREAMS:
+        stream = make_stream(database, kind, transactions=transactions)
+        delta_rows = sum(
+            len(d.inserted) + len(d.deleted) for tx in stream for d in tx
+        )
+        fast = SelfMaintainer(view, database, hotpath=True)
+        slow = SelfMaintainer(view, database, hotpath=False)
+        seconds_after = _replay(fast, stream)
+        seconds_before = _replay(slow, stream)
+        if not fast.current_view().same_bag(slow.current_view()):
+            raise AssertionError(f"{scale}/{kind}: views diverged")
+        for table in fast.aux_relations():
+            if not fast.aux_relation(table).same_bag(slow.aux_relation(table)):
+                raise AssertionError(f"{scale}/{kind}: aux {table} diverged")
+        results["streams"][kind] = {
+            "delta_rows": delta_rows,
+            "seconds_before": round(seconds_before, 4),
+            "seconds_after": round(seconds_after, 4),
+            "rows_per_sec_before": round(delta_rows / seconds_before, 1),
+            "rows_per_sec_after": round(delta_rows / seconds_after, 1),
+            "speedup": round(seconds_before / seconds_after, 2),
+            "perf": fast.perf.snapshot(),
+        }
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", choices=[*SCALES, "all"], default="all",
+        help="warehouse scale to replay (default: all three)",
+    )
+    parser.add_argument(
+        "--transactions", type=int, default=120,
+        help="transactions per stream (default: 120)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_hotpath.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+    scales = list(SCALES) if args.scale == "all" else [args.scale]
+    report = {"benchmark": "hotpath_maintenance", "scales": {}}
+    for scale in scales:
+        print(f"== scale: {scale} ==")
+        measured = run_scale(scale, transactions=args.transactions)
+        report["scales"][scale] = measured
+        for kind, numbers in measured["streams"].items():
+            print(
+                f"  {kind:<13} {numbers['rows_per_sec_before']:>12,.0f} -> "
+                f"{numbers['rows_per_sec_after']:>12,.0f} rows/s "
+                f"({numbers['speedup']:.1f}x)"
+            )
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+def test_hotpath_smoke(tmp_path):
+    """CI smoke: smallest scale, short streams, equivalence enforced."""
+    measured = run_scale("small", transactions=40)
+    for kind, numbers in measured["streams"].items():
+        assert numbers["delta_rows"] > 0, kind
+        assert numbers["speedup"] > 0, kind
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -57,6 +57,7 @@ class DerivationReport:
     need_sets: dict[str, tuple[str, ...]]
     tables: tuple[TableDecision, ...]
     aggregate_notes: tuple[str, ...]
+    maintenance_notes: tuple[str, ...] = ()
 
     def render(self) -> str:
         lines = [f"Derivation report for view {self.view.name!r}", ""]
@@ -94,6 +95,10 @@ class DerivationReport:
                         f" ({reasons})"
                     )
             lines.append("")
+        if self.maintenance_notes:
+            lines.append("Maintenance hot path:")
+            lines.extend("  " + note for note in self.maintenance_notes)
+            lines.append("")
         return "\n".join(lines).rstrip() + "\n"
 
 
@@ -124,7 +129,38 @@ def explain_derivation(
         need_sets=need_sets,
         tables=tables,
         aggregate_notes=tuple(_aggregate_notes(view, append_only)),
+        maintenance_notes=tuple(_maintenance_notes(graph, aux_set)),
     )
+
+
+def _maintenance_notes(
+    graph: ExtendedJoinGraph, aux_set: AuxiliaryViewSet
+) -> list[str]:
+    """How the maintainer will process deltas for this derivation."""
+    order: list[str] = []
+    stack = [graph.root]
+    while stack:
+        table = stack.pop()
+        order.append(table)
+        stack.extend(reversed(graph.children(table)))
+    notes = [
+        "deletions process root-to-leaves, insertions leaves-to-root: "
+        + " -> ".join(order),
+        "insert/delete pairs of identical rows coalesce away before any "
+        "reduction work (final state is unchanged)",
+    ]
+    for aux in aux_set:
+        if aux.reduced_by:
+            deps = ", ".join(j.right_table for j in aux.reduced_by)
+            notes.append(
+                f"{aux.table} deltas join-reduce against maintained key "
+                f"indexes of {deps} (no rebuilds)"
+            )
+    notes.append(
+        "surviving deltas join only index-restricted neighbor rows, so "
+        "per-transaction cost follows the delta, not the detail data"
+    )
+    return notes
 
 
 def _aggregate_notes(view: ViewDefinition, append_only: bool) -> list[str]:

@@ -45,7 +45,9 @@ from repro.engine.deltas import Transaction
 from repro.engine.expressions import conjoin
 from repro.engine.operators import AggregateItem, select
 from repro.engine.relation import Relation
+from repro.engine.rowindex import make_tuple_extractor
 from repro.engine.schema import Schema
+from repro.perf import PerfStats
 
 
 class SelfMaintenanceError(Exception):
@@ -53,12 +55,21 @@ class SelfMaintenanceError(Exception):
 
 
 class AuxMaterialization:
-    """Live contents of one auxiliary view."""
+    """Live contents of one auxiliary view.
 
-    def __init__(self, aux: AuxiliaryView):
+    With ``use_indexes`` (the default) every probe — join-reduction key
+    lookups and ``rows_matching`` restrictions — is served from hash
+    indexes that are maintained *incrementally* as deltas fold in, so
+    per-transaction cost follows the delta, not the auxiliary view.
+    ``use_indexes=False`` keeps the seed's invalidate-and-rebuild key
+    cache; the hot-path benchmark uses it as the "before" measurement.
+    """
+
+    def __init__(self, aux: AuxiliaryView, use_indexes: bool = True):
         self.aux = aux
         self.schema = aux.output_schema()
-        self._key_cache: dict[str, set] = {}
+        self.use_indexes = use_indexes
+        self._key_cache: dict[str, set] = {}  # legacy (use_indexes=False)
 
     def load(self, relation: Relation) -> None:
         raise NotImplementedError
@@ -70,18 +81,26 @@ class AuxMaterialization:
         """Fold reduced base-table rows in (+1) or out (-1)."""
         raise NotImplementedError
 
-    def key_values(self, column: str) -> set:
-        """Distinct values of ``column``, cached between changes.
+    def key_values(self, column: str):
+        """Distinct values of ``column`` (a set-like, O(1)-membership view).
 
         Join reductions probe the same (key) column on every delta of a
-        referencing table; the cache makes that probe O(1) amortized.
+        referencing table; the maintained index makes the probe O(1) with
+        no rebuild ever.  In legacy mode the set is rebuilt whenever the
+        materialization changed since the last probe.
         """
+        if self.use_indexes:
+            return self._live_key_view(column)
         cached = self._key_cache.get(column)
         if cached is None:
             cached = self._key_cache[column] = set(
                 self.relation().column(column)
             )
         return cached
+
+    def _live_key_view(self, column: str):
+        """Distinct values of ``column`` as a live view over the index."""
+        raise NotImplementedError
 
     def _invalidate_keys(self) -> None:
         self._key_cache.clear()
@@ -103,15 +122,19 @@ class AuxMaterialization:
 
 
 class ProjectionMaterialization(AuxMaterialization):
-    """A degenerate (PSJ) auxiliary view: raw projected rows, key retained."""
+    """A degenerate (PSJ) auxiliary view: raw projected rows, key retained.
 
-    def __init__(self, aux: AuxiliaryView):
-        super().__init__(aux)
-        self._indexes = [
-            aux.base_schema.index_of(name) for name in aux.plan.pinned
-        ]
+    Probes are served by :class:`~repro.engine.rowindex.RowIndex`
+    instances registered on the backing relation, so every
+    insert/delete keeps them in step without rebuilds.
+    """
+
+    def __init__(self, aux: AuxiliaryView, use_indexes: bool = True):
+        super().__init__(aux, use_indexes)
+        self._project = make_tuple_extractor(
+            tuple(aux.base_schema.index_of(name) for name in aux.plan.pinned)
+        )
         self._relation = Relation(self.schema)
-        self._hash_indexes: dict[str, dict] = {}
 
     def load(self, relation: Relation) -> None:
         if relation.schema != self.schema:
@@ -120,41 +143,23 @@ class ProjectionMaterialization(AuxMaterialization):
             )
         self._relation = relation.copy()
         self._invalidate_keys()
-        self._hash_indexes.clear()
 
     def relation(self) -> Relation:
         return self._relation
 
     def apply(self, base_rows: list[tuple], sign: int) -> None:
-        projected = [tuple(row[i] for i in self._indexes) for row in base_rows]
+        projected = list(map(self._project, base_rows))
         if sign > 0:
             self._relation.insert_all(projected)
         else:
             self._relation.delete_all(projected)
         self._invalidate_keys()
-        for column, index in self._hash_indexes.items():
-            position = self.schema.index_of(column)
-            for row in projected:
-                bucket = index.setdefault(row[position], Counter())
-                bucket[row] += sign
-                if bucket[row] <= 0:
-                    del bucket[row]
-                    if not bucket:
-                        del index[row[position]]
+
+    def _live_key_view(self, column: str):
+        return self._relation.index_on(column).keys()
 
     def rows_matching(self, column: str, values: set) -> list[tuple]:
-        index = self._hash_indexes.get(column)
-        if index is None:
-            index = self._hash_indexes[column] = {}
-            position = self.schema.index_of(column)
-            for row in self._relation:
-                index.setdefault(row[position], Counter())[row] += 1
-        rows: list[tuple] = []
-        for value in values:
-            bucket = index.get(value)
-            if bucket:
-                rows.extend(bucket.elements())
-        return rows
+        return self._relation.index_on(column).rows_matching(values)
 
 
 class CompressedMaterialization(AuxMaterialization):
@@ -166,8 +171,8 @@ class CompressedMaterialization(AuxMaterialization):
     reduced detail data.
     """
 
-    def __init__(self, aux: AuxiliaryView):
-        super().__init__(aux)
+    def __init__(self, aux: AuxiliaryView, use_indexes: bool = True):
+        super().__init__(aux, use_indexes)
         plan = aux.plan
         self._pin_indexes = [
             aux.base_schema.index_of(name) for name in plan.pinned
@@ -269,7 +274,9 @@ class CompressedMaterialization(AuxMaterialization):
                     if not bucket:
                         del index[value]
 
-    def rows_matching(self, column: str, values: set) -> list[tuple]:
+    def _group_index(self, column: str) -> dict:
+        """The ``value -> {group keys}`` index on ``column``, built once
+        and then maintained by :meth:`_index_group` as groups come and go."""
         index = self._hash_indexes.get(column)
         if index is None:
             slot = self._pin_slots.get(column.split(".", 1)[1])
@@ -280,6 +287,13 @@ class CompressedMaterialization(AuxMaterialization):
             index = self._hash_indexes[column] = {}
             for key in self._groups:
                 index.setdefault(key[slot], set()).add(key)
+        return index
+
+    def _live_key_view(self, column: str):
+        return self._group_index(column).keys()
+
+    def rows_matching(self, column: str, values: set) -> list[tuple]:
+        index = self._group_index(column)
         rows: list[tuple] = []
         for value in values:
             for key in index.get(value, ()):
@@ -287,10 +301,18 @@ class CompressedMaterialization(AuxMaterialization):
         return rows
 
 
-def make_materialization(aux: AuxiliaryView) -> AuxMaterialization:
+def make_materialization(
+    aux: AuxiliaryView, use_indexes: bool = True
+) -> AuxMaterialization:
     if aux.is_compressed:
-        return CompressedMaterialization(aux)
-    return ProjectionMaterialization(aux)
+        return CompressedMaterialization(aux, use_indexes)
+    return ProjectionMaterialization(aux, use_indexes)
+
+
+def _delta_rows(transaction: Transaction) -> int:
+    return sum(
+        len(delta.inserted) + len(delta.deleted) for delta in transaction
+    )
 
 
 @dataclass
@@ -337,13 +359,18 @@ class SelfMaintainer:
         graph: ExtendedJoinGraph | None = None,
         append_only: bool = False,
         initialize: bool = True,
+        hotpath: bool = True,
     ):
         """``append_only`` maintains the view as *old detail data*
         (Section 4): only insertions are accepted, in exchange for
         folding MIN/MAX into the compressed auxiliary views.
         ``initialize=False`` skips the one-time base-table load; the
         caller must then populate the maintainer via
-        :meth:`load_state` (warehouse restart from a checkpoint)."""
+        :meth:`load_state` (warehouse restart from a checkpoint).
+        ``hotpath=False`` disables delta coalescing, the maintained
+        indexes, and full join-tree restriction, reverting to the seed
+        maintenance loop; results are identical either way — the flag
+        exists so the hot-path benchmark can measure the gap."""
         self.view = view
         self.append_only = append_only
         self.graph = graph or ExtendedJoinGraph(view, database)
@@ -351,8 +378,11 @@ class SelfMaintainer:
             view, database, self.graph, append_only=append_only
         )
         self.reconstructor = Reconstructor(view, self.aux_set, database)
+        self.perf = PerfStats()
+        self._hotpath = hotpath
         self._materializations: dict[str, AuxMaterialization] = {
-            aux.table: make_materialization(aux) for aux in self.aux_set
+            aux.table: make_materialization(aux, use_indexes=hotpath)
+            for aux in self.aux_set
         }
         self._eliminated = frozenset(self.aux_set.eliminated)
         self._root = self.graph.root
@@ -390,6 +420,7 @@ class SelfMaintainer:
                 "non-CSMAS aggregates present"
             )
         self._rewrite_info = self._build_rewrite_info(database)
+        self._neighbor_edges = self._build_neighbor_edges()
         self._groups: dict[tuple, GroupState] = {}
         if initialize:
             self._initialize(database)
@@ -407,6 +438,32 @@ class SelfMaintainer:
             order.append(table)
             stack.extend(reversed(self.graph.children(table)))
         return tuple(order)
+
+    def _build_neighbor_edges(
+        self,
+    ) -> dict[str, tuple[tuple[str, str, str], ...]]:
+        """For each view table, its join-tree neighbors as
+        ``(neighbor, local column, neighbor column)`` — both directions
+        of every join edge, one entry per neighbor pair.
+
+        Restriction by one attribute pair of a multi-condition edge is
+        conservative (a superset of the joinable rows survives), which
+        is all soundness needs.
+        """
+        edges: dict[str, list[tuple[str, str, str]]] = {
+            table: [] for table in self.view.tables
+        }
+        seen: set[tuple[str, str]] = set()
+        for join in self.view.joins:
+            pair = (join.left_table, join.right_table)
+            if pair in seen:
+                continue
+            seen.add(pair)
+            left = f"{join.left_table}.{join.left_attribute}"
+            right = f"{join.right_table}.{join.right_attribute}"
+            edges[join.left_table].append((join.right_table, left, right))
+            edges[join.right_table].append((join.left_table, right, left))
+        return {table: tuple(pairs) for table, pairs in edges.items()}
 
     def _table_info(
         self, view: ViewDefinition, database: Database, table: str
@@ -627,6 +684,8 @@ class SelfMaintainer:
 
     def apply(self, transaction: Transaction) -> None:
         """Maintain ``V`` and ``X`` under one source transaction."""
+        perf = self.perf
+        perf.count("transactions")
         if self.append_only:
             offenders = [
                 delta.table
@@ -638,6 +697,15 @@ class SelfMaintainer:
                     f"append-only detail data received deletions on "
                     f"{offenders!r}"
                 )
+        if self._hotpath:
+            with perf.timer("coalesce"):
+                coalesced = transaction.coalesced()
+            if coalesced is not transaction:
+                perf.count(
+                    "rows_coalesced_away",
+                    _delta_rows(transaction) - _delta_rows(coalesced),
+                )
+                transaction = coalesced
         dirty: set[tuple] = set()
         rewrites = self._plan_rewrites(transaction)
         for table in self._order:
@@ -650,7 +718,9 @@ class SelfMaintainer:
             if delta.inserted:
                 self._process_delta(table, list(delta.inserted), +1, dirty)
         if dirty:
-            self._recompute_groups(dirty)
+            perf.count("groups_recomputed", len(dirty))
+            with perf.timer("recompute"):
+                self._recompute_groups(dirty)
 
     # ------------------------------------------------------------------
     # Dimension updates under an eliminated root (Section 3.3).
@@ -672,6 +742,7 @@ class SelfMaintainer:
         if not self._rewrite_info:
             return {}
         planned: dict[tuple, list[tuple[_RewriteInfo, tuple | None]]] = {}
+        anchor_cache: dict[int, dict[object, list[tuple]]] = {}
         for table, info in self._rewrite_info.items():
             delta = transaction.delta_for(table)
             if not delta.deleted:
@@ -695,10 +766,34 @@ class SelfMaintainer:
                 anchor_ids = self._anchor_ids(info, validated[info.key_index])
                 if not anchor_ids:
                     continue
-                for key in self._groups:
-                    if key[info.anchor_position] in anchor_ids:
-                        planned.setdefault(key, []).append((info, new_row))
+                for key in self._affected_groups(info, anchor_ids, anchor_cache):
+                    planned.setdefault(key, []).append((info, new_row))
         return planned
+
+    def _affected_groups(
+        self,
+        info: "_RewriteInfo",
+        anchor_ids: set,
+        cache: dict[int, dict[object, list[tuple]]],
+    ):
+        """Live group keys pinned to any of ``anchor_ids``.
+
+        The hot path answers from a ``anchor value -> group keys`` index
+        built once per transaction (updates rewrite only the groups they
+        touch); legacy mode scans all of ``V`` per deleted dimension row.
+        """
+        position = info.anchor_position
+        if not self._hotpath:
+            return [k for k in self._groups if k[position] in anchor_ids]
+        index = cache.get(position)
+        if index is None:
+            index = cache[position] = {}
+            for key in self._groups:
+                index.setdefault(key[position], []).append(key)
+        if len(anchor_ids) == 1:
+            return index.get(next(iter(anchor_ids)), ())
+        # Multi-anchor chains are rare; scan to keep V's group order.
+        return [k for k in self._groups if k[position] in anchor_ids]
 
     def _row_survives(self, table_info: "_TableInfo", row: tuple) -> bool:
         """Local + join reductions for a single replacement row."""
@@ -717,12 +812,18 @@ class SelfMaintainer:
         (computed from the dimension auxiliary views, pre-transaction)."""
         ids = {key_value}
         for parent, fk_column, key_column in info.path:
-            relation = self._materializations[parent].relation()
-            fk_index = relation.schema.index_of(fk_column)
-            key_index = relation.schema.index_of(key_column)
-            ids = {
-                row[key_index] for row in relation if row[fk_index] in ids
-            }
+            materialization = self._materializations[parent]
+            if self._hotpath:
+                rows = materialization.rows_matching(fk_column, ids)
+                key_index = materialization.schema.index_of(key_column)
+                ids = {row[key_index] for row in rows}
+            else:
+                relation = materialization.relation()
+                fk_index = relation.schema.index_of(fk_column)
+                key_index = relation.schema.index_of(key_column)
+                ids = {
+                    row[key_index] for row in relation if row[fk_index] in ids
+                }
             if not ids:
                 break
         return ids
@@ -776,21 +877,31 @@ class SelfMaintainer:
         self, table: str, rows: list[tuple], sign: int, dirty: set[tuple]
     ) -> None:
         info = self._tables[table]
-        reduced = [info.schema.validate_row(row) for row in rows]
-        if info.local_predicate is not None:
-            reduced = [row for row in reduced if info.local_predicate(row)]
-        for fk_index, dep_table, dep_key in info.reductions:
-            keys = self._materializations[dep_table].key_values(dep_key)
-            reduced = [row for row in reduced if row[fk_index] in keys]
+        perf = self.perf
+        with perf.timer("local-reduce"):
+            reduced = [info.schema.validate_row(row) for row in rows]
+            if info.local_predicate is not None:
+                reduced = [row for row in reduced if info.local_predicate(row)]
+        perf.count("rows_locally_reduced_away", len(rows) - len(reduced))
+        with perf.timer("join-reduce"):
+            surviving = len(reduced)
+            for fk_index, dep_table, dep_key in info.reductions:
+                keys = self._materializations[dep_table].key_values(dep_key)
+                reduced = [row for row in reduced if row[fk_index] in keys]
+            perf.count("join_reduce_probes", surviving * len(info.reductions))
+            perf.count("rows_join_reduced_away", surviving - len(reduced))
         if not reduced:
             return
+        perf.count("rows_propagated", len(reduced))
         skip_view = (
             self._root in self._eliminated and table != self._root
         )
         if not skip_view:
-            self._propagate_to_view(table, reduced, sign, dirty)
+            with perf.timer("aggregate-fold"):
+                self._propagate_to_view(table, reduced, sign, dirty)
         if table not in self._eliminated:
-            self._materializations[table].apply(reduced, sign)
+            with perf.timer("aux-apply"):
+                self._materializations[table].apply(reduced, sign)
 
     def _propagate_to_view(
         self, table: str, reduced: list[tuple], sign: int, dirty: set[tuple]
@@ -807,7 +918,10 @@ class SelfMaintainer:
         mapping[table] = Relation(
             self._tables[table].schema, reduced, validate=False
         )
-        self._restrict_ancestor_path(table, reduced, mapping)
+        if self._hotpath:
+            self._restrict_join_neighbors(table, reduced, mapping)
+        else:
+            self._restrict_ancestor_path(table, reduced, mapping)
         joined = self.reconstructor.join_all(mapping, start=table)
         if not joined:
             return
@@ -816,6 +930,49 @@ class SelfMaintainer:
         self.reconstructor.run_program(program, joined.rows, contributions)
         for key, acc in contributions.items():
             self._merge_group(key, acc, sign, dirty)
+
+    def _restrict_join_neighbors(
+        self, table: str, reduced: list[tuple], mapping: dict[str, Relation]
+    ) -> None:
+        """Semijoin-restrict *every* other view table to the rows that can
+        join the delta, walking the join tree outward from the changed
+        table and probing the maintained indexes.
+
+        This generalizes :meth:`_restrict_ancestor_path` to descendants
+        and siblings: a fact delta no longer pays a hash build over each
+        full dimension auxiliary view, and a dimension delta restricts
+        the other dimensions through the (already restricted) root.  Only
+        rows reachable from the delta along join edges can contribute, so
+        the join over the restricted relations is unchanged; when a hop's
+        join column is not stored in a materialization the walk stops
+        there and the remaining relations stay full (still sound).
+        """
+        perf = self.perf
+        frontier: list[tuple[str, Schema, list[tuple]]] = [
+            (table, self._tables[table].schema, reduced)
+        ]
+        visited = {table}
+        while frontier:
+            current, schema, rows = frontier.pop()
+            for neighbor, local_col, far_col in self._neighbor_edges[current]:
+                if neighbor in visited:
+                    continue
+                materialization = self._materializations.get(neighbor)
+                if materialization is None:
+                    continue  # eliminated: nothing materialized to restrict
+                if not schema.has(local_col) or not (
+                    materialization.schema.has(far_col)
+                ):
+                    continue  # join column not stored: leave neighbor full
+                index = schema.index_of(local_col)
+                values = {row[index] for row in rows}
+                matched = materialization.rows_matching(far_col, values)
+                perf.count("index_probes", len(values))
+                mapping[neighbor] = Relation(
+                    materialization.schema, matched, validate=False
+                )
+                visited.add(neighbor)
+                frontier.append((neighbor, materialization.schema, matched))
 
     def _restrict_ancestor_path(
         self, table: str, reduced: list[tuple], mapping: dict[str, Relation]

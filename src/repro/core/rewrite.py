@@ -34,6 +34,7 @@ from repro.engine.operators import (
     select,
 )
 from repro.engine.relation import Relation
+from repro.engine.rowindex import make_tuple_extractor
 from repro.engine.schema import Schema
 
 
@@ -116,6 +117,7 @@ class Reconstructor:
             i for i, item in enumerate(view.projection)
             if isinstance(item, GroupByItem)
         ]
+        self._program_cache: dict[Schema, RowProgram] = {}
 
     @property
     def categories(self) -> Mapping[int, AggregateCategory]:
@@ -189,18 +191,23 @@ class Reconstructor:
 
     def compile_program(self, schema: Schema) -> RowProgram:
         """Compile group-key/multiplicity/contribution accessors for rows
-        of ``schema`` (a join of aux and/or delta relations)."""
-        key_indexes = [
+        of ``schema`` (a join of aux and/or delta relations).
+
+        Programs are cached per schema: maintenance compiles against the
+        same handful of join shapes on every transaction, so the hot path
+        pays attribute resolution once per shape, not once per delta.
+        """
+        cached = self._program_cache.get(schema)
+        if cached is not None:
+            return cached
+        key_indexes = tuple(
             schema.index_of(
                 self.view.projection[slot].column.name,
                 self.view.projection[slot].column.qualifier,
             )
             for slot in self._group_slots
-        ]
-
-        def key(row: tuple, indexes=tuple(key_indexes)) -> tuple:
-            return tuple(row[i] for i in indexes)
-
+        )
+        key = make_tuple_extractor(key_indexes)
         multiplicity = self._compile_multiplicity(schema)
 
         sum_contributions: list[tuple[int, Callable[[tuple], object]]] = []
@@ -219,12 +226,14 @@ class Reconstructor:
                 )
             elif category is AggregateCategory.DISTINCT:
                 raw_values.append((index, category, self._raw_accessor(schema, item)))
-        return RowProgram(
+        program = RowProgram(
             key=key,
             multiplicity=multiplicity,
             sum_contributions=tuple(sum_contributions),
             raw_values=tuple(raw_values),
         )
+        self._program_cache[schema] = program
+        return program
 
     def combiner(self, index: int) -> Callable[[object, object], object]:
         """min/max combiner for an extremum output item."""

@@ -9,6 +9,7 @@ applies the same discipline to all updates for uniformity.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping
 
@@ -47,6 +48,25 @@ class Delta:
     ) -> "Delta":
         """An update propagated as deletions followed by insertions."""
         return cls(table, inserted=tuple(new_rows), deleted=tuple(old_rows))
+
+    def coalesced(self) -> "Delta":
+        """Cancel insert/delete pairs of identical rows (multiset minimum).
+
+        Deleting a row and re-inserting the very same row within one
+        transaction is a no-op on the final state, so maintenance need
+        not propagate either side.  Rows that differ in any attribute
+        (i.e. genuine updates) are left untouched.
+        """
+        if not self.inserted or not self.deleted:
+            return self
+        ins = Counter(self.inserted)
+        dels = Counter(self.deleted)
+        cancelled = ins & dels
+        if not cancelled:
+            return self
+        kept_ins = _subtract_in_order(self.inserted, cancelled)
+        kept_dels = _subtract_in_order(self.deleted, cancelled)
+        return Delta(self.table, kept_ins, kept_dels)
 
 
 @dataclass(frozen=True)
@@ -102,6 +122,31 @@ class Transaction:
             )
         )
 
+    def coalesced(self) -> "Transaction":
+        """The transaction with every per-table delta coalesced.
+
+        Final state is unchanged; only churn (rows both inserted and
+        deleted within the transaction) disappears.  This runs before any
+        reduction work in the maintenance hot path, so cancelled rows
+        never pay for validation, semijoin probes, or group folds.
+        """
+        coalesced = tuple(delta.coalesced() for delta in self.deltas)
+        if all(c is d for c, d in zip(coalesced, self.deltas)):
+            return self
+        return Transaction.of(*coalesced)
+
+
+def _subtract_in_order(rows: tuple[tuple, ...], cancelled) -> tuple[tuple, ...]:
+    """Remove ``cancelled[row]`` occurrences of each row, preserving order."""
+    remaining = Counter(cancelled)
+    kept = []
+    for row in rows:
+        if remaining.get(row, 0) > 0:
+            remaining[row] -= 1
+        else:
+            kept.append(row)
+    return tuple(kept)
+
 
 def coalesce(transactions: "Iterable[Transaction]") -> Transaction:
     """Merge a sequence of transactions into one net transaction.
@@ -111,8 +156,6 @@ def coalesce(transactions: "Iterable[Transaction]") -> Transaction:
     change.  The result reaches the same final state as applying the
     sequence in order, which is all exact view maintenance depends on.
     """
-    from collections import Counter
-
     inserted: dict[str, Counter] = {}
     deleted: dict[str, Counter] = {}
     for transaction in transactions:

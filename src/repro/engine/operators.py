@@ -14,6 +14,7 @@ from typing import Iterable, Sequence
 from repro.engine.aggregates import AggregateFunction, compute_aggregate
 from repro.engine.expressions import Column, Expression
 from repro.engine.relation import Relation
+from repro.engine.rowindex import RowIndex, make_key_extractor, make_tuple_extractor
 from repro.engine.schema import Attribute, Schema
 from repro.engine.types import AttributeType
 
@@ -25,8 +26,9 @@ class OperatorError(Exception):
 def select(relation: Relation, condition: Expression) -> Relation:
     """``σ_condition(relation)``."""
     predicate = condition.compile(relation.schema)
-    rows = [row for row in relation if predicate(row)]
-    return Relation(relation.schema, rows, validate=False)
+    return Relation(
+        relation.schema, list(filter(predicate, relation.rows)), validate=False
+    )
 
 
 def project(
@@ -35,9 +37,10 @@ def project(
     distinct: bool = True,
 ) -> Relation:
     """``π_references(relation)``; duplicate-eliminating by default."""
-    indexes = [relation.schema.index_of(ref) for ref in references]
+    indexes = tuple(relation.schema.index_of(ref) for ref in references)
     schema = Schema(relation.schema[i] for i in indexes)
-    rows: Iterable[tuple] = (tuple(row[i] for i in indexes) for row in relation)
+    extract = make_tuple_extractor(indexes)
+    rows: Iterable[tuple] = map(extract, relation.rows)
     if distinct:
         rows = dict.fromkeys(rows)
     return Relation(schema, list(rows), validate=False)
@@ -50,24 +53,60 @@ def cross_product(left: Relation, right: Relation) -> Relation:
     return Relation(schema, rows, validate=False)
 
 
+def _join_extractors(
+    left: Relation,
+    right: Relation,
+    pairs: Sequence[tuple[str, str]],
+    right_index: RowIndex | None,
+):
+    """Precompiled key extractors for both sides of a join.
+
+    When ``right_index`` is supplied it must be keyed on exactly the
+    join's right-side columns; its extractor is reused so both sides
+    agree on the scalar-vs-tuple key convention."""
+    left_idx = tuple(left.schema.index_of(l) for l, __ in pairs)
+    right_idx = tuple(right.schema.index_of(r) for __, r in pairs)
+    if right_index is not None and right_index.positions != right_idx:
+        raise OperatorError(
+            f"index on positions {right_index.positions} cannot serve a "
+            f"join on right positions {right_idx}"
+        )
+    return make_key_extractor(left_idx), make_key_extractor(right_idx)
+
+
 def equijoin(
     left: Relation,
     right: Relation,
     pairs: Sequence[tuple[str, str]],
+    right_index: RowIndex | None = None,
 ) -> Relation:
-    """Hash equijoin on ``pairs`` of (left reference, right reference)."""
+    """Hash equijoin on ``pairs`` of (left reference, right reference).
+
+    With a ``right_index`` (a maintained :class:`RowIndex` on the right
+    side's join columns) the build phase is skipped entirely.
+    """
     if not pairs:
         return cross_product(left, right)
-    left_idx = [left.schema.index_of(l) for l, __ in pairs]
-    right_idx = [right.schema.index_of(r) for __, r in pairs]
-    buckets: dict[tuple, list[tuple]] = {}
-    for row in right:
-        buckets.setdefault(tuple(row[i] for i in right_idx), []).append(row)
+    left_key, right_key = _join_extractors(left, right, pairs, right_index)
     schema = left.schema.concat(right.schema)
+    if right_index is not None:
+        rows = [
+            lrow + rrow
+            for lrow in left.rows
+            for rrow in right_index.rows_for(left_key(lrow))
+        ]
+        return Relation(schema, rows, validate=False)
+    buckets: dict[object, list[tuple]] = {}
+    for row in right.rows:
+        key = right_key(row)
+        bucket = buckets.get(key)
+        if bucket is None:
+            bucket = buckets[key] = []
+        bucket.append(row)
     rows = [
         lrow + rrow
-        for lrow in left
-        for rrow in buckets.get(tuple(lrow[i] for i in left_idx), ())
+        for lrow in left.rows
+        for rrow in buckets.get(left_key(lrow), ())
     ]
     return Relation(schema, rows, validate=False)
 
@@ -76,14 +115,16 @@ def semijoin(
     left: Relation,
     right: Relation,
     pairs: Sequence[tuple[str, str]],
+    right_index: RowIndex | None = None,
 ) -> Relation:
     """``left ⋉ right``: left rows with at least one join partner."""
-    left_idx = [left.schema.index_of(l) for l, __ in pairs]
-    right_idx = [right.schema.index_of(r) for __, r in pairs]
-    keys = {tuple(row[i] for i in right_idx) for row in right}
-    rows = [
-        row for row in left if tuple(row[i] for i in left_idx) in keys
-    ]
+    left_key, right_key = _join_extractors(left, right, pairs, right_index)
+    keys = (
+        right_index.keys()
+        if right_index is not None
+        else set(map(right_key, right.rows))
+    )
+    rows = [row for row in left.rows if left_key(row) in keys]
     return Relation(left.schema, rows, validate=False)
 
 
@@ -91,14 +132,16 @@ def antijoin(
     left: Relation,
     right: Relation,
     pairs: Sequence[tuple[str, str]],
+    right_index: RowIndex | None = None,
 ) -> Relation:
     """``left ▷ right``: left rows with no join partner."""
-    left_idx = [left.schema.index_of(l) for l, __ in pairs]
-    right_idx = [right.schema.index_of(r) for __, r in pairs]
-    keys = {tuple(row[i] for i in right_idx) for row in right}
-    rows = [
-        row for row in left if tuple(row[i] for i in left_idx) not in keys
-    ]
+    left_key, right_key = _join_extractors(left, right, pairs, right_index)
+    keys = (
+        right_index.keys()
+        if right_index is not None
+        else set(map(right_key, right.rows))
+    )
+    rows = [row for row in left.rows if left_key(row) not in keys]
     return Relation(left.schema, rows, validate=False)
 
 
@@ -244,17 +287,19 @@ def generalized_project(
         if isinstance(item, AggregateItem)
     ]
     schema = projection_schema(items, relation.schema, qualifier)
+    group_key = make_tuple_extractor(tuple(pos for __, pos in group_positions))
 
     if not agg_specs:
-        rows = dict.fromkeys(
-            tuple(row[pos] for __, pos in group_positions) for row in relation
-        )
+        rows = dict.fromkeys(map(group_key, relation.rows))
         return Relation(schema, list(rows), validate=False)
 
     groups: dict[tuple, list[tuple]] = {}
-    for row in relation:
-        key = tuple(row[pos] for __, pos in group_positions)
-        groups.setdefault(key, []).append(row)
+    for row in relation.rows:
+        key = group_key(row)
+        members = groups.get(key)
+        if members is None:
+            members = groups[key] = []
+        members.append(row)
 
     rows = []
     for key, members in groups.items():

@@ -10,6 +10,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Callable, Iterable, Iterator
 
+from repro.engine.rowindex import RowIndex
 from repro.engine.schema import Attribute, Schema
 from repro.engine.types import AttributeType
 
@@ -19,9 +20,14 @@ class RelationError(Exception):
 
 
 class Relation:
-    """A mutable bag of typed rows."""
+    """A mutable bag of typed rows.
 
-    __slots__ = ("schema", "_rows")
+    Relations can carry registered :class:`RowIndex` instances (see
+    :meth:`index_on`); every mutation keeps them in step, so a probe
+    never pays a rebuild.
+    """
+
+    __slots__ = ("schema", "_rows", "_indexes")
 
     def __init__(self, schema: Schema, rows: Iterable[tuple] = (), validate: bool = True):
         self.schema = schema
@@ -29,6 +35,7 @@ class Relation:
             self._rows = [schema.validate_row(tuple(row)) for row in rows]
         else:
             self._rows = [tuple(row) for row in rows]
+        self._indexes: dict[tuple[int, ...], RowIndex] = {}
 
     @classmethod
     def from_columns(
@@ -61,29 +68,39 @@ class Relation:
         return Relation(self.schema, list(self._rows), validate=False)
 
     def insert(self, row: tuple) -> None:
-        self._rows.append(self.schema.validate_row(tuple(row)))
+        validated = self.schema.validate_row(tuple(row))
+        self._rows.append(validated)
+        for index in self._indexes.values():
+            index.add(validated)
 
     def insert_all(self, rows: Iterable[tuple]) -> None:
         for row in rows:
             self.insert(row)
 
     def delete(self, row: tuple) -> None:
-        """Remove one occurrence of ``row``; raise if absent."""
+        """Remove one occurrence of ``row``; raise if absent.
+
+        Routed through :meth:`delete_all`'s multiset path, so callers
+        alternating single deletions with batches never hit the quadratic
+        repeated-``list.remove`` behavior.
+        """
         target = self.schema.validate_row(tuple(row))
         try:
-            self._rows.remove(target)
-        except ValueError:
+            self.delete_all((target,))
+        except RelationError:
             raise RelationError(f"cannot delete absent row {target!r}") from None
 
     def delete_all(self, rows: Iterable[tuple]) -> None:
         """Remove one occurrence per row; raise if any is absent.
 
         Deleting many rows one-by-one via ``list.remove`` is quadratic, so
-        this batches through a multiset.
+        this batches through a multiset: one pass over the bag regardless
+        of how many rows the batch removes.
         """
-        wanted = Counter(self.schema.validate_row(tuple(row)) for row in rows)
-        if not wanted:
+        removed = Counter(self.schema.validate_row(tuple(row)) for row in rows)
+        if not removed:
             return
+        wanted = Counter(removed)
         kept: list[tuple] = []
         for row in self._rows:
             if wanted.get(row, 0) > 0:
@@ -93,13 +110,43 @@ class Relation:
         missing = {row: n for row, n in wanted.items() if n > 0}
         if missing:
             raise RelationError(f"cannot delete absent rows {missing!r}")
+        for index in self._indexes.values():
+            index.remove_all(removed.elements())
         self._rows = kept
 
     def delete_where(self, predicate: Callable[[tuple], object]) -> list[tuple]:
-        """Remove all rows satisfying ``predicate``; return them."""
-        removed = [row for row in self._rows if predicate(row)]
-        self._rows = [row for row in self._rows if not predicate(row)]
+        """Remove all rows satisfying ``predicate``; return them.
+
+        A single pass partitions the bag, so the predicate runs exactly
+        once per row.
+        """
+        removed: list[tuple] = []
+        kept: list[tuple] = []
+        for row in self._rows:
+            if predicate(row):
+                removed.append(row)
+            else:
+                kept.append(row)
+        self._rows = kept
+        if removed:
+            for index in self._indexes.values():
+                index.remove_all(removed)
         return removed
+
+    # ------------------------------------------------------------------
+    # Registered indexes.
+    # ------------------------------------------------------------------
+
+    def index_on(self, *references: str) -> RowIndex:
+        """A :class:`RowIndex` on the given columns, registered so every
+        subsequent mutation maintains it incrementally.
+
+        Repeated calls with the same columns return the same index."""
+        positions = tuple(self.schema.index_of(ref) for ref in references)
+        index = self._indexes.get(positions)
+        if index is None:
+            index = self._indexes[positions] = RowIndex(positions, self._rows)
+        return index
 
     def as_multiset(self) -> Counter:
         return Counter(self._rows)

@@ -1,0 +1,87 @@
+"""Lightweight performance counters and phase timers for the hot path.
+
+The maintenance runtime is instrumented with named counters (rows
+reduced away, index probes, groups touched, ...) and wall-clock timings
+for the phases of Section 3.2's maintenance loop: ``coalesce``,
+``local-reduce``, ``join-reduce``, ``aggregate-fold``, ``aux-apply``,
+and ``recompute``.  Overhead is two ``perf_counter`` calls per phase per
+transaction, so the instrumentation can stay on in production.
+
+Snapshots are plain dictionaries, surfaced through
+``Warehouse.storage_report``/``Warehouse.perf_report`` and recorded by
+``benchmarks/bench_hotpath_maintenance.py`` so perf regressions show up
+as numbers, not vibes.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Phase names in the order maintenance runs them (used for rendering).
+PHASES = (
+    "coalesce",
+    "local-reduce",
+    "join-reduce",
+    "aggregate-fold",
+    "aux-apply",
+    "recompute",
+)
+
+
+class PerfStats:
+    """Named counters plus per-phase cumulative wall-clock seconds."""
+
+    __slots__ = ("counters", "seconds")
+
+    def __init__(self):
+        self.counters: Counter = Counter()
+        self.seconds: Counter = Counter()
+
+    def count(self, name: str, amount: int = 1) -> None:
+        if amount:
+            self.counters[name] += amount
+
+    @contextmanager
+    def timer(self, phase: str) -> Iterator[None]:
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.seconds[phase] += time.perf_counter() - started
+
+    def merge(self, other: "PerfStats") -> None:
+        self.counters.update(other.counters)
+        self.seconds.update(other.seconds)
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.seconds.clear()
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable copy: counters plus timings in milliseconds."""
+        return {
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+            "timings_ms": {
+                phase: round(self.seconds[phase] * 1000.0, 3)
+                for phase in sorted(self.seconds)
+            },
+        }
+
+    def render(self) -> str:
+        """An aligned text table (for CLI and example output)."""
+        lines = ["phase timings (ms):"]
+        ordered = [p for p in PHASES if p in self.seconds]
+        ordered += [p for p in sorted(self.seconds) if p not in PHASES]
+        for phase in ordered:
+            lines.append(f"  {phase:<16}{self.seconds[phase] * 1000.0:>10.3f}")
+        if self.counters:
+            lines.append("counters:")
+            for name in sorted(self.counters):
+                lines.append(f"  {name:<28}{self.counters[name]:>12}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return f"PerfStats({dict(self.counters)}, {dict(self.seconds)})"

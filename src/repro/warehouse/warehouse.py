@@ -20,13 +20,19 @@ from repro.engine.relation import Relation
 
 @dataclass(frozen=True)
 class StorageReport:
-    """Bytes held by the warehouse for one view, per the paper's model."""
+    """Bytes held by the warehouse for one view, per the paper's model.
+
+    ``perf`` carries the maintainer's cumulative hot-path statistics
+    (see :mod:`repro.perf`) so storage and maintenance cost read off one
+    report; ``None`` when no transaction has been applied yet.
+    """
 
     view: str
     summary_bytes: int
     detail_bytes: int
     per_auxiliary: dict[str, int]
     eliminated: tuple[str, ...]
+    perf: dict | None = None
 
     @property
     def total_bytes(self) -> int:
@@ -96,10 +102,16 @@ class Warehouse:
             aux.table: maintainer.aux_relation(aux.table).size_bytes()
             for aux in maintainer.aux_set
         }
+        snapshot = maintainer.perf.snapshot()
         return StorageReport(
             view=view_name,
             summary_bytes=maintainer.current_view().size_bytes(),
             detail_bytes=sum(per_aux.values()),
             per_auxiliary=per_aux,
             eliminated=tuple(maintainer.aux_set.eliminated),
+            perf=snapshot if snapshot["counters"] else None,
         )
+
+    def perf_report(self, view_name: str) -> str:
+        """The maintainer's hot-path counters and timings, rendered."""
+        return self._maintainers[view_name].perf.render()
