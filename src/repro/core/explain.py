@@ -160,6 +160,12 @@ def _maintenance_notes(
         "surviving deltas join only index-restricted neighbor rows, so "
         "per-transaction cost follows the delta, not the detail data"
     )
+    notes.append(
+        "transactions apply atomically: schema and append-only checks "
+        "run before any mutation, and a mid-apply failure rolls {V} u X "
+        "back to the pre-transaction state (perf counters: rollbacks, "
+        "rows_undone)"
+    )
     return notes
 
 

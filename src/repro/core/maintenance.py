@@ -47,6 +47,7 @@ from repro.engine.operators import AggregateItem, select
 from repro.engine.relation import Relation
 from repro.engine.rowindex import make_tuple_extractor
 from repro.engine.schema import Schema
+from repro.engine.undolog import UndoLog
 from repro.perf import PerfStats
 
 
@@ -79,6 +80,14 @@ class AuxMaterialization:
 
     def apply(self, base_rows: list[tuple], sign: int) -> None:
         """Fold reduced base-table rows in (+1) or out (-1)."""
+        raise NotImplementedError
+
+    def begin_undo(self, log: UndoLog) -> None:
+        """Enter a transaction scope: every mutation until
+        :meth:`end_undo` records its inverse into ``log``."""
+        raise NotImplementedError
+
+    def end_undo(self) -> None:
         raise NotImplementedError
 
     def key_values(self, column: str):
@@ -155,6 +164,15 @@ class ProjectionMaterialization(AuxMaterialization):
             self._relation.delete_all(projected)
         self._invalidate_keys()
 
+    def begin_undo(self, log: UndoLog) -> None:
+        self._relation.begin_undo(log)
+        # Legacy-mode key caches are derived state; a rollback simply
+        # drops them and the next probe rebuilds from the restored bag.
+        log.record(self._invalidate_keys)
+
+    def end_undo(self) -> None:
+        self._relation.end_undo()
+
     def _live_key_view(self, column: str):
         return self._relation.index_on(column).keys()
 
@@ -192,6 +210,8 @@ class CompressedMaterialization(AuxMaterialization):
         self._pin_slots = {
             name: slot for slot, name in enumerate(plan.pinned)
         }
+        self._undo: UndoLog | None = None
+        self._undo_saved: set[tuple] = set()
 
     def load(self, relation: Relation) -> None:
         if relation.schema != self.schema:
@@ -230,6 +250,13 @@ class CompressedMaterialization(AuxMaterialization):
         for row in base_rows:
             key = tuple(row[i] for i in self._pin_indexes)
             totals = self._groups.get(key)
+            if self._undo is not None and key not in self._undo_saved:
+                self._undo_saved.add(key)
+                snapshot = None if totals is None else list(totals)
+                self._undo.record(
+                    lambda k=key, t=snapshot: self._restore_group(k, t),
+                    rows=1,
+                )
             if totals is None:
                 if sign < 0:
                     raise SelfMaintenanceError(
@@ -261,6 +288,29 @@ class CompressedMaterialization(AuxMaterialization):
                     f"{self.aux.name}: negative count in group {key!r}"
                 )
 
+    def begin_undo(self, log: UndoLog) -> None:
+        self._undo = log
+        self._undo_saved = set()
+        # Recorded first, so LIFO runs it after every group restore:
+        # derived state (relation cache, group-key hash indexes, legacy
+        # key cache) is dropped wholesale and rebuilt lazily on next use.
+        log.record(self._drop_derived_state)
+
+    def end_undo(self) -> None:
+        self._undo = None
+        self._undo_saved = set()
+
+    def _restore_group(self, key: tuple, totals: list | None) -> None:
+        """Inverse of this transaction's mutations of one group."""
+        if totals is None:
+            self._groups.pop(key, None)
+        else:
+            self._groups[key] = totals
+
+    def _drop_derived_state(self) -> None:
+        self._cache = None
+        self._hash_indexes.clear()
+        self._invalidate_keys()
 
     def _index_group(self, key: tuple, add: bool) -> None:
         for column, index in self._hash_indexes.items():
@@ -422,6 +472,8 @@ class SelfMaintainer:
         self._rewrite_info = self._build_rewrite_info(database)
         self._neighbor_edges = self._build_neighbor_edges()
         self._groups: dict[tuple, GroupState] = {}
+        self._undo: UndoLog | None = None
+        self._undo_saved_groups: set[tuple] = set()
         if initialize:
             self._initialize(database)
 
@@ -633,6 +685,13 @@ class SelfMaintainer:
     def eliminated_tables(self) -> frozenset[str]:
         return self._eliminated
 
+    @property
+    def in_transaction(self) -> bool:
+        """Whether an :meth:`apply` is currently mutating state.  Reads
+        taken while this is true (e.g. from a checkpoint daemon) may
+        observe a partially-applied transaction."""
+        return self._undo is not None
+
     def aux_relation(self, table: str) -> Relation:
         return self._materializations[table].relation()
 
@@ -682,8 +741,25 @@ class SelfMaintainer:
     # Delta processing.
     # ------------------------------------------------------------------
 
-    def apply(self, transaction: Transaction) -> None:
-        """Maintain ``V`` and ``X`` under one source transaction."""
+    def apply(self, transaction: Transaction, undo: UndoLog | None = None) -> None:
+        """Maintain ``V`` and ``X`` under one source transaction, atomically.
+
+        Validation that needs no mutation (schema checks on every delta
+        row, the append-only constraint) runs first; every mutation after
+        that records its inverse in an undo log, and any exception rolls
+        all auxiliary views, their indexes, cached derived state, and the
+        summary groups back to the pre-transaction state before
+        re-raising — partial application would be unrecoverable, since
+        the sealed sources cannot re-derive ``{V} ∪ X``.
+
+        When ``undo`` is supplied, the inverse operations are handed to
+        the caller on success instead of being discarded, so a
+        coordinator (:meth:`repro.warehouse.warehouse.Warehouse.apply`,
+        a deferred refresh loop) can roll this transaction back after
+        a *later* participant fails.  On failure this maintainer always
+        rolls its own mutations back before re-raising; nothing is
+        appended to ``undo`` in that case.
+        """
         perf = self.perf
         perf.count("transactions")
         if self.append_only:
@@ -706,17 +782,91 @@ class SelfMaintainer:
                     _delta_rows(transaction) - _delta_rows(coalesced),
                 )
                 transaction = coalesced
+        with perf.timer("validate"):
+            validated = self._validate_transaction(transaction)
+        log = UndoLog()
+        self._begin_transaction(log)
+        try:
+            self._apply_validated(transaction, validated)
+        except Exception:
+            self._end_transaction()
+            with perf.timer("rollback"):
+                undone = log.rollback()
+            perf.count("rollbacks")
+            perf.count("rows_undone", undone)
+            raise
+        self._end_transaction()
+        if undo is not None:
+            undo.absorb(log)
+
+    def _validate_transaction(
+        self, transaction: Transaction
+    ) -> dict[str, tuple[list[tuple], list[tuple]]]:
+        """Schema-validate every delta row of every view table upfront.
+
+        Raising here is guaranteed to leave the maintainer untouched, so
+        a malformed row in the *last* delta of a transaction never costs
+        a rollback of work done for the earlier ones."""
+        validated: dict[str, tuple[list[tuple], list[tuple]]] = {}
+        for delta in transaction:
+            info = self._tables.get(delta.table)
+            if info is None:
+                continue  # not a view table: maintenance never reads it
+            validated[delta.table] = (
+                [info.schema.validate_row(row) for row in delta.inserted],
+                [info.schema.validate_row(row) for row in delta.deleted],
+            )
+        return validated
+
+    def _begin_transaction(self, log: UndoLog) -> None:
+        self._undo = log
+        self._undo_saved_groups = set()
+        for materialization in self._materializations.values():
+            materialization.begin_undo(log)
+
+    def _end_transaction(self) -> None:
+        self._undo = None
+        self._undo_saved_groups = set()
+        for materialization in self._materializations.values():
+            materialization.end_undo()
+
+    def _save_group(self, key: tuple) -> None:
+        """Record the inverse of this transaction's mutations of one
+        summary group (a value snapshot, taken once per key)."""
+        undo = self._undo
+        if undo is None or key in self._undo_saved_groups:
+            return
+        self._undo_saved_groups.add(key)
+        state = self._groups.get(key)
+        if state is None:
+            undo.record(lambda k=key: self._groups.pop(k, None), rows=1)
+        else:
+            snapshot = GroupState(
+                state.count, dict(state.sums), dict(state.values)
+            )
+            undo.record(
+                lambda k=key, s=snapshot: self._groups.__setitem__(k, s),
+                rows=1,
+            )
+
+    def _apply_validated(
+        self,
+        transaction: Transaction,
+        validated: dict[str, tuple[list[tuple], list[tuple]]],
+    ) -> None:
+        """The mutation half of :meth:`apply` (runs inside the undo scope)."""
+        perf = self.perf
         dirty: set[tuple] = set()
         rewrites = self._plan_rewrites(transaction)
         for table in self._order:
-            delta = transaction.delta_for(table)
-            if delta.deleted:
-                self._process_delta(table, list(delta.deleted), -1, dirty)
+            __, deleted = validated.get(table, ((), ()))
+            if deleted:
+                self._process_delta(table, deleted, -1, dirty)
         self._apply_rewrites(rewrites)
         for table in reversed(self._order):
-            delta = transaction.delta_for(table)
-            if delta.inserted:
-                self._process_delta(table, list(delta.inserted), +1, dirty)
+            inserted, __ = validated.get(table, ((), ()))
+            if inserted:
+                self._process_delta(table, inserted, +1, dirty)
         if dirty:
             perf.count("groups_recomputed", len(dirty))
             with perf.timer("recompute"):
@@ -833,6 +983,7 @@ class SelfMaintainer:
         rewrites: dict[tuple, list[tuple["_RewriteInfo", tuple | None]]],
     ) -> None:
         for old_key, operations in rewrites.items():
+            self._save_group(old_key)
             state = self._groups.pop(old_key, None)
             if state is None:
                 continue  # the group died during the deletion phase
@@ -851,6 +1002,7 @@ class SelfMaintainer:
                 raise SelfMaintenanceError(
                     f"group rewrite collision at {restored!r}"
                 )
+            self._save_group(restored)
             self._groups[restored] = state
 
     def _rewrite_state(
@@ -876,12 +1028,14 @@ class SelfMaintainer:
     def _process_delta(
         self, table: str, rows: list[tuple], sign: int, dirty: set[tuple]
     ) -> None:
+        """Reduce and propagate one table's (pre-validated) delta rows."""
         info = self._tables[table]
         perf = self.perf
         with perf.timer("local-reduce"):
-            reduced = [info.schema.validate_row(row) for row in rows]
             if info.local_predicate is not None:
-                reduced = [row for row in reduced if info.local_predicate(row)]
+                reduced = [row for row in rows if info.local_predicate(row)]
+            else:
+                reduced = rows
         perf.count("rows_locally_reduced_away", len(rows) - len(reduced))
         with perf.timer("join-reduce"):
             surviving = len(reduced)
@@ -1014,6 +1168,7 @@ class SelfMaintainer:
     def _merge_group(
         self, key: tuple, acc: GroupAccumulator, sign: int, dirty: set[tuple]
     ) -> None:
+        self._save_group(key)
         state = self._groups.get(key)
         if sign > 0:
             if state is None:
@@ -1142,5 +1297,6 @@ class SelfMaintainer:
                     f"group {key!r}: maintained count {state.count} disagrees "
                     f"with auxiliary views ({refreshed.count})"
                 )
+            self._save_group(key)
             state.values = refreshed.values
             state.sums = refreshed.sums

@@ -13,6 +13,7 @@ from typing import Callable, Iterable, Iterator
 from repro.engine.rowindex import RowIndex
 from repro.engine.schema import Attribute, Schema
 from repro.engine.types import AttributeType
+from repro.engine.undolog import UndoLog
 
 
 class RelationError(Exception):
@@ -25,9 +26,16 @@ class Relation:
     Relations can carry registered :class:`RowIndex` instances (see
     :meth:`index_on`); every mutation keeps them in step, so a probe
     never pays a rebuild.
+
+    Inside a transaction scope (:meth:`begin_undo` / :meth:`end_undo`)
+    every mutation records its inverse into the supplied
+    :class:`~repro.engine.undolog.UndoLog`; rolling the log back
+    restores the bag (and its registered indexes) to the state at
+    ``begin_undo``.  Row order within the backing list may differ after
+    a rollback — relations are bags, so order is not part of the state.
     """
 
-    __slots__ = ("schema", "_rows", "_indexes")
+    __slots__ = ("schema", "_rows", "_indexes", "_undo")
 
     def __init__(self, schema: Schema, rows: Iterable[tuple] = (), validate: bool = True):
         self.schema = schema
@@ -36,6 +44,7 @@ class Relation:
         else:
             self._rows = [tuple(row) for row in rows]
         self._indexes: dict[tuple[int, ...], RowIndex] = {}
+        self._undo: UndoLog | None = None
 
     @classmethod
     def from_columns(
@@ -72,6 +81,8 @@ class Relation:
         self._rows.append(validated)
         for index in self._indexes.values():
             index.add(validated)
+        if self._undo is not None:
+            self._undo.record(lambda: self._unapply_insert(validated), rows=1)
 
     def insert_all(self, rows: Iterable[tuple]) -> None:
         for row in rows:
@@ -113,6 +124,11 @@ class Relation:
         for index in self._indexes.values():
             index.remove_all(removed.elements())
         self._rows = kept
+        if self._undo is not None:
+            gone = list(removed.elements())
+            self._undo.record(
+                lambda: self._unapply_delete(gone), rows=len(gone)
+            )
 
     def delete_where(self, predicate: Callable[[tuple], object]) -> list[tuple]:
         """Remove all rows satisfying ``predicate``; return them.
@@ -131,7 +147,45 @@ class Relation:
         if removed:
             for index in self._indexes.values():
                 index.remove_all(removed)
+            if self._undo is not None:
+                gone = list(removed)
+                self._undo.record(
+                    lambda: self._unapply_delete(gone), rows=len(gone)
+                )
         return removed
+
+    # ------------------------------------------------------------------
+    # Transaction scope (undo logging).
+    # ------------------------------------------------------------------
+
+    def begin_undo(self, log: UndoLog) -> None:
+        """Enter a transaction scope: record every mutation's inverse
+        into ``log`` until :meth:`end_undo`."""
+        if self._undo is not None:
+            raise RelationError("relation is already in a transaction scope")
+        self._undo = log
+
+    def end_undo(self) -> None:
+        """Leave the transaction scope (the log's entries stay valid)."""
+        self._undo = None
+
+    def _unapply_insert(self, row: tuple) -> None:
+        """Inverse of one :meth:`insert`: remove one occurrence again."""
+        rows = self._rows
+        for i in range(len(rows) - 1, -1, -1):
+            if rows[i] == row:
+                del rows[i]
+                break
+        else:  # pragma: no cover - indicates a corrupted undo log
+            raise RelationError(f"undo cannot remove absent row {row!r}")
+        for index in self._indexes.values():
+            index.remove(row)
+
+    def _unapply_delete(self, rows: list[tuple]) -> None:
+        """Inverse of a batch deletion: put the removed rows back."""
+        self._rows.extend(rows)
+        for index in self._indexes.values():
+            index.add_all(rows)
 
     # ------------------------------------------------------------------
     # Registered indexes.
@@ -146,6 +200,13 @@ class Relation:
         index = self._indexes.get(positions)
         if index is None:
             index = self._indexes[positions] = RowIndex(positions, self._rows)
+            if self._undo is not None:
+                # An index born mid-transaction never saw the earlier
+                # forward operations, so inverse entries recorded before
+                # this point must not touch it: drop it on rollback (the
+                # LIFO order runs this before those earlier inverses) and
+                # let the next probe rebuild it lazily.
+                self._undo.record(lambda: self._indexes.pop(positions, None))
         return index
 
     def as_multiset(self) -> Counter:

@@ -132,6 +132,17 @@ class RowIndex:
         """Number of indexed rows (with multiplicity)."""
         return sum(sum(bucket.values()) for bucket in self._buckets.values())
 
+    def as_multiset(self) -> Counter:
+        """All indexed rows with multiplicity, bucket structure erased.
+
+        Equal to ``Counter(relation.rows)`` exactly when the index is
+        consistent with its backing bag — the invariant the rollback
+        machinery preserves and the fault-injection suite asserts."""
+        total: Counter = Counter()
+        for bucket in self._buckets.values():
+            total.update(bucket)
+        return total
+
     def __repr__(self) -> str:  # pragma: no cover - display helper
         return (
             f"RowIndex(positions={self.positions}, "

@@ -1,0 +1,78 @@
+"""Undo logging: the engine half of atomic transaction application.
+
+Self-maintained detail data cannot be re-derived from the (sealed)
+sources, so a transaction that fails halfway through maintenance must
+leave ``{V} ∪ X`` exactly as it found it — partial application would be
+silent, permanent corruption.  An :class:`UndoLog` collects inverse
+operations (closures) as mutations happen; on failure they are replayed
+in reverse (LIFO), restoring every participating relation, index, and
+group map to its pre-transaction state.
+
+Participants record into a *shared* log, so one rollback interleaves
+the inverse operations of many objects in exactly the reverse of the
+order the forward operations ran.  The log is operation-granular —
+cost is proportional to the delta, never to the stored detail — which
+keeps the always-on overhead inside the hot path's budget; the O(n)
+work (index rebuilds, cache refills) is deferred to the rollback path,
+which only runs on failure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class UndoLog:
+    """A LIFO log of inverse operations for one transaction scope.
+
+    ``rows`` on :meth:`record` lets participants attribute a row count
+    to each entry, so a rollback can report how many stored rows it
+    restored (the ``rows_undone`` perf counter).
+    """
+
+    __slots__ = ("_entries", "_rows")
+
+    def __init__(self):
+        self._entries: list[Callable[[], None]] = []
+        self._rows = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def rows_recorded(self) -> int:
+        """Total row mutations the logged entries would undo."""
+        return self._rows
+
+    def record(self, undo: Callable[[], None], rows: int = 0) -> None:
+        """Append an inverse operation (undoing ``rows`` row mutations)."""
+        self._entries.append(undo)
+        self._rows += rows
+
+    def rollback(self) -> int:
+        """Run every inverse operation in reverse order; return the number
+        of row mutations undone.  The log is empty afterwards."""
+        entries = self._entries
+        rows = self._rows
+        self._entries = []
+        self._rows = 0
+        while entries:
+            entries.pop()()
+        return rows
+
+    def commit(self) -> None:
+        """Discard the logged entries (the transaction is keeping them)."""
+        self._entries.clear()
+        self._rows = 0
+
+    def absorb(self, other: "UndoLog") -> None:
+        """Take over ``other``'s entries (appended after this log's own),
+        leaving ``other`` empty.  Used by multi-participant coordinators
+        that commit or roll back several scopes as one."""
+        self._entries.extend(other._entries)
+        self._rows += other._rows
+        other._entries = []
+        other._rows = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return f"UndoLog({len(self._entries)} entries, {self._rows} rows)"

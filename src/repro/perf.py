@@ -1,11 +1,13 @@
 """Lightweight performance counters and phase timers for the hot path.
 
 The maintenance runtime is instrumented with named counters (rows
-reduced away, index probes, groups touched, ...) and wall-clock timings
-for the phases of Section 3.2's maintenance loop: ``coalesce``,
+reduced away, index probes, groups touched, rolled-back transactions,
+...) and wall-clock timings for the phases of Section 3.2's maintenance
+loop: ``coalesce``, ``validate`` (the upfront no-mutation pass),
 ``local-reduce``, ``join-reduce``, ``aggregate-fold``, ``aux-apply``,
-and ``recompute``.  Overhead is two ``perf_counter`` calls per phase per
-transaction, so the instrumentation can stay on in production.
+``recompute``, and ``rollback`` (only on failed transactions).
+Overhead is two ``perf_counter`` calls per phase per transaction, so
+the instrumentation can stay on in production.
 
 Snapshots are plain dictionaries, surfaced through
 ``Warehouse.storage_report``/``Warehouse.perf_report`` and recorded by
@@ -23,11 +25,13 @@ from typing import Iterator
 #: Phase names in the order maintenance runs them (used for rendering).
 PHASES = (
     "coalesce",
+    "validate",
     "local-reduce",
     "join-reduce",
     "aggregate-fold",
     "aux-apply",
     "recompute",
+    "rollback",
 )
 
 

@@ -1,0 +1,21 @@
+"""Test-support utilities shipped with the package.
+
+:mod:`repro.testing.faults` provides deterministic fault injection at
+maintenance phase boundaries plus canonical state fingerprints — the
+machinery the crash-consistency suite (and any downstream embedder)
+uses to prove that failed transactions leave ``{V} ∪ X`` untouched.
+"""
+
+from repro.testing.faults import (
+    FaultInjector,
+    InjectedFault,
+    state_fingerprint,
+    verify_index_consistency,
+)
+
+__all__ = [
+    "FaultInjector",
+    "InjectedFault",
+    "state_fingerprint",
+    "verify_index_consistency",
+]

@@ -1,0 +1,169 @@
+"""Deterministic fault injection at maintenance phase boundaries.
+
+Every phase of :meth:`SelfMaintainer.apply` runs under
+``PerfStats.timer`` — which makes the perf instrumentation a natural
+seam for crash testing.  A :class:`FaultInjector` swaps a maintainer's
+:class:`~repro.perf.PerfStats` for a subclass that raises
+:class:`InjectedFault` at the *N*-th entry to (or exit from) a named
+phase, so a test can fail a transaction at any operator boundary —
+upfront validation, local reduction, join reduction, the aggregate
+fold of any table, auxiliary application, summary recomputation — and
+then assert the rollback restored the exact pre-transaction state.
+
+The injector is deterministic (no randomness, no wall-clock
+dependence): the same arm spec against the same transaction always
+fires at the same operation.  Occurrences count per ``apply`` *call
+sequence* since arming, so ``occurrence=2`` of ``aux-apply`` hits the
+second table processed, and arming a maintainer registered second in a
+warehouse exercises the cross-view (sibling) rollback path.
+
+:func:`state_fingerprint` and :func:`verify_index_consistency` are the
+matching assertion helpers: an order-insensitive snapshot of
+``{V} ∪ X`` and a check that every maintained hash index still mirrors
+its backing bag.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.perf import PHASES, PerfStats
+
+
+class InjectedFault(RuntimeError):
+    """The deliberate failure raised by an armed :class:`FaultInjector`."""
+
+
+class _FaultingPerf(PerfStats):
+    """A PerfStats that gives an injector a hook at every phase boundary."""
+
+    __slots__ = ("_injector",)
+
+    def __init__(self, injector: "FaultInjector"):
+        super().__init__()
+        self._injector = injector
+
+    @contextmanager
+    def timer(self, phase: str) -> Iterator[None]:
+        self._injector._fire(phase, "before")
+        with PerfStats.timer(self, phase):
+            yield
+        self._injector._fire(phase, "after")
+
+
+class FaultInjector:
+    """Arms deterministic failures inside one maintainer's apply loop.
+
+    Installing the injector replaces ``maintainer.perf``; stats keep
+    accumulating in the replacement and are merged back into the
+    original on :meth:`uninstall`.  Arming is one-shot: once the fault
+    fires, the injector disarms itself, so the rollback path (which
+    also runs under a perf timer) can never re-trigger it.
+    """
+
+    def __init__(self, maintainer):
+        self._maintainer = maintainer
+        self._original = maintainer.perf
+        self._perf = _FaultingPerf(self)
+        maintainer.perf = self._perf
+        self._armed: list | None = None
+        self._on_fire: Callable[[], None] | None = None
+        self.fired = 0
+
+    def arm(
+        self,
+        phase: str,
+        occurrence: int = 1,
+        when: str = "before",
+        on_fire: Callable[[], None] | None = None,
+    ) -> "FaultInjector":
+        """Raise at the ``occurrence``-th boundary of ``phase``.
+
+        ``when`` picks the entry (``"before"``: the phase's work has not
+        run) or the exit (``"after"``: it has) of the phase.  ``on_fire``
+        runs just before the raise — e.g. to attempt a checkpoint from
+        "inside the crash".  Arming the ``rollback`` phase is refused:
+        a fault there would sabotage the recovery under test.
+        """
+        if phase == "rollback":
+            raise ValueError("cannot inject a fault into the rollback phase")
+        if phase not in PHASES:
+            raise ValueError(f"unknown phase {phase!r} (choose from {PHASES})")
+        if when not in ("before", "after"):
+            raise ValueError(f"when must be 'before' or 'after', not {when!r}")
+        if occurrence < 1:
+            raise ValueError("occurrence counts from 1")
+        self._armed = [phase, when, occurrence]
+        self._on_fire = on_fire
+        return self
+
+    def disarm(self) -> None:
+        self._armed = None
+        self._on_fire = None
+
+    def uninstall(self) -> None:
+        """Restore the maintainer's original PerfStats (keeping the
+        counters and timings gathered while installed)."""
+        self._original.merge(self._perf)
+        self._perf.reset()
+        self._maintainer.perf = self._original
+
+    def _fire(self, phase: str, when: str) -> None:
+        armed = self._armed
+        if armed is None or armed[0] != phase or armed[1] != when:
+            return
+        armed[2] -= 1
+        if armed[2] > 0:
+            return
+        on_fire = self._on_fire
+        self.disarm()  # one-shot: never re-fires during rollback
+        self.fired += 1
+        if on_fire is not None:
+            on_fire()
+        raise InjectedFault(f"injected fault {when} phase {phase!r}")
+
+
+def state_fingerprint(maintainer) -> dict:
+    """A canonical, order-insensitive snapshot of ``{V} ∪ X``.
+
+    Two fingerprints are equal exactly when the maintained summary
+    groups and every auxiliary view are identical as bags — the
+    equality the rollback guarantee promises (row order inside a
+    relation's backing list is not part of the state).
+    """
+    auxiliary = {
+        table: sorted(Counter(relation.rows).items(), key=repr)
+        for table, relation in maintainer.aux_relations().items()
+    }
+    groups = sorted(
+        (
+            (
+                key,
+                state.count,
+                sorted(state.sums.items()),
+                sorted(state.values.items(), key=repr),
+            )
+            for key, state in maintainer._groups.items()
+        ),
+        key=repr,
+    )
+    return {"auxiliary": auxiliary, "groups": groups}
+
+
+def verify_index_consistency(maintainer) -> None:
+    """Assert every registered :class:`RowIndex` of every auxiliary
+    view still mirrors its backing bag exactly (multiplicities and
+    all) — the invariant incremental index maintenance and the undo
+    machinery must jointly preserve."""
+    for table, materialization in maintainer._materializations.items():
+        relation = materialization.relation()
+        expected = Counter(relation.rows)
+        for index in relation._indexes.values():
+            actual = index.as_multiset()
+            if actual != expected:
+                raise AssertionError(
+                    f"index {index!r} on {table!r} diverged from its bag: "
+                    f"extra={actual - expected!r} missing={expected - actual!r}"
+                )

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from repro.core.maintenance import SelfMaintainer
 from repro.engine.deltas import Transaction, coalesce
 from repro.engine.relation import Relation
+from repro.engine.undolog import UndoLog
 
 
 class StaleViewError(Exception):
@@ -58,8 +59,25 @@ class DeferredMaintainer:
         if not transaction.empty:
             self._buffer.append(transaction)
 
+    def discard(self, transaction: Transaction) -> bool:
+        """Drop one buffered occurrence of ``transaction`` (the operator
+        response to a poison transaction rejected by :meth:`refresh`);
+        returns whether anything was removed."""
+        try:
+            self._buffer.remove(transaction)
+        except ValueError:
+            return False
+        return True
+
     def refresh(self) -> RefreshStats:
-        """Propagate everything buffered since the last refresh."""
+        """Propagate everything buffered since the last refresh.
+
+        All-or-nothing: if any buffered transaction is rejected, the
+        transactions already propagated by this call are rolled back,
+        the buffer is left intact, and the exception propagates — so a
+        retried ``refresh()`` (say, after :meth:`discard`-ing the
+        offender) never double-applies the ones that had succeeded.
+        """
         buffered_rows = sum(
             len(delta.inserted) + len(delta.deleted)
             for transaction in self._buffer
@@ -72,25 +90,43 @@ class DeferredMaintainer:
                 len(delta.inserted) + len(delta.deleted) for delta in net
             )
             if not net.empty:
-                self._inner.apply(net)
+                self._inner.apply(net)  # atomic on its own; buffer kept on raise
         else:
             propagated_rows = buffered_rows
-            for transaction in self._buffer:
-                self._inner.apply(transaction)
+            applied: list[UndoLog] = []
+            try:
+                for transaction in self._buffer:
+                    log = UndoLog()
+                    self._inner.apply(transaction, undo=log)
+                    applied.append(log)
+            except Exception:
+                perf = self._inner.perf
+                for log in reversed(applied):
+                    undone = log.rollback()
+                    perf.count("rollbacks")
+                    perf.count("rows_undone", undone)
+                raise
         self._buffer = []
         return RefreshStats(count, buffered_rows, propagated_rows)
 
     def current_view(self, allow_stale: bool = False) -> Relation:
         """The summary table; refuses stale reads unless opted in."""
+        self._check_fresh(allow_stale)
+        return self._inner.current_view()
+
+    def aux_relation(self, table: str, allow_stale: bool = False) -> Relation:
+        """One current-detail table; stale like the summary whenever
+        transactions are buffered, so the same opt-in applies."""
+        self._check_fresh(allow_stale)
+        return self._inner.aux_relation(table)
+
+    def detail_size_bytes(self, allow_stale: bool = False) -> int:
+        self._check_fresh(allow_stale)
+        return self._inner.detail_size_bytes()
+
+    def _check_fresh(self, allow_stale: bool) -> None:
         if self._buffer and not allow_stale:
             raise StaleViewError(
                 f"{self.pending} transactions pending; call refresh() or "
                 "read with allow_stale=True"
             )
-        return self._inner.current_view()
-
-    def aux_relation(self, table: str) -> Relation:
-        return self._inner.aux_relation(table)
-
-    def detail_size_bytes(self) -> int:
-        return self._inner.detail_size_bytes()

@@ -24,7 +24,13 @@ FORMAT_VERSION = 1
 
 
 def dump_maintainer(maintainer: SelfMaintainer) -> dict:
-    """A JSON-serializable checkpoint of one maintainer."""
+    """A JSON-serializable checkpoint of one maintainer.
+
+    Refuses to run mid-transaction: a checkpoint cut while ``apply`` is
+    mutating state would capture a partially-applied transaction, and a
+    restore from it could never be repaired from the sealed sources.
+    """
+    _check_quiescent(maintainer)
     return {
         "format": FORMAT_VERSION,
         "state": maintainer.export_state(),
@@ -52,7 +58,10 @@ def restore_maintainer(
 
 
 def dump_warehouse(warehouse: Warehouse) -> dict:
-    """Checkpoint every registered view of a warehouse."""
+    """Checkpoint every registered view of a warehouse (only between
+    transactions — see :func:`dump_maintainer`)."""
+    for name in warehouse.view_names:
+        _check_quiescent(warehouse.maintainer(name))
     return {
         "format": FORMAT_VERSION,
         "views": {
@@ -103,6 +112,15 @@ def load_warehouse(
     """Read a warehouse checkpoint from ``path``."""
     checkpoint = json.loads(Path(path).read_text())
     return restore_warehouse(views, catalog, checkpoint)
+
+
+def _check_quiescent(maintainer: SelfMaintainer) -> None:
+    if maintainer.in_transaction:
+        raise SelfMaintenanceError(
+            f"cannot checkpoint view {maintainer.view.name!r} while a "
+            "transaction is being applied (the snapshot would not be "
+            "crash-consistent)"
+        )
 
 
 def _check_format(checkpoint: Mapping) -> None:

@@ -16,6 +16,7 @@ from repro.core.maintenance import SelfMaintainer
 from repro.core.view import ViewDefinition
 from repro.engine.deltas import Transaction
 from repro.engine.relation import Relation
+from repro.engine.undolog import UndoLog
 
 
 @dataclass(frozen=True)
@@ -73,9 +74,28 @@ class Warehouse:
     # ------------------------------------------------------------------
 
     def apply(self, transaction: Transaction) -> None:
-        """Propagate one source transaction into every registered view."""
-        for maintainer in self._maintainers.values():
-            maintainer.apply(transaction)
+        """Propagate one source transaction into every registered view,
+        atomically across views.
+
+        Maintainers run in registration order; if any of them rejects
+        the transaction, the views already updated in this call are
+        rolled back (in reverse order) before the exception propagates,
+        so the warehouse never exposes a state where some summary tables
+        reflect a source transaction and others do not.  The failing
+        maintainer rolls its own partial work back itself.
+        """
+        applied: list[tuple[SelfMaintainer, UndoLog]] = []
+        try:
+            for maintainer in self._maintainers.values():
+                log = UndoLog()
+                maintainer.apply(transaction, undo=log)
+                applied.append((maintainer, log))
+        except Exception:
+            for maintainer, log in reversed(applied):
+                undone = log.rollback()
+                maintainer.perf.count("rollbacks")
+                maintainer.perf.count("rows_undone", undone)
+            raise
 
     # ------------------------------------------------------------------
     # Reads.

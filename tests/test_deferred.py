@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.maintenance import SelfMaintainer
+from repro.core.maintenance import SelfMaintainer, SelfMaintenanceError
 from repro.engine.deltas import Delta, Transaction, coalesce
 from repro.warehouse.deferred import DeferredMaintainer, StaleViewError
 from repro.workloads.retail import product_sales_view
@@ -141,3 +141,73 @@ class TestDeferredMaintainer:
         __, deferred = self.make()
         deferred.apply(Transaction())
         assert deferred.pending == 0
+
+    def test_stale_detail_reads_refused(self):
+        """aux_relation/detail_size_bytes serve the same detail the
+        summary is derived from; they honour the same staleness guard."""
+        database, deferred = self.make()
+        transaction = Transaction.of(
+            Delta.insertion("sale", [(100, 1, 1, 1, 30)])
+        )
+        database.apply(transaction)
+        deferred.apply(transaction)
+        with pytest.raises(StaleViewError):
+            deferred.aux_relation("sale")
+        with pytest.raises(StaleViewError):
+            deferred.detail_size_bytes()
+        assert len(deferred.aux_relation("sale", allow_stale=True)) > 0
+        assert deferred.detail_size_bytes(allow_stale=True) > 0
+        deferred.refresh()
+        assert len(deferred.aux_relation("sale")) > 0
+        assert deferred.detail_size_bytes() > 0
+
+    def test_failed_refresh_is_all_or_nothing_and_retryable(self):
+        """Regression: a mid-loop failure in the non-coalesced path used
+        to keep the whole buffer while leaving the already-propagated
+        transactions applied, so a retried refresh double-applied them."""
+        database, deferred = self.make(coalesce_deltas=False)
+        view = product_sales_view(1997)
+        good1 = Transaction.of(Delta.insertion("sale", [(100, 1, 1, 1, 30)]))
+        # Joins fine (time 3, product 3 exist) but no such detail group.
+        poison = Transaction.of(Delta.deletion("sale", [(999, 3, 3, 1, 7)]))
+        good2 = Transaction.of(Delta.insertion("sale", [(101, 1, 2, 1, 40)]))
+        database.apply(good1)
+        database.apply(good2)
+        for transaction in (good1, poison, good2):
+            deferred.apply(transaction)
+        with pytest.raises(SelfMaintenanceError):
+            deferred.refresh()
+        # Buffer intact, nothing half-applied: detail still matches the
+        # pre-refresh state.
+        assert deferred.pending == 3
+        assert_same_bag(
+            deferred.current_view(allow_stale=True),
+            view.evaluate(paper_database()),
+        )
+        # Drop the poison transaction and retry: exactly-once semantics.
+        assert deferred.discard(poison)
+        assert not deferred.discard(poison)
+        stats = deferred.refresh()
+        assert stats.transactions == 2
+        assert_same_bag(deferred.current_view(), view.evaluate(database))
+
+    def test_failed_coalesced_refresh_keeps_buffer(self):
+        database, deferred = self.make(coalesce_deltas=True)
+        good = Transaction.of(Delta.insertion("sale", [(100, 1, 1, 1, 30)]))
+        poison = Transaction.of(Delta.deletion("sale", [(999, 3, 3, 1, 7)]))
+        deferred.apply(good)
+        deferred.apply(poison)
+        with pytest.raises(SelfMaintenanceError):
+            deferred.refresh()
+        assert deferred.pending == 2
+        assert_same_bag(
+            deferred.current_view(allow_stale=True),
+            product_sales_view(1997).evaluate(paper_database()),
+        )
+        database.apply(good)
+        deferred.discard(poison)
+        deferred.refresh()
+        assert_same_bag(
+            deferred.current_view(),
+            product_sales_view(1997).evaluate(database),
+        )

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.engine.deltas import Delta, Transaction
-from repro.core.maintenance import SelfMaintainer
+from repro.core.maintenance import SelfMaintainer, SelfMaintenanceError
+from repro.testing.faults import FaultInjector, InjectedFault, state_fingerprint
 from repro.warehouse.sources import SealedSource, SourceAccessError
 from repro.warehouse.warehouse import Warehouse
 from repro.workloads.retail import (
@@ -140,3 +141,78 @@ class TestWarehouse:
         report = warehouse.storage_report("product_sales")
         fact_bytes = database.relation("sale").size_bytes()
         assert report.per_auxiliary["sale"] < fact_bytes
+
+
+class TestWarehouseAtomicity:
+    """One failing view must not leave sibling views updated (ISSUE 2)."""
+
+    def make(self):
+        database = paper_database()
+        warehouse = Warehouse(database)
+        warehouse.register(product_sales_view(1997))
+        warehouse.register(product_sales_max_view())
+        return database, warehouse
+
+    def test_second_view_failure_rolls_back_first(self):
+        """Regression: views are updated in registration order, so a
+        mid-loop failure used to leave earlier views updated and later
+        ones stale.  Now the whole warehouse apply is atomic."""
+        database, warehouse = self.make()
+        first = warehouse.maintainer("product_sales")
+        second = warehouse.maintainer("product_sales_max")
+        before_first = state_fingerprint(first)
+        before_second = state_fingerprint(second)
+        injector = FaultInjector(second)
+        injector.arm("aggregate-fold")
+        transaction = Transaction.of(
+            Delta.insertion("sale", [(100, 1, 1, 1, 30)])
+        )
+        with pytest.raises(InjectedFault):
+            warehouse.apply(transaction)
+        assert state_fingerprint(first) == before_first
+        assert state_fingerprint(second) == before_second
+        assert first.perf.counters["rollbacks"] == 1
+        injector.uninstall()
+        assert second.perf.counters["rollbacks"] == 1
+        # The warehouse keeps working after recovery.
+        database.apply(transaction)
+        warehouse.apply(transaction)
+        assert_same_bag(
+            warehouse.summary("product_sales"),
+            product_sales_view(1997).evaluate(database),
+        )
+        assert_same_bag(
+            warehouse.summary("product_sales_max"),
+            product_sales_max_view().evaluate(database),
+        )
+
+    def test_second_view_rejecting_transaction_rolls_back_first(self):
+        """An adopted append-only view rejects deletions upfront; the
+        first (regular) view has already absorbed them by then and must
+        be rolled back."""
+        database = paper_database()
+        warehouse = Warehouse(database)
+        warehouse.register(product_sales_view(1997))
+        append_only = SelfMaintainer(
+            product_sales_max_view(), database, append_only=True
+        )
+        warehouse.adopt(append_only)
+        first = warehouse.maintainer("product_sales")
+        before_first = state_fingerprint(first)
+        before_second = state_fingerprint(append_only)
+        transaction = Transaction.of(
+            Delta(
+                "sale",
+                inserted=((100, 1, 1, 1, 30),),
+                deleted=((1, 1, 1, 1, 10),),
+            )
+        )
+        with pytest.raises(SelfMaintenanceError, match="append-only"):
+            warehouse.apply(transaction)
+        assert state_fingerprint(first) == before_first
+        assert state_fingerprint(append_only) == before_second
+        assert first.perf.counters["rollbacks"] == 1
+        assert_same_bag(
+            warehouse.summary("product_sales"),
+            product_sales_view(1997).evaluate(database),
+        )
