@@ -152,7 +152,7 @@ def test_dimension_update_latency_with_indexes(benchmark):
         )
         maintainer = SelfMaintainer(view, database)
         if not restrict:
-            maintainer._restrict_ancestor_path = lambda *a, **k: None
+            maintainer.set_restriction(False)
         products = list(database.relation("product").rows)
         transactions = []
         for i in range(30):

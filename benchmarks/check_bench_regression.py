@@ -1,0 +1,98 @@
+"""CI gate: fail on hot-path throughput regression vs the committed baseline.
+
+Compares a fresh ``bench_hotpath_maintenance.py`` run against the
+checked-in ``BENCH_hotpath.json``.  Raw rows/second is hardware-bound
+and useless across CI machines, so the gate compares each stream's
+``speedup`` — the indexed-over-naive throughput ratio measured within
+one run on one machine — which is what the plan layer must not erode.
+
+Usage::
+
+    python benchmarks/bench_hotpath_maintenance.py \
+        --scale small --transactions 40 --out /tmp/BENCH_smoke.json
+    python benchmarks/check_bench_regression.py /tmp/BENCH_smoke.json \
+        [--baseline BENCH_hotpath.json] [--scale small] [--tolerance 0.25]
+
+Exit status 1 (with a per-stream report) if any stream's speedup falls
+more than ``tolerance`` below the baseline's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+
+def compare(
+    baseline: dict, fresh: dict, scale: str, tolerance: float
+) -> list[str]:
+    """Human-readable failures; empty when the gate passes."""
+    try:
+        base_streams = baseline["scales"][scale]["streams"]
+    except KeyError:
+        return [f"baseline has no scale {scale!r}"]
+    try:
+        fresh_streams = fresh["scales"][scale]["streams"]
+    except KeyError:
+        return [f"fresh run has no scale {scale!r}"]
+    failures = []
+    for kind, base in sorted(base_streams.items()):
+        measured = fresh_streams.get(kind)
+        if measured is None:
+            failures.append(f"{kind}: missing from fresh run")
+            continue
+        floor = base["speedup"] * (1.0 - tolerance)
+        verdict = "ok" if measured["speedup"] >= floor else "REGRESSION"
+        print(
+            f"  {kind:<13} baseline {base['speedup']:>5.2f}x  "
+            f"measured {measured['speedup']:>5.2f}x  "
+            f"floor {floor:>5.2f}x  {verdict}"
+        )
+        if measured["speedup"] < floor:
+            failures.append(
+                f"{kind}: speedup {measured['speedup']:.2f}x fell below "
+                f"{floor:.2f}x ({base['speedup']:.2f}x baseline - "
+                f"{tolerance:.0%} tolerance)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="JSON written by a fresh bench run")
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="committed baseline JSON (default: repo BENCH_hotpath.json)",
+    )
+    parser.add_argument(
+        "--scale", default="small", help="scale to gate on (default: small)"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional speedup drop (default: 0.25)",
+    )
+    args = parser.parse_args(argv)
+    baseline = json.loads(Path(args.baseline).read_text())
+    fresh = json.loads(Path(args.fresh).read_text())
+    print(
+        f"hot-path regression gate: scale={args.scale} "
+        f"tolerance={args.tolerance:.0%}"
+    )
+    failures = compare(baseline, fresh, args.scale, args.tolerance)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

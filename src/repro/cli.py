@@ -86,6 +86,12 @@ def _build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="derive for append-only (old) detail data",
             )
+        if name == "explain":
+            sub.add_argument(
+                "--plan",
+                action="store_true",
+                help="print the physical evaluation and maintenance plans",
+            )
         sub.set_defaults(handler=handler)
 
     share = subparsers.add_parser(
@@ -195,9 +201,14 @@ def _cmd_derive(args) -> int:
 
 
 def _cmd_explain(args) -> int:
+    database, view = _load(args)
+    if args.plan:
+        from repro.plan.explain import explain_view_plans
+
+        print(explain_view_plans(view, database))
+        return 0
     from repro.core.explain import explain_derivation
 
-    database, view = _load(args)
     report = explain_derivation(
         view, database, append_only=args.append_only
     )

@@ -25,7 +25,6 @@ the paper's reduction arguments assume.
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.catalog.database import Database
@@ -49,6 +48,9 @@ from repro.engine.rowindex import make_tuple_extractor
 from repro.engine.schema import Schema
 from repro.engine.undolog import UndoLog
 from repro.perf import PerfStats
+from repro.plan.executor import ExecutionContext
+from repro.plan.maintenance import DeltaPlans, MaintenancePlanner
+from repro.plan.planner import PlanPolicy
 
 
 class SelfMaintenanceError(Exception):
@@ -417,10 +419,13 @@ class SelfMaintainer:
         ``initialize=False`` skips the one-time base-table load; the
         caller must then populate the maintainer via
         :meth:`load_state` (warehouse restart from a checkpoint).
-        ``hotpath=False`` disables delta coalescing, the maintained
-        indexes, and full join-tree restriction, reverting to the seed
-        maintenance loop; results are identical either way — the flag
-        exists so the hot-path benchmark can measure the gap."""
+        ``hotpath`` selects the planner policy: ``True`` plans with the
+        maintained hash indexes, delta coalescing, and full join-tree
+        restriction (:attr:`PlanPolicy.INDEXED`); ``False`` plans the
+        seed maintenance pipeline (:attr:`PlanPolicy.NAIVE` — rebuilt
+        key caches, ancestor-only restriction, no coalescing, no
+        cross-view sharing).  Results are identical either way — the
+        policy exists so the hot-path benchmark can measure the gap."""
         self.view = view
         self.append_only = append_only
         self.graph = graph or ExtendedJoinGraph(view, database)
@@ -429,7 +434,7 @@ class SelfMaintainer:
         )
         self.reconstructor = Reconstructor(view, self.aux_set, database)
         self.perf = PerfStats()
-        self._hotpath = hotpath
+        self.policy = PlanPolicy.INDEXED if hotpath else PlanPolicy.NAIVE
         self._materializations: dict[str, AuxMaterialization] = {
             aux.table: make_materialization(aux, use_indexes=hotpath)
             for aux in self.aux_set
@@ -441,12 +446,16 @@ class SelfMaintainer:
             table: self._table_info(view, database, table)
             for table in view.tables
         }
-        self._key_indexes = {
-            table: database.table(table).key_index() for table in view.tables
-        }
-        self._key_names = {
-            table: database.table(table).key for table in view.tables
-        }
+        self._planner = MaintenancePlanner(
+            view,
+            database,
+            self.graph,
+            self.aux_set,
+            self.reconstructor,
+            self.policy,
+            self._order,
+        )
+        self._delta_plans: dict[tuple[str, int], DeltaPlans] = {}
         self._constant_tables = self._group_constant_tables()
         self._varying_items = frozenset(
             index
@@ -470,7 +479,6 @@ class SelfMaintainer:
                 "non-CSMAS aggregates present"
             )
         self._rewrite_info = self._build_rewrite_info(database)
-        self._neighbor_edges = self._build_neighbor_edges()
         self._groups: dict[tuple, GroupState] = {}
         self._undo: UndoLog | None = None
         self._undo_saved_groups: set[tuple] = set()
@@ -490,32 +498,6 @@ class SelfMaintainer:
             order.append(table)
             stack.extend(reversed(self.graph.children(table)))
         return tuple(order)
-
-    def _build_neighbor_edges(
-        self,
-    ) -> dict[str, tuple[tuple[str, str, str], ...]]:
-        """For each view table, its join-tree neighbors as
-        ``(neighbor, local column, neighbor column)`` — both directions
-        of every join edge, one entry per neighbor pair.
-
-        Restriction by one attribute pair of a multi-condition edge is
-        conservative (a superset of the joinable rows survives), which
-        is all soundness needs.
-        """
-        edges: dict[str, list[tuple[str, str, str]]] = {
-            table: [] for table in self.view.tables
-        }
-        seen: set[tuple[str, str]] = set()
-        for join in self.view.joins:
-            pair = (join.left_table, join.right_table)
-            if pair in seen:
-                continue
-            seen.add(pair)
-            left = f"{join.left_table}.{join.left_attribute}"
-            right = f"{join.right_table}.{join.right_attribute}"
-            edges[join.left_table].append((join.right_table, left, right))
-            edges[join.right_table].append((join.left_table, right, left))
-        return {table: tuple(pairs) for table, pairs in edges.items()}
 
     def _table_info(
         self, view: ViewDefinition, database: Database, table: str
@@ -741,7 +723,12 @@ class SelfMaintainer:
     # Delta processing.
     # ------------------------------------------------------------------
 
-    def apply(self, transaction: Transaction, undo: UndoLog | None = None) -> None:
+    def apply(
+        self,
+        transaction: Transaction,
+        undo: UndoLog | None = None,
+        shared: dict | None = None,
+    ) -> None:
         """Maintain ``V`` and ``X`` under one source transaction, atomically.
 
         Validation that needs no mutation (schema checks on every delta
@@ -759,9 +746,19 @@ class SelfMaintainer:
         a *later* participant fails.  On failure this maintainer always
         rolls its own mutations back before re-raising; nothing is
         appended to ``undo`` in that case.
+
+        ``shared`` is an optional per-transaction cache of delta-only
+        subplan results, keyed by logical plan node.  A warehouse passes
+        one dict to every maintainer it drives for a transaction, so
+        structurally identical subplans (the coalesced, locally-reduced
+        delta of a table two views both read) are computed once.  Only
+        the ``INDEXED`` policy shares: naive maintainers skip
+        coalescing, so their delta bindings differ per maintainer.
         """
         perf = self.perf
         perf.count("transactions")
+        if self.policy is not PlanPolicy.INDEXED:
+            shared = None
         if self.append_only:
             offenders = [
                 delta.table
@@ -773,7 +770,7 @@ class SelfMaintainer:
                     f"append-only detail data received deletions on "
                     f"{offenders!r}"
                 )
-        if self._hotpath:
+        if self.policy is PlanPolicy.INDEXED:
             with perf.timer("coalesce"):
                 coalesced = transaction.coalesced()
             if coalesced is not transaction:
@@ -787,7 +784,7 @@ class SelfMaintainer:
         log = UndoLog()
         self._begin_transaction(log)
         try:
-            self._apply_validated(transaction, validated)
+            self._apply_validated(transaction, validated, shared)
         except Exception:
             self._end_transaction()
             with perf.timer("rollback"):
@@ -853,6 +850,7 @@ class SelfMaintainer:
         self,
         transaction: Transaction,
         validated: dict[str, tuple[list[tuple], list[tuple]]],
+        shared: dict | None = None,
     ) -> None:
         """The mutation half of :meth:`apply` (runs inside the undo scope)."""
         perf = self.perf
@@ -861,12 +859,12 @@ class SelfMaintainer:
         for table in self._order:
             __, deleted = validated.get(table, ((), ()))
             if deleted:
-                self._process_delta(table, deleted, -1, dirty)
+                self._process_delta(table, deleted, -1, dirty, shared)
         self._apply_rewrites(rewrites)
         for table in reversed(self._order):
             inserted, __ = validated.get(table, ((), ()))
             if inserted:
-                self._process_delta(table, inserted, +1, dirty)
+                self._process_delta(table, inserted, +1, dirty, shared)
         if dirty:
             perf.count("groups_recomputed", len(dirty))
             with perf.timer("recompute"):
@@ -928,13 +926,10 @@ class SelfMaintainer:
     ):
         """Live group keys pinned to any of ``anchor_ids``.
 
-        The hot path answers from a ``anchor value -> group keys`` index
-        built once per transaction (updates rewrite only the groups they
-        touch); legacy mode scans all of ``V`` per deleted dimension row.
+        Answered from an ``anchor value -> group keys`` index built once
+        per transaction, so updates rewrite only the groups they touch.
         """
         position = info.anchor_position
-        if not self._hotpath:
-            return [k for k in self._groups if k[position] in anchor_ids]
         index = cache.get(position)
         if index is None:
             index = cache[position] = {}
@@ -963,17 +958,9 @@ class SelfMaintainer:
         ids = {key_value}
         for parent, fk_column, key_column in info.path:
             materialization = self._materializations[parent]
-            if self._hotpath:
-                rows = materialization.rows_matching(fk_column, ids)
-                key_index = materialization.schema.index_of(key_column)
-                ids = {row[key_index] for row in rows}
-            else:
-                relation = materialization.relation()
-                fk_index = relation.schema.index_of(fk_column)
-                key_index = relation.schema.index_of(key_column)
-                ids = {
-                    row[key_index] for row in relation if row[fk_index] in ids
-                }
+            rows = materialization.rows_matching(fk_column, ids)
+            key_index = materialization.schema.index_of(key_column)
+            ids = {row[key_index] for row in rows}
             if not ids:
                 break
         return ids
@@ -1025,145 +1012,66 @@ class SelfMaintainer:
                     item, {value}
                 )
 
+    def delta_plans(self, table: str, sign: int) -> DeltaPlans:
+        """The compiled maintenance pipeline for one delta shape, built
+        once per (table, sign) and reused for every transaction."""
+        key = (table, sign)
+        plans = self._delta_plans.get(key)
+        if plans is None:
+            plans = self._delta_plans[key] = self._planner.build(table, sign)
+        return plans
+
+    def set_restriction(self, enabled: bool) -> None:
+        """Plan future propagation joins with (default) or without the
+        delta-driven semijoin restriction of the other auxiliary views —
+        the ablation switch for measuring what restriction buys."""
+        self._planner.restrict = enabled
+        self._delta_plans.clear()
+
     def _process_delta(
-        self, table: str, rows: list[tuple], sign: int, dirty: set[tuple]
+        self,
+        table: str,
+        rows: list[tuple],
+        sign: int,
+        dirty: set[tuple],
+        shared: dict | None = None,
     ) -> None:
-        """Reduce and propagate one table's (pre-validated) delta rows."""
+        """Reduce and propagate one table's (pre-validated) delta rows.
+
+        The work runs through the static plans compiled by
+        :class:`~repro.plan.maintenance.MaintenancePlanner`; one
+        execution context memoizes shared prefixes (the reduced delta
+        feeds both the propagation join and the auxiliary fold), and the
+        warehouse-supplied ``shared`` dict extends that memoization to
+        the delta-only subplans of sibling maintainers.
+        """
         info = self._tables[table]
         perf = self.perf
+        plans = self.delta_plans(table, sign)
+        ctx = ExecutionContext(
+            providers=self._materializations,
+            perf=perf,
+            shared=shared,
+            deltas={(table, sign): Relation(info.schema, rows, validate=False)},
+        )
         with perf.timer("local-reduce"):
-            if info.local_predicate is not None:
-                reduced = [row for row in rows if info.local_predicate(row)]
-            else:
-                reduced = rows
-        perf.count("rows_locally_reduced_away", len(rows) - len(reduced))
+            locally = plans.local.run(ctx)
+        perf.count("rows_locally_reduced_away", len(rows) - len(locally))
         with perf.timer("join-reduce"):
-            surviving = len(reduced)
-            for fk_index, dep_table, dep_key in info.reductions:
-                keys = self._materializations[dep_table].key_values(dep_key)
-                reduced = [row for row in reduced if row[fk_index] in keys]
-            perf.count("join_reduce_probes", surviving * len(info.reductions))
-            perf.count("rows_join_reduced_away", surviving - len(reduced))
+            reduced = plans.reduce.run(ctx)
+            perf.count("join_reduce_probes", len(locally) * plans.n_reductions)
+            perf.count("rows_join_reduced_away", len(locally) - len(reduced))
         if not reduced:
             return
         perf.count("rows_propagated", len(reduced))
-        skip_view = (
-            self._root in self._eliminated and table != self._root
-        )
-        if not skip_view:
+        if plans.propagate is not None:
             with perf.timer("aggregate-fold"):
-                self._propagate_to_view(table, reduced, sign, dirty)
+                contributions = plans.propagate.run(ctx)
+                for key, acc in contributions.items():
+                    self._merge_group(key, acc, sign, dirty)
         if table not in self._eliminated:
             with perf.timer("aux-apply"):
-                self._materializations[table].apply(reduced, sign)
-
-    def _propagate_to_view(
-        self, table: str, reduced: list[tuple], sign: int, dirty: set[tuple]
-    ) -> None:
-        # The changed table's own auxiliary view is replaced by the delta
-        # relation, so skip materializing it — for compressed views this
-        # keeps fact-only streams from paying an O(|X_root|) relation
-        # rebuild on every transaction.
-        mapping: dict[str, Relation] = {
-            other: materialization.relation()
-            for other, materialization in self._materializations.items()
-            if other != table
-        }
-        mapping[table] = Relation(
-            self._tables[table].schema, reduced, validate=False
-        )
-        if self._hotpath:
-            self._restrict_join_neighbors(table, reduced, mapping)
-        else:
-            self._restrict_ancestor_path(table, reduced, mapping)
-        joined = self.reconstructor.join_all(mapping, start=table)
-        if not joined:
-            return
-        program = self.reconstructor.compile_program(joined.schema)
-        contributions: dict[tuple, GroupAccumulator] = {}
-        self.reconstructor.run_program(program, joined.rows, contributions)
-        for key, acc in contributions.items():
-            self._merge_group(key, acc, sign, dirty)
-
-    def _restrict_join_neighbors(
-        self, table: str, reduced: list[tuple], mapping: dict[str, Relation]
-    ) -> None:
-        """Semijoin-restrict *every* other view table to the rows that can
-        join the delta, walking the join tree outward from the changed
-        table and probing the maintained indexes.
-
-        This generalizes :meth:`_restrict_ancestor_path` to descendants
-        and siblings: a fact delta no longer pays a hash build over each
-        full dimension auxiliary view, and a dimension delta restricts
-        the other dimensions through the (already restricted) root.  Only
-        rows reachable from the delta along join edges can contribute, so
-        the join over the restricted relations is unchanged; when a hop's
-        join column is not stored in a materialization the walk stops
-        there and the remaining relations stay full (still sound).
-        """
-        perf = self.perf
-        frontier: list[tuple[str, Schema, list[tuple]]] = [
-            (table, self._tables[table].schema, reduced)
-        ]
-        visited = {table}
-        while frontier:
-            current, schema, rows = frontier.pop()
-            for neighbor, local_col, far_col in self._neighbor_edges[current]:
-                if neighbor in visited:
-                    continue
-                materialization = self._materializations.get(neighbor)
-                if materialization is None:
-                    continue  # eliminated: nothing materialized to restrict
-                if not schema.has(local_col) or not (
-                    materialization.schema.has(far_col)
-                ):
-                    continue  # join column not stored: leave neighbor full
-                index = schema.index_of(local_col)
-                values = {row[index] for row in rows}
-                matched = materialization.rows_matching(far_col, values)
-                perf.count("index_probes", len(values))
-                mapping[neighbor] = Relation(
-                    materialization.schema, matched, validate=False
-                )
-                visited.add(neighbor)
-                frontier.append((neighbor, materialization.schema, matched))
-
-    def _restrict_ancestor_path(
-        self, table: str, reduced: list[tuple], mapping: dict[str, Relation]
-    ) -> None:
-        """Shrink the ancestors of a changed dimension to the rows that
-        can join the delta, probing the materializations' hash indexes.
-
-        Only rows referencing the delta's keys can contribute, so the
-        join over the restricted relations is unchanged — but the hash
-        join no longer builds over the full (typically compressed-root)
-        relation on every dimension delta.
-        """
-        keys = {
-            row[self._key_indexes[table]] for row in reduced
-        }
-        current = table
-        while keys:
-            parent = self.graph.parent(current)
-            if parent is None or parent not in self._materializations:
-                return
-            join = next(
-                j for j in self.view.joins_from(parent)
-                if j.right_table == current
-            )
-            materialization = self._materializations[parent]
-            rows = materialization.rows_matching(
-                f"{parent}.{join.left_attribute}", keys
-            )
-            mapping[parent] = Relation(
-                materialization.schema, rows, validate=False
-            )
-            parent_key = f"{parent}.{self._key_names[parent]}"
-            if not materialization.schema.has(parent_key):
-                return  # the parent's key is not stored: stop climbing
-            index = materialization.schema.index_of(parent_key)
-            keys = {row[index] for row in rows}
-            current = parent
+                self._materializations[table].apply(reduced.rows, sign)
 
     def _merge_group(
         self, key: tuple, acc: GroupAccumulator, sign: int, dirty: set[tuple]

@@ -29,13 +29,15 @@ from repro.engine.aggregates import AggregateFunction
 from repro.engine.operators import (
     AggregateItem,
     GroupByItem,
-    equijoin,
     projection_schema,
     select,
 )
 from repro.engine.relation import Relation
 from repro.engine.rowindex import make_tuple_extractor
 from repro.engine.schema import Schema
+from repro.plan.executor import ExecutionContext
+from repro.plan.physical import PhysicalNode, ScanNode
+from repro.plan.planner import JoinGraphDisconnected, join_order, join_physical
 
 
 class ReconstructionError(Exception):
@@ -118,6 +120,7 @@ class Reconstructor:
             if isinstance(item, GroupByItem)
         ]
         self._program_cache: dict[Schema, RowProgram] = {}
+        self._join_plans: dict[str | None, PhysicalNode] = {}
 
     @property
     def categories(self) -> Mapping[int, AggregateCategory]:
@@ -137,53 +140,34 @@ class Reconstructor:
         ``relations`` may mix auxiliary views and raw delta relations —
         the only requirement is that join attributes carry their base
         names qualified by the base table, which both do.
+
+        The hash-join tree is planned once per ``start`` table (the
+        fixed-point join order is static) and executed against the
+        supplied bindings; maintenance runs the same plan on every
+        transaction.
         """
         missing = [t for t in self.view.tables if t not in relations]
         if missing:
             raise ReconstructionError(
                 f"cannot join: no relation supplied for {missing!r}"
             )
-        remaining = list(self.view.tables)
-        first = start if start is not None else remaining[0]
-        remaining.remove(first)
-        current = relations[first]
-        placed = {first}
-        while remaining:
-            progressed = False
-            for table in list(remaining):
-                pairs = self._join_pairs(table, placed)
-                if pairs is None:
-                    continue
-                current = equijoin(current, relations[table], pairs)
-                placed.add(table)
-                remaining.remove(table)
-                progressed = True
-            if not progressed:
-                raise ReconstructionError(
-                    f"join graph is disconnected at {remaining!r}"
-                )
-        return current
+        plan = self._join_plan(start)
+        ctx = ExecutionContext(relations=relations)
+        return plan.run(ctx)
 
-    def _join_pairs(
-        self, table: str, placed: set[str]
-    ) -> list[tuple[str, str]] | None:
-        pairs = []
-        for join in self.view.joins:
-            if join.left_table == table and join.right_table in placed:
-                pairs.append(
-                    (
-                        f"{join.right_table}.{join.right_attribute}",
-                        f"{join.left_table}.{join.left_attribute}",
-                    )
-                )
-            elif join.right_table == table and join.left_table in placed:
-                pairs.append(
-                    (
-                        f"{join.left_table}.{join.left_attribute}",
-                        f"{join.right_table}.{join.right_attribute}",
-                    )
-                )
-        return pairs or None
+    def _join_plan(self, start: str | None) -> PhysicalNode:
+        cached = self._join_plans.get(start)
+        if cached is not None:
+            return cached
+        try:
+            steps = join_order(
+                self.view.tables, self.view.joins, start=start, on_stuck="raise"
+            )
+        except JoinGraphDisconnected as exc:
+            raise ReconstructionError(str(exc)) from None
+        nodes = {table: ScanNode(table) for table in self.view.tables}
+        plan = self._join_plans[start] = join_physical(nodes, steps)
+        return plan
 
     # ------------------------------------------------------------------
     # Row programs.

@@ -215,7 +215,20 @@ class ViewDefinition:
         A group exists only when at least one tuple contributes to it, so
         a view with no group-by attributes over an empty join result is
         empty — the convention the maintenance runtime also follows.
+
+        Evaluation goes through the query-plan layer (canonical plan,
+        selection pushdown, projection pruning, hash-join lowering);
+        the result is bit-identical to :meth:`evaluate_eager`, the
+        plain operator loop kept as the differential-test reference.
         """
+        from repro.plan.planner import evaluate_view
+
+        return evaluate_view(self, database)
+
+    def evaluate_eager(self, database: Database) -> Relation:
+        """Reference evaluation via direct eager operator calls (no
+        planner).  The property suite asserts plan-based evaluation
+        matches this row for row."""
         joined = self._join_tables(database)
         result = generalized_project(joined, self.projection, qualifier=self.name)
         if self.having is not None:

@@ -1,0 +1,91 @@
+"""Keyed caches for compiled row predicates and projection extractors.
+
+``select()`` used to call ``Expression.compile(schema)`` and
+``project()`` used to re-resolve attribute positions on *every*
+invocation — wasted work for the maintenance loop and the plan
+executor, which evaluate the same handful of (expression, schema)
+shapes on every transaction.  Both the eager operator API and the
+physical plan nodes now share these caches, so an expression is
+compiled once per schema it meets.
+
+Expressions and schemas are immutable and hashable (frozen dataclasses
+and :class:`~repro.engine.schema.Schema`'s attribute-tuple hash), which
+makes structural keys safe: two structurally equal conditions share one
+compiled predicate.  A ``Literal`` holding an unhashable value falls
+back to direct compilation.  The caches are capped and cleared
+wholesale on overflow — property tests generate thousands of one-shot
+expressions and must not accumulate them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.engine.expressions import Expression
+from repro.engine.rowindex import make_tuple_extractor
+from repro.engine.schema import Schema
+
+_MAX_ENTRIES = 4096
+
+_predicates: dict[tuple, Callable[[tuple], bool]] = {}
+_extractors: dict[tuple, tuple[Schema, Callable[[tuple], tuple]]] = {}
+_hits = 0
+_misses = 0
+
+
+def compiled_predicate(
+    condition: Expression, schema: Schema
+) -> Callable[[tuple], bool]:
+    """The compiled row predicate for ``condition`` over ``schema``."""
+    global _hits, _misses
+    try:
+        key = (condition, schema)
+        cached = _predicates.get(key)
+    except TypeError:  # unhashable literal: compile without caching
+        return condition.compile(schema)
+    if cached is not None:
+        _hits += 1
+        return cached
+    _misses += 1
+    if len(_predicates) >= _MAX_ENTRIES:
+        _predicates.clear()
+    compiled = _predicates[key] = condition.compile(schema)
+    return compiled
+
+
+def projection_extractor(
+    schema: Schema, references: Sequence[str]
+) -> tuple[Schema, Callable[[tuple], tuple]]:
+    """``(output schema, row extractor)`` for ``π_references`` over
+    ``schema``, resolved once per (schema, references) pair."""
+    global _hits, _misses
+    key = (schema, tuple(references))
+    cached = _extractors.get(key)
+    if cached is not None:
+        _hits += 1
+        return cached
+    _misses += 1
+    if len(_extractors) >= _MAX_ENTRIES:
+        _extractors.clear()
+    indexes = tuple(schema.index_of(ref) for ref in references)
+    out_schema = Schema(schema[i] for i in indexes)
+    cached = _extractors[key] = (out_schema, make_tuple_extractor(indexes))
+    return cached
+
+
+def cache_stats() -> dict[str, int]:
+    """Hit/miss counters plus current cache sizes (for tests/benchmarks)."""
+    return {
+        "hits": _hits,
+        "misses": _misses,
+        "predicates": len(_predicates),
+        "extractors": len(_extractors),
+    }
+
+
+def clear_caches() -> None:
+    global _hits, _misses
+    _predicates.clear()
+    _extractors.clear()
+    _hits = 0
+    _misses = 0

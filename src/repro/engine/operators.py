@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.engine.aggregates import AggregateFunction, compute_aggregate
+from repro.engine.compilecache import compiled_predicate, projection_extractor
 from repro.engine.expressions import Column, Expression
 from repro.engine.relation import Relation
 from repro.engine.rowindex import RowIndex, make_key_extractor, make_tuple_extractor
@@ -24,8 +25,13 @@ class OperatorError(Exception):
 
 
 def select(relation: Relation, condition: Expression) -> Relation:
-    """``σ_condition(relation)``."""
-    predicate = condition.compile(relation.schema)
+    """``σ_condition(relation)``.
+
+    The compiled predicate comes from the shared compile cache, so
+    repeated selections with the same condition over the same schema
+    (the common case in maintenance and plan execution) compile once.
+    """
+    predicate = compiled_predicate(condition, relation.schema)
     return Relation(
         relation.schema, list(filter(predicate, relation.rows)), validate=False
     )
@@ -36,10 +42,12 @@ def project(
     references: Sequence[str],
     distinct: bool = True,
 ) -> Relation:
-    """``π_references(relation)``; duplicate-eliminating by default."""
-    indexes = tuple(relation.schema.index_of(ref) for ref in references)
-    schema = Schema(relation.schema[i] for i in indexes)
-    extract = make_tuple_extractor(indexes)
+    """``π_references(relation)``; duplicate-eliminating by default.
+
+    Attribute resolution and the row extractor are cached per
+    (schema, references) pair in the shared compile cache.
+    """
+    schema, extract = projection_extractor(relation.schema, references)
     rows: Iterable[tuple] = map(extract, relation.rows)
     if distinct:
         rows = dict.fromkeys(rows)

@@ -63,7 +63,7 @@ class Attribute:
 class Schema:
     """An immutable ordered collection of attributes with fast lookup."""
 
-    __slots__ = ("_attributes", "_by_qualified")
+    __slots__ = ("_attributes", "_by_qualified", "_hash")
 
     def __init__(self, attributes: Iterable[Attribute]):
         attrs = tuple(attributes)
@@ -75,6 +75,7 @@ class Schema:
             by_qualified[key] = index
         self._attributes = attrs
         self._by_qualified = by_qualified
+        self._hash: int | None = None
 
     @property
     def attributes(self) -> tuple[Attribute, ...]:
@@ -95,7 +96,12 @@ class Schema:
         return self._attributes == other._attributes
 
     def __hash__(self) -> int:
-        return hash(self._attributes)
+        # Schemas key the compile caches and plan memos, so the hash is
+        # computed once and memoized (attribute tuples are immutable).
+        cached = self._hash
+        if cached is None:
+            cached = self._hash = hash(self._attributes)
+        return cached
 
     def __repr__(self) -> str:  # pragma: no cover - display helper
         names = ", ".join(a.qualified_name for a in self._attributes)

@@ -1,0 +1,84 @@
+"""Execution contexts for physical plans.
+
+A physical plan is static — built once per (view, delta shape) — and
+executed against a fresh :class:`ExecutionContext` per evaluation or
+per transaction.  The context supplies the leaf bindings (named
+relations, live auxiliary materializations, the transaction's signed
+deltas), the per-run memo that guarantees each node computes once even
+when several parents share it, and two optional cross-cutting services:
+a :class:`~repro.perf.PerfStats` sink for per-node timings/counters and
+a *shared* result cache that one warehouse transaction passes to every
+maintainer so structurally identical delta subplans across views are
+computed once (multi-query optimization à la Mistry et al., VLDB 2001).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.engine.relation import Relation
+from repro.perf import PerfStats
+
+
+class PlanExecutionError(Exception):
+    """Raised when a plan's leaf bindings are missing at run time."""
+
+
+class ExecutionContext:
+    """Per-run bindings and caches for one plan execution."""
+
+    __slots__ = ("relations", "resolver", "providers", "perf", "memo", "shared", "deltas")
+
+    def __init__(
+        self,
+        relations: Mapping[str, Relation] | None = None,
+        resolver: Callable[[str], Relation] | None = None,
+        providers: Mapping[str, object] | None = None,
+        perf: PerfStats | None = None,
+        shared: dict | None = None,
+        deltas: Mapping[tuple[str, int], Relation] | None = None,
+    ):
+        self.relations = relations
+        self.resolver = resolver
+        self.providers = providers
+        self.perf = perf
+        self.memo: dict[int, object] = {}
+        self.shared = shared
+        self.deltas = deltas
+
+    def relation(self, name: str) -> Relation:
+        """The relation bound to ``name`` (explicit binding first, then
+        the resolver — e.g. ``database.relation``)."""
+        if self.relations is not None:
+            bound = self.relations.get(name)
+            if bound is not None:
+                return bound
+        if self.resolver is not None:
+            return self.resolver(name)
+        raise PlanExecutionError(f"no relation bound for scan {name!r}")
+
+    def provider(self, table: str):
+        """The live auxiliary materialization backing ``table``."""
+        if self.providers is None:
+            raise PlanExecutionError(
+                f"no materialization providers in this context ({table!r})"
+            )
+        provider = self.providers.get(table)
+        if provider is None:
+            raise PlanExecutionError(f"no materialization for table {table!r}")
+        return provider
+
+    def delta(self, table: str, sign: int) -> Relation:
+        """The signed delta relation of the current transaction."""
+        if self.deltas is None:
+            raise PlanExecutionError("no deltas bound in this context")
+        bound = self.deltas.get((table, sign))
+        if bound is None:
+            raise PlanExecutionError(
+                f"no {'+' if sign > 0 else '-'}delta bound for {table!r}"
+            )
+        return bound
+
+    def count(self, name: str, amount: int = 1) -> None:
+        if self.perf is not None:
+            self.perf.count(name, amount)

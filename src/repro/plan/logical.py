@@ -1,0 +1,208 @@
+"""The logical query-plan IR: relational algebra over named sources.
+
+Every evaluation path in the repository — view recomputation, auxiliary
+reconstruction, and delta maintenance — is expressed as a tree of these
+nodes before execution.  Nodes are frozen dataclasses, so structural
+equality and hashing come for free; that is what makes selection
+pushdown a genuine rewrite (compare trees before/after) and what lets a
+:class:`~repro.warehouse.warehouse.Warehouse` detect structurally
+identical delta subplans across views and share their results within
+one transaction (in the spirit of Mistry et al., VLDB 2001).
+
+Leaves name their inputs rather than holding relations: ``Scan`` binds
+to a relation by source name at execution time and ``DeltaScan`` binds
+to one signed delta of the current transaction, so a plan is compiled
+once and executed against fresh bindings on every transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.expressions import Expression
+from repro.engine.operators import ProjectionItem
+
+
+class PlanError(Exception):
+    """Raised for malformed plans or impossible lowerings."""
+
+
+class LogicalNode:
+    """Base of the IR.  Subclasses are frozen dataclasses: equality and
+    hashing are structural, which identifies common subplans."""
+
+    def children(self) -> tuple["LogicalNode", ...]:
+        return ()
+
+    def describe(self) -> str:
+        """One line of algebra for this node (no children)."""
+        raise NotImplementedError
+
+    @property
+    def delta_only(self) -> bool:
+        """Whether every leaf under this node is a :class:`DeltaScan`.
+
+        Delta-only subplans depend solely on the transaction (not on
+        any view's auxiliary state), so their results are safe to share
+        across the maintainers of one warehouse transaction.
+        """
+        kids = self.children()
+        return bool(kids) and all(child.delta_only for child in kids)
+
+    def walk(self):
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def render(self) -> str:
+        """The indented-tree unparsing of this plan."""
+        lines: list[str] = []
+
+        def emit(node: "LogicalNode", depth: int) -> None:
+            lines.append("  " * depth + node.describe())
+            for child in node.children():
+                emit(child, depth + 1)
+
+        emit(self, 0)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.render()
+
+
+def _render_pairs(pairs: tuple[tuple[str, str], ...]) -> str:
+    return ", ".join(f"{left} = {right}" for left, right in pairs)
+
+
+@dataclass(frozen=True)
+class Scan(LogicalNode):
+    """A named base relation (or materialized auxiliary view)."""
+
+    source: str
+
+    def describe(self) -> str:
+        return f"Scan[{self.source}]"
+
+    @property
+    def delta_only(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class DeltaScan(LogicalNode):
+    """One signed delta of the current transaction (+1 insert, -1 delete)."""
+
+    table: str
+    sign: int = 1
+
+    def describe(self) -> str:
+        return f"ΔScan[{'+' if self.sign > 0 else '-'}{self.table}]"
+
+    @property
+    def delta_only(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Select(LogicalNode):
+    """``σ_condition(child)``."""
+
+    child: LogicalNode
+    condition: Expression
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"σ[{self.condition.to_sql()}]"
+
+
+@dataclass(frozen=True)
+class Project(LogicalNode):
+    """``π_references(child)``; bag-preserving unless ``distinct``."""
+
+    child: LogicalNode
+    references: tuple[str, ...]
+    distinct: bool = False
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        mark = " distinct" if self.distinct else ""
+        return f"π[{', '.join(self.references)}]{mark}"
+
+
+@dataclass(frozen=True)
+class GeneralizedProject(LogicalNode):
+    """``Π_items(child)`` — group-by plus aggregates (GHQ, VLDB 1995)."""
+
+    child: LogicalNode
+    items: tuple[ProjectionItem, ...]
+    qualifier: str | None = None
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        rendered = ", ".join(item.to_sql() for item in self.items)
+        suffix = f" → {self.qualifier}" if self.qualifier else ""
+        return f"Π[{rendered}]{suffix}"
+
+
+@dataclass(frozen=True)
+class EquiJoin(LogicalNode):
+    """``left ⋈_pairs right``; empty ``pairs`` is a cross product."""
+
+    left: LogicalNode
+    right: LogicalNode
+    pairs: tuple[tuple[str, str], ...]
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        if not self.pairs:
+            return "×"
+        return f"⋈[{_render_pairs(self.pairs)}]"
+
+
+@dataclass(frozen=True)
+class SemiJoin(LogicalNode):
+    """``left ⋉_pairs right`` — the paper's join reduction."""
+
+    left: LogicalNode
+    right: LogicalNode
+    pairs: tuple[tuple[str, str], ...]
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return f"⋉[{_render_pairs(self.pairs)}]"
+
+
+@dataclass(frozen=True)
+class AntiJoin(LogicalNode):
+    """``left ▷_pairs right``."""
+
+    left: LogicalNode
+    right: LogicalNode
+    pairs: tuple[tuple[str, str], ...]
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return f"▷[{_render_pairs(self.pairs)}]"
+
+
+def scan_sources(node: LogicalNode) -> frozenset[str]:
+    """Names of every :class:`Scan`/:class:`DeltaScan` leaf under ``node``."""
+    sources = set()
+    for n in node.walk():
+        if isinstance(n, Scan):
+            sources.add(n.source)
+        elif isinstance(n, DeltaScan):
+            sources.add(n.table)
+    return frozenset(sources)

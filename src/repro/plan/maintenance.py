@@ -1,0 +1,298 @@
+"""Static delta-maintenance plans (one per table, sign, and policy).
+
+The :class:`MaintenancePlanner` compiles Section 3.2's maintenance
+pipeline for one changed table into three physical plans executed per
+transaction by :class:`~repro.core.maintenance.SelfMaintainer`:
+
+``local``
+    ``σ_local(Δ)`` — the table's local selection pushed onto the delta
+    scan (the paper's local reduction).
+
+``reduce``
+    a chain of key-probe semijoins against the auxiliary views of the
+    tables the changed table depends on (the paper's join reduction),
+    ordered by the extended join graph's processing order.
+
+``propagate``
+    the restricted join of the reduced delta with the other auxiliary
+    views, folded into per-group contributions by the reconstructor's
+    compiled row program.  Under the ``INDEXED`` policy the whole join
+    tree is semijoin-restricted outward from the delta through the
+    maintained hash indexes; under ``NAIVE`` only the ancestor path is
+    restricted (the seed's legacy behavior).  ``None`` when the root
+    auxiliary view was eliminated and the delta is on a dimension
+    (group rewrites handle those, Section 3.3).
+
+All structural decisions — traversal order, which tables get restricted,
+join order — depend only on static schema information, so each plan is
+built once and reused; the only per-transaction inputs are the delta
+bindings and the live materializations in the execution context.
+Delta-only subplans (the delta scan and its local filter) carry share
+keys, letting one warehouse transaction share their results across the
+maintainers of all registered views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.expressions import conjoin
+from repro.engine.schema import Schema
+from repro.plan.logical import DeltaScan, PlanError, Select
+from repro.plan.physical import (
+    AccumulateNode,
+    AuxScanNode,
+    DeltaScanNode,
+    FilterNode,
+    KeyProbeSemiJoinNode,
+    NeighborRestrictNode,
+    PhysicalNode,
+)
+from repro.plan.planner import PlanPolicy, join_order, join_physical
+
+
+@dataclass
+class DeltaPlans:
+    """The compiled pipeline for one (table, sign) delta shape."""
+
+    table: str
+    sign: int
+    local: PhysicalNode
+    reduce: PhysicalNode
+    propagate: PhysicalNode | None
+    n_reductions: int
+
+
+class MaintenancePlanner:
+    """Builds :class:`DeltaPlans` from static view/derivation structure.
+
+    ``restrict`` can be switched off (see
+    ``SelfMaintainer.set_restriction``) to plan propagation joins over
+    the *full* auxiliary views — the ablation baseline that used to be
+    reached by monkeypatching the restriction helpers away.
+    """
+
+    def __init__(
+        self,
+        view,
+        database,
+        graph,
+        aux_set,
+        reconstructor,
+        policy: PlanPolicy,
+        order: tuple[str, ...],
+    ):
+        self.view = view
+        self.graph = graph
+        self.policy = policy
+        self.reconstructor = reconstructor
+        self.restrict = True
+        self._order = order
+        self._eliminated = frozenset(aux_set.eliminated)
+        self._root = graph.root
+        self._schemas: dict[str, Schema] = {
+            table: database.table(table).schema for table in view.tables
+        }
+        self._keys = {
+            table: (database.table(table).key, database.table(table).key_index())
+            for table in view.tables
+        }
+        self._aux_schemas: dict[str, Schema] = {
+            aux.table: aux.output_schema() for aux in aux_set
+        }
+        self._local_conditions = {
+            table: view.local_conditions(table) for table in view.tables
+        }
+        self._reductions = {
+            table: self._table_reductions(aux_set, table) for table in view.tables
+        }
+        self._neighbor_edges = self._build_neighbor_edges()
+
+    def _table_reductions(
+        self, aux_set, table: str
+    ) -> tuple[tuple[int, str, str], ...]:
+        """(fk index, dependency table, dependency key ref) triples,
+        ordered by the extended join graph's processing order — the
+        semijoin ordering the paper's reduction arguments assume."""
+        schema = self._schemas[table]
+        if table not in self._eliminated:
+            joins = aux_set.for_table(table).reduced_by
+        else:
+            joins = self.view.joins_from(table)
+        reductions = [
+            (
+                schema.index_of(join.left_attribute),
+                join.right_table,
+                f"{join.right_table}.{join.right_attribute}",
+            )
+            for join in joins
+        ]
+        position = {name: i for i, name in enumerate(self._order)}
+        reductions.sort(key=lambda entry: position.get(entry[1], len(position)))
+        return tuple(reductions)
+
+    def _build_neighbor_edges(
+        self,
+    ) -> dict[str, tuple[tuple[str, str, str], ...]]:
+        """For each view table, its join-tree neighbors as
+        ``(neighbor, local column, neighbor column)`` — both directions
+        of every join edge, one entry per neighbor pair.
+
+        Restriction by one attribute pair of a multi-condition edge is
+        conservative (a superset of the joinable rows survives), which
+        is all soundness needs.
+        """
+        edges: dict[str, list[tuple[str, str, str]]] = {
+            table: [] for table in self.view.tables
+        }
+        seen: set[tuple[str, str]] = set()
+        for join in self.view.joins:
+            pair = (join.left_table, join.right_table)
+            if pair in seen:
+                continue
+            seen.add(pair)
+            left = f"{join.left_table}.{join.left_attribute}"
+            right = f"{join.right_table}.{join.right_attribute}"
+            edges[join.left_table].append((join.right_table, left, right))
+            edges[join.right_table].append((join.left_table, right, left))
+        return {table: tuple(pairs) for table, pairs in edges.items()}
+
+    # ------------------------------------------------------------------
+    # Plan construction.
+    # ------------------------------------------------------------------
+
+    def build(self, table: str, sign: int) -> DeltaPlans:
+        local = self._build_local(table, sign)
+        reduce_node, n_reductions = self._build_reduce(table, local)
+        skip_view = self._root in self._eliminated and table != self._root
+        propagate = None
+        if not skip_view:
+            propagate = self._build_propagate(table, reduce_node)
+        return DeltaPlans(table, sign, local, reduce_node, propagate, n_reductions)
+
+    def _build_local(self, table: str, sign: int) -> PhysicalNode:
+        delta_logical = DeltaScan(table, sign)
+        node: PhysicalNode = DeltaScanNode(table, sign, delta_logical)
+        node.share_key = delta_logical
+        conditions = self._local_conditions[table]
+        if conditions:
+            condition = conjoin(conditions)
+            logical = Select(delta_logical, condition)
+            filtered = FilterNode(node, condition, logical)
+            filtered.share_key = logical
+            filtered.annotations.append(
+                "selection pushed to the delta (local reduction)"
+            )
+            node = filtered
+        return node
+
+    def _build_reduce(
+        self, table: str, local: PhysicalNode
+    ) -> tuple[PhysicalNode, int]:
+        node = local
+        reductions = self._reductions[table]
+        for fk_index, dep_table, dep_key in reductions:
+            probe = KeyProbeSemiJoinNode(node, dep_table, dep_key, fk_index)
+            if self.policy is PlanPolicy.INDEXED:
+                probe.annotations.append(
+                    f"index-backed join reduction: probes the maintained "
+                    f"key index of X_{dep_table}"
+                )
+            else:
+                probe.annotations.append(
+                    f"join reduction via the rebuilt key cache of X_{dep_table}"
+                )
+            node = probe
+        return node, len(reductions)
+
+    def _build_propagate(self, table: str, reduce_node: PhysicalNode) -> PhysicalNode:
+        nodes: dict[str, PhysicalNode] = {table: reduce_node}
+        if self.restrict:
+            if self.policy is PlanPolicy.INDEXED:
+                self._restrict_join_neighbors(table, nodes)
+            else:
+                self._restrict_ancestor_path(table, nodes)
+        for other in self.view.tables:
+            if other not in nodes and other in self._aux_schemas:
+                nodes[other] = AuxScanNode(other)
+        missing = [t for t in self.view.tables if t not in nodes]
+        if missing:
+            raise PlanError(f"cannot join: no relation supplied for {missing!r}")
+        steps = join_order(
+            self.view.tables, self.view.joins, start=table, on_stuck="raise"
+        )
+        joined = join_physical(nodes, steps)
+        return AccumulateNode(joined, self.reconstructor)
+
+    def _restrict_join_neighbors(
+        self, table: str, nodes: dict[str, PhysicalNode]
+    ) -> None:
+        """Plan the semijoin restriction of *every* reachable view table,
+        walking the join tree outward from the changed table.  The walk
+        is schema-determined, so it happens once at build time; per
+        transaction only the index probes run.  When a hop's join column
+        is not stored in a materialization the walk stops there and the
+        remaining relations stay full (still sound)."""
+        frontier: list[tuple[str, Schema]] = [(table, self._schemas[table])]
+        visited = {table}
+        while frontier:
+            current, schema = frontier.pop()
+            for neighbor, local_col, far_col in self._neighbor_edges[current]:
+                if neighbor in visited:
+                    continue
+                aux_schema = self._aux_schemas.get(neighbor)
+                if aux_schema is None:
+                    continue  # eliminated: nothing materialized to restrict
+                if not schema.has(local_col) or not aux_schema.has(far_col):
+                    continue  # join column not stored: leave neighbor full
+                node = NeighborRestrictNode(
+                    nodes[current],
+                    neighbor,
+                    schema.index_of(local_col),
+                    far_col,
+                    aux_schema,
+                    count_probes=True,
+                )
+                node.annotations.append(
+                    "index-backed semijoin restriction via the maintained "
+                    "hash index"
+                )
+                nodes[neighbor] = node
+                visited.add(neighbor)
+                frontier.append((neighbor, aux_schema))
+
+    def _restrict_ancestor_path(
+        self, table: str, nodes: dict[str, PhysicalNode]
+    ) -> None:
+        """Plan the seed's ancestor-only restriction: climb from the
+        changed dimension toward the root, restricting each materialized
+        parent by the child's keys, stopping when a parent's key is not
+        stored (exactly the legacy loop's stopping rules)."""
+        current = table
+        source = nodes[table]
+        local_index = self._keys[table][1]
+        while True:
+            parent = self.graph.parent(current)
+            if parent is None or parent not in self._aux_schemas:
+                return
+            join = next(
+                j for j in self.view.joins_from(parent)
+                if j.right_table == current
+            )
+            aux_schema = self._aux_schemas[parent]
+            node = NeighborRestrictNode(
+                source,
+                parent,
+                local_index,
+                f"{parent}.{join.left_attribute}",
+                aux_schema,
+                count_probes=False,
+            )
+            node.annotations.append("ancestor-path restriction (naive policy)")
+            nodes[parent] = node
+            parent_key_ref = f"{parent}.{self._keys[parent][0]}"
+            if not aux_schema.has(parent_key_ref):
+                return  # the parent's key is not stored: stop climbing
+            local_index = aux_schema.index_of(parent_key_ref)
+            source = node
+            current = parent

@@ -1,0 +1,446 @@
+"""Physical plan nodes: the single compiled executor.
+
+Each node owns precompiled row machinery (predicates and extractors from
+:mod:`repro.engine.compilecache`, the reconstructor's row programs) and
+implements one ``execute`` step over already-computed child results.
+:meth:`PhysicalNode.run` adds the cross-cutting behavior every node
+gets for free:
+
+* **memoization** — a node referenced by several parents (a restricted
+  delta feeding both a semijoin chain and the propagation join) computes
+  once per :class:`~repro.plan.executor.ExecutionContext`;
+* **cross-view sharing** — nodes carrying a ``share_key`` (a structural
+  logical-plan key) publish their result to the context's shared cache,
+  so the maintainers of one warehouse transaction reuse each other's
+  delta subplan results;
+* **per-node timing** — with a perf sink attached, each node's own
+  execution time accumulates under ``plan:<label>``, rendered after the
+  standard maintenance phases.
+
+Timing is two inline ``perf_counter`` calls, deliberately *not*
+``PerfStats.timer``: the fault-injection harness hooks ``timer`` to
+define transaction phase boundaries, and plan nodes run strictly inside
+those phases.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.engine.expressions import Expression
+from repro.engine.operators import (
+    ProjectionItem,
+    antijoin,
+    equijoin,
+    generalized_project,
+    project,
+    select,
+    semijoin,
+)
+from repro.engine.relation import Relation
+from repro.engine.schema import Schema
+from repro.plan.executor import ExecutionContext
+from repro.plan.logical import LogicalNode, _render_pairs
+
+_MISSING = object()
+
+
+class PhysicalNode:
+    """Base physical operator: children plus one ``execute`` step."""
+
+    __slots__ = ("children", "label", "logical", "annotations", "share_key", "_timer_key")
+
+    def __init__(
+        self,
+        children: tuple["PhysicalNode", ...] = (),
+        label: str | None = None,
+        logical: LogicalNode | None = None,
+    ):
+        self.children = children
+        self.label = label if label is not None else self.describe()
+        self.logical = logical
+        self.annotations: list[str] = []
+        self.share_key: LogicalNode | None = None
+        self._timer_key = "plan:" + self.label
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def execute(self, ctx: ExecutionContext, inputs: list):
+        raise NotImplementedError
+
+    def run(self, ctx: ExecutionContext):
+        """Evaluate this subtree under ``ctx`` (memoized, shared, timed)."""
+        memo = ctx.memo
+        key = id(self)
+        if key in memo:
+            return memo[key]
+        shared = ctx.shared
+        share_key = self.share_key
+        if shared is not None and share_key is not None:
+            cached = shared.get(share_key, _MISSING)
+            if cached is not _MISSING:
+                ctx.count("plan_shared_hits")
+                memo[key] = cached
+                return cached
+        inputs = [child.run(ctx) for child in self.children]
+        perf = ctx.perf
+        if perf is None:
+            result = self.execute(ctx, inputs)
+        else:
+            started = perf_counter()
+            result = self.execute(ctx, inputs)
+            perf.seconds[self._timer_key] += perf_counter() - started
+        memo[key] = result
+        if shared is not None and share_key is not None:
+            shared[share_key] = result
+        return result
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def render(self, annotator=None) -> str:
+        """Indented tree with per-node annotations (``annotator`` may
+        contribute extra notes, e.g. cross-view sharing marks)."""
+        lines: list[str] = []
+
+        def emit(node: "PhysicalNode", depth: int) -> None:
+            notes = list(node.annotations)
+            if annotator is not None:
+                extra = annotator(node)
+                if extra:
+                    notes.append(extra)
+            suffix = f"  [{'; '.join(notes)}]" if notes else ""
+            lines.append("  " * depth + node.describe() + suffix)
+            for child in node.children:
+                emit(child, depth + 1)
+
+        emit(self, 0)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.render()
+
+
+class ScanNode(PhysicalNode):
+    """A named relation from the context's bindings/resolver."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, logical: LogicalNode | None = None):
+        self.name = name
+        super().__init__((), f"scan:{name}", logical)
+
+    def describe(self) -> str:
+        return f"scan[{self.name}]"
+
+    def execute(self, ctx: ExecutionContext, inputs: list) -> Relation:
+        return ctx.relation(self.name)
+
+
+class AuxScanNode(PhysicalNode):
+    """The full current contents of one auxiliary materialization."""
+
+    __slots__ = ("table",)
+
+    def __init__(self, table: str, logical: LogicalNode | None = None):
+        self.table = table
+        super().__init__((), f"aux-scan:{table}", logical)
+
+    def describe(self) -> str:
+        return f"aux-scan[{self.table}]"
+
+    def execute(self, ctx: ExecutionContext, inputs: list) -> Relation:
+        return ctx.provider(self.table).relation()
+
+
+class DeltaScanNode(PhysicalNode):
+    """One signed delta of the current transaction."""
+
+    __slots__ = ("table", "sign")
+
+    def __init__(self, table: str, sign: int, logical: LogicalNode | None = None):
+        self.table = table
+        self.sign = sign
+        mark = "+" if sign > 0 else "-"
+        super().__init__((), f"Δscan:{mark}{table}", logical)
+
+    def describe(self) -> str:
+        mark = "+" if self.sign > 0 else "-"
+        return f"Δscan[{mark}{self.table}]"
+
+    def execute(self, ctx: ExecutionContext, inputs: list) -> Relation:
+        return ctx.delta(self.table, self.sign)
+
+
+class FilterNode(PhysicalNode):
+    """``σ`` via the shared compile cache."""
+
+    __slots__ = ("condition",)
+
+    def __init__(
+        self,
+        child: PhysicalNode,
+        condition: Expression,
+        logical: LogicalNode | None = None,
+    ):
+        self.condition = condition
+        super().__init__((child,), "filter", logical)
+
+    def describe(self) -> str:
+        return f"σ[{self.condition.to_sql()}]"
+
+    def execute(self, ctx: ExecutionContext, inputs: list) -> Relation:
+        return select(inputs[0], self.condition)
+
+
+class ProjectNode(PhysicalNode):
+    """``π`` via the shared extractor cache."""
+
+    __slots__ = ("references", "distinct")
+
+    def __init__(
+        self,
+        child: PhysicalNode,
+        references: tuple[str, ...],
+        distinct: bool = False,
+        logical: LogicalNode | None = None,
+    ):
+        self.references = references
+        self.distinct = distinct
+        super().__init__((child,), "project", logical)
+
+    def describe(self) -> str:
+        mark = " distinct" if self.distinct else ""
+        return f"π[{', '.join(self.references)}]{mark}"
+
+    def execute(self, ctx: ExecutionContext, inputs: list) -> Relation:
+        return project(inputs[0], self.references, self.distinct)
+
+
+class GeneralizedProjectNode(PhysicalNode):
+    """``Π`` — group-by plus aggregates."""
+
+    __slots__ = ("items", "qualifier")
+
+    def __init__(
+        self,
+        child: PhysicalNode,
+        items: tuple[ProjectionItem, ...],
+        qualifier: str | None = None,
+        logical: LogicalNode | None = None,
+    ):
+        self.items = items
+        self.qualifier = qualifier
+        super().__init__((child,), "gproject", logical)
+
+    def describe(self) -> str:
+        return f"Π[{', '.join(item.to_sql() for item in self.items)}]"
+
+    def execute(self, ctx: ExecutionContext, inputs: list) -> Relation:
+        return generalized_project(inputs[0], self.items, self.qualifier)
+
+
+class HashJoinNode(PhysicalNode):
+    """Build-and-probe equijoin (cross product when ``pairs`` is empty)."""
+
+    __slots__ = ("pairs",)
+
+    def __init__(
+        self,
+        left: PhysicalNode,
+        right: PhysicalNode,
+        pairs: tuple[tuple[str, str], ...],
+        logical: LogicalNode | None = None,
+    ):
+        self.pairs = pairs
+        super().__init__((left, right), "hash-join", logical)
+
+    def describe(self) -> str:
+        if not self.pairs:
+            return "cross-join"
+        return f"hash-join[{_render_pairs(self.pairs)}]"
+
+    def execute(self, ctx: ExecutionContext, inputs: list) -> Relation:
+        return equijoin(inputs[0], inputs[1], self.pairs)
+
+
+class IndexJoinNode(PhysicalNode):
+    """Equijoin probing a maintained :class:`RowIndex` on the right side
+    (the build phase is skipped entirely)."""
+
+    __slots__ = ("table", "pairs", "right_refs")
+
+    def __init__(
+        self,
+        left: PhysicalNode,
+        table: str,
+        pairs: tuple[tuple[str, str], ...],
+        right_refs: tuple[str, ...],
+        logical: LogicalNode | None = None,
+    ):
+        self.table = table
+        self.pairs = pairs
+        self.right_refs = right_refs
+        super().__init__((left,), f"index-join:{table}", logical)
+
+    def describe(self) -> str:
+        return f"index-join[{self.table}: {_render_pairs(self.pairs)}]"
+
+    def execute(self, ctx: ExecutionContext, inputs: list) -> Relation:
+        right = ctx.provider(self.table).relation()
+        index = right.index_on(*self.right_refs)
+        return equijoin(inputs[0], right, self.pairs, right_index=index)
+
+
+class HashSemiJoinNode(PhysicalNode):
+    """``⋉`` over two computed inputs."""
+
+    __slots__ = ("pairs",)
+
+    def __init__(
+        self,
+        left: PhysicalNode,
+        right: PhysicalNode,
+        pairs: tuple[tuple[str, str], ...],
+        logical: LogicalNode | None = None,
+    ):
+        self.pairs = pairs
+        super().__init__((left, right), "semijoin", logical)
+
+    def describe(self) -> str:
+        return f"semijoin[{_render_pairs(self.pairs)}]"
+
+    def execute(self, ctx: ExecutionContext, inputs: list) -> Relation:
+        return semijoin(inputs[0], inputs[1], self.pairs)
+
+
+class HashAntiJoinNode(PhysicalNode):
+    """``▷`` over two computed inputs."""
+
+    __slots__ = ("pairs",)
+
+    def __init__(
+        self,
+        left: PhysicalNode,
+        right: PhysicalNode,
+        pairs: tuple[tuple[str, str], ...],
+        logical: LogicalNode | None = None,
+    ):
+        self.pairs = pairs
+        super().__init__((left, right), "antijoin", logical)
+
+    def describe(self) -> str:
+        return f"antijoin[{_render_pairs(self.pairs)}]"
+
+    def execute(self, ctx: ExecutionContext, inputs: list) -> Relation:
+        return antijoin(inputs[0], inputs[1], self.pairs)
+
+
+class KeyProbeSemiJoinNode(PhysicalNode):
+    """The paper's join reduction: semijoin a delta against the key set
+    of a dependency's auxiliary view.
+
+    The key set comes from the materialization's ``key_values`` view —
+    under the indexed policy a live, incrementally-maintained hash-index
+    view (O(1) probes, no rebuild); under the naive policy a set rebuilt
+    when the materialization changed.
+    """
+
+    __slots__ = ("dep_table", "dep_key", "fk_index")
+
+    def __init__(
+        self,
+        child: PhysicalNode,
+        dep_table: str,
+        dep_key: str,
+        fk_index: int,
+        logical: LogicalNode | None = None,
+    ):
+        self.dep_table = dep_table
+        self.dep_key = dep_key
+        self.fk_index = fk_index
+        super().__init__((child,), f"key-probe:{dep_table}", logical)
+
+    def describe(self) -> str:
+        return f"key-probe-semijoin[{self.dep_key} of X_{self.dep_table}]"
+
+    def execute(self, ctx: ExecutionContext, inputs: list) -> Relation:
+        relation = inputs[0]
+        keys = ctx.provider(self.dep_table).key_values(self.dep_key)
+        fk = self.fk_index
+        rows = [row for row in relation.rows if row[fk] in keys]
+        return Relation(relation.schema, rows, validate=False)
+
+
+class NeighborRestrictNode(PhysicalNode):
+    """Restrict one auxiliary view to the rows that can join the input.
+
+    Collects the input's values of one join column and probes the
+    target materialization's hash index (``rows_matching``) — the static
+    form of the maintenance loop's join-tree restriction walk.  Probes
+    are counted as ``index_probes`` only under the indexed policy, where
+    the probe hits a maintained index (matching the historical counter
+    semantics of the two loops).
+    """
+
+    __slots__ = ("table", "local_index", "far_ref", "schema", "count_probes")
+
+    def __init__(
+        self,
+        child: PhysicalNode,
+        table: str,
+        local_index: int,
+        far_ref: str,
+        schema: Schema,
+        count_probes: bool,
+        logical: LogicalNode | None = None,
+    ):
+        self.table = table
+        self.local_index = local_index
+        self.far_ref = far_ref
+        self.schema = schema
+        self.count_probes = count_probes
+        super().__init__((child,), f"restrict:{self.table}", logical)
+
+    def describe(self) -> str:
+        return f"restrict[{self.table} by {self.far_ref}]"
+
+    def execute(self, ctx: ExecutionContext, inputs: list) -> Relation:
+        local = self.local_index
+        values = {row[local] for row in inputs[0].rows}
+        matched = ctx.provider(self.table).rows_matching(self.far_ref, values)
+        if self.count_probes:
+            ctx.count("index_probes", len(values))
+        return Relation(self.schema, matched, validate=False)
+
+
+class AccumulateNode(PhysicalNode):
+    """Fold joined rows into per-group :class:`GroupAccumulator`\\ s via
+    the reconstructor's compiled row program (returns a dict, not a
+    relation — the maintainer merges it into ``V``'s group states)."""
+
+    __slots__ = ("reconstructor",)
+
+    def __init__(
+        self,
+        child: PhysicalNode,
+        reconstructor,  # repro.core.rewrite.Reconstructor (annotation-only cycle)
+        logical: LogicalNode | None = None,
+    ):
+        self.reconstructor = reconstructor
+        super().__init__((child,), "accumulate", logical)
+
+    def describe(self) -> str:
+        return "accumulate[group contributions]"
+
+    def execute(self, ctx: ExecutionContext, inputs: list) -> dict:
+        joined = inputs[0]
+        if not joined:
+            return {}
+        program = self.reconstructor.compile_program(joined.schema)
+        contributions: dict = {}
+        self.reconstructor.run_program(program, joined.rows, contributions)
+        return contributions

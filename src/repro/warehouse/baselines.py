@@ -24,6 +24,7 @@ from repro.core.maintenance import SelfMaintainer
 from repro.core.view import ViewDefinition
 from repro.engine.deltas import Transaction
 from repro.engine.relation import Relation
+from repro.plan.planner import ViewPlan, execute_view_plan, view_plan
 
 
 def derive_psj_auxiliary_views(
@@ -108,7 +109,14 @@ class FullReplicationMaintainer:
         self._replica.apply(relevant, validate=False)
 
     def current_view(self) -> Relation:
-        return self.view.evaluate(self._replica)
+        plan = self.plan()
+        return execute_view_plan(plan, self._replica)
+
+    def plan(self) -> ViewPlan:
+        """The optimized physical recomputation plan over the replica
+        (cached by the planner; rebuilding ``V`` on every read is this
+        baseline's entire maintenance cost, so it pays to look at it)."""
+        return view_plan(self.view, self._replica)
 
     def replica_relation(self, table: str) -> Relation:
         return self._replica.relation(table)

@@ -28,6 +28,7 @@ from repro.core.sharing import (
     merge_views,
 )
 from repro.core.view import ViewDefinition
+from repro.engine.compilecache import compiled_predicate
 from repro.engine.deltas import Transaction
 from repro.engine.relation import Relation
 
@@ -69,8 +70,12 @@ class SharedDetailWarehouse:
             materialization = make_materialization(pseudo)
             materialization.load(merged.compute(database))
             self._materializations[merged.table] = materialization
+            # The keyed compile cache: merged predicates are often the
+            # same disjunction over the same base schema across runs of
+            # one process (benchmark sweeps), and the plan executor's
+            # filters share the identical compiled form.
             predicate = (
-                merged.local_condition.compile(merged.base_schema)
+                compiled_predicate(merged.local_condition, merged.base_schema)
                 if merged.local_condition is not None
                 else None
             )

@@ -17,6 +17,7 @@ from repro.core.view import ViewDefinition
 from repro.engine.deltas import Transaction
 from repro.engine.relation import Relation
 from repro.engine.undolog import UndoLog
+from repro.perf import PerfStats
 
 
 @dataclass(frozen=True)
@@ -83,12 +84,18 @@ class Warehouse:
         so the warehouse never exposes a state where some summary tables
         reflect a source transaction and others do not.  The failing
         maintainer rolls its own partial work back itself.
+
+        One shared plan-result cache spans all maintainers of the call:
+        structurally identical delta subplans (two views reading the
+        same coalesced, locally-reduced delta of a table) execute once
+        and the other maintainers reuse the result.
         """
         applied: list[tuple[SelfMaintainer, UndoLog]] = []
+        shared: dict = {}
         try:
             for maintainer in self._maintainers.values():
                 log = UndoLog()
-                maintainer.apply(transaction, undo=log)
+                maintainer.apply(transaction, undo=log, shared=shared)
                 applied.append((maintainer, log))
         except Exception:
             for maintainer, log in reversed(applied):
@@ -104,6 +111,12 @@ class Warehouse:
     @property
     def view_names(self) -> tuple[str, ...]:
         return tuple(self._maintainers)
+
+    @property
+    def database(self) -> Database:
+        """The source database (read at registration and for planning;
+        maintenance itself never touches it)."""
+        return self._database
 
     def maintainer(self, view_name: str) -> SelfMaintainer:
         return self._maintainers[view_name]
@@ -132,6 +145,25 @@ class Warehouse:
             perf=snapshot if snapshot["counters"] else None,
         )
 
-    def perf_report(self, view_name: str) -> str:
-        """The maintainer's hot-path counters and timings, rendered."""
-        return self._maintainers[view_name].perf.render()
+    def perf_report(self, view_name: str | None = None) -> str:
+        """Hot-path counters and timings (including per-plan-node
+        ``plan:*`` timings), rendered.
+
+        With a view name, one maintainer's statistics; with none, the
+        merged statistics of every registered maintainer — the whole
+        warehouse's maintenance cost in one table.
+        """
+        if view_name is not None:
+            return self._maintainers[view_name].perf.render()
+        merged = PerfStats()
+        for maintainer in self._maintainers.values():
+            merged.merge(maintainer.perf)
+        return merged.render()
+
+    def explain_plans(self) -> str:
+        """Render every maintainer's chosen physical plans (evaluation
+        and per-delta maintenance), with subplans shared across views
+        marked.  See :mod:`repro.plan.explain`."""
+        from repro.plan.explain import warehouse_plan_report
+
+        return warehouse_plan_report(self)
