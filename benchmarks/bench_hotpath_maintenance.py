@@ -30,6 +30,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.maintenance import SelfMaintainer
 from repro.core.view import JoinCondition, make_view
+from repro.perf import TXN_DELTA_ROWS, TXN_LATENCY_MS, TXN_ROWS_PER_SEC
 from repro.engine.aggregates import AggregateFunction
 from repro.engine.deltas import Delta, Transaction
 from repro.engine.expressions import Column, Comparison, Literal
@@ -178,6 +179,16 @@ def run_scale(scale: str, transactions: int = 120) -> dict:
             "rows_per_sec_after": round(delta_rows / seconds_after, 1),
             "speedup": round(seconds_before / seconds_after, 2),
             "perf": fast.perf.snapshot(),
+            # Per-transaction distribution summaries (p50/p95/p99) from
+            # the hot maintainer's metrics registry — tail latency and
+            # per-transaction throughput, not just stream-wide means.
+            "histograms": {
+                "txn_latency_ms": fast.perf.histogram_summary(TXN_LATENCY_MS),
+                "txn_delta_rows": fast.perf.histogram_summary(TXN_DELTA_ROWS),
+                "txn_rows_per_sec": fast.perf.histogram_summary(
+                    TXN_ROWS_PER_SEC
+                ),
+            },
         }
     return results
 
@@ -219,6 +230,9 @@ def test_hotpath_smoke(tmp_path):
     for kind, numbers in measured["streams"].items():
         assert numbers["delta_rows"] > 0, kind
         assert numbers["speedup"] > 0, kind
+        for name, summary in numbers["histograms"].items():
+            assert summary["count"] == 40, (kind, name)
+            assert summary["p50"] is not None, (kind, name)
 
 
 if __name__ == "__main__":

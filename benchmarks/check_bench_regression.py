@@ -14,7 +14,10 @@ Usage::
         [--baseline BENCH_hotpath.json] [--scale small] [--tolerance 0.25]
 
 Exit status 1 (with a per-stream report) if any stream's speedup falls
-more than ``tolerance`` below the baseline's.
+more than ``tolerance`` below the baseline's.  The gate also asserts
+both runs carry the per-transaction histogram summaries
+(``histograms.txn_latency_ms`` etc.) so the observability layer's
+distribution reporting cannot silently disappear from the benchmark.
 """
 
 from __future__ import annotations
@@ -25,6 +28,32 @@ import sys
 from pathlib import Path
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+#: Histogram summaries every stream record must carry (and the summary
+#: keys inside each), since the bench promises distribution reporting.
+REQUIRED_HISTOGRAMS = ("txn_latency_ms", "txn_delta_rows", "txn_rows_per_sec")
+REQUIRED_SUMMARY_KEYS = ("count", "sum", "p50", "p95", "p99")
+
+
+def check_histograms(label: str, streams: dict) -> list[str]:
+    """Failures for stream records missing histogram summaries."""
+    failures = []
+    for kind, record in sorted(streams.items()):
+        histograms = record.get("histograms")
+        if histograms is None:
+            failures.append(f"{label}/{kind}: no 'histograms' key")
+            continue
+        for name in REQUIRED_HISTOGRAMS:
+            summary = histograms.get(name)
+            if summary is None:
+                failures.append(f"{label}/{kind}: missing histogram {name!r}")
+                continue
+            missing = [k for k in REQUIRED_SUMMARY_KEYS if k not in summary]
+            if missing:
+                failures.append(
+                    f"{label}/{kind}: histogram {name!r} lacks {missing!r}"
+                )
+    return failures
 
 
 def compare(
@@ -39,7 +68,8 @@ def compare(
         fresh_streams = fresh["scales"][scale]["streams"]
     except KeyError:
         return [f"fresh run has no scale {scale!r}"]
-    failures = []
+    failures = check_histograms("baseline", base_streams)
+    failures += check_histograms("fresh", fresh_streams)
     for kind, base in sorted(base_streams.items()):
         measured = fresh_streams.get(kind)
         if measured is None:

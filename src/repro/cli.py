@@ -19,6 +19,26 @@ Usage (``python -m repro <command> ...``)::
         Print the Section 1.1 storage analysis for the given (default:
         the paper's) cardinalities.
 
+    python -m repro perf --schema schema.sql --view view.sql
+        Maintain the view under a synthetic transaction stream and print
+        the hot-path counters, phase timings, and per-transaction
+        histogram summaries.
+
+    python -m repro trace --schema schema.sql --view view.sql
+                    [--sample-every N --jsonl out.jsonl]
+        Same stream, with structured tracing on: prints the slowest
+        transaction's span tree (flame-style) and optionally exports
+        every sampled trace as JSONL.
+
+    python -m repro metrics --schema schema.sql --view view.sql
+                    [--jsonl out.jsonl]
+        Same stream; prints the merged metrics registry in Prometheus
+        text exposition format and optionally snapshots it as JSONL.
+
+The three observability commands also run against the built-in retail
+star schema with ``--retail`` (no schema/view files needed), and share
+``--transactions``/``--seed``/``--rows-per-table`` stream knobs.
+
 ``schema.sql`` holds CREATE TABLE statements (see ``repro.sql.ddl``);
 ``view.sql`` holds one CREATE VIEW statement in the GPSJ dialect.  Pass
 ``-`` to read from stdin.
@@ -91,6 +111,54 @@ def _build_parser() -> argparse.ArgumentParser:
                 "--plan",
                 action="store_true",
                 help="print the physical evaluation and maintenance plans",
+            )
+            sub.add_argument(
+                "--analyze",
+                action="store_true",
+                help="run a synthetic transaction stream first and "
+                "annotate the plans with observed per-node cardinalities "
+                "and timings",
+            )
+            sub.add_argument("--transactions", type=int, default=40)
+            sub.add_argument("--seed", type=int, default=0)
+            sub.add_argument("--rows-per-table", type=int, default=24)
+        sub.set_defaults(handler=handler)
+
+    for name, handler, description in (
+        ("perf", _cmd_perf, "run a synthetic stream; print perf counters"),
+        ("trace", _cmd_trace, "run a synthetic stream with tracing on"),
+        ("metrics", _cmd_metrics, "run a synthetic stream; export metrics"),
+    ):
+        sub = subparsers.add_parser(name, help=description)
+        sub.add_argument("--schema", help="CREATE TABLE file ('-' for stdin)")
+        sub.add_argument("--view", help="CREATE VIEW file ('-' for stdin)")
+        sub.add_argument(
+            "--retail",
+            action="store_true",
+            help="use the built-in retail star schema instead of "
+            "--schema/--view",
+        )
+        sub.add_argument("--transactions", type=int, default=40)
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument(
+            "--rows-per-table",
+            type=int,
+            default=24,
+            help="synthetic rows seeded per table when the schema has no data",
+        )
+        if name == "trace":
+            sub.add_argument(
+                "--sample-every",
+                type=int,
+                default=1,
+                help="trace the first of every N transactions (1 = all)",
+            )
+            sub.add_argument(
+                "--jsonl", help="export every sampled trace as JSONL"
+            )
+        if name == "metrics":
+            sub.add_argument(
+                "--jsonl", help="write a JSONL snapshot of the registry"
             )
         sub.set_defaults(handler=handler)
 
@@ -202,6 +270,22 @@ def _cmd_derive(args) -> int:
 
 def _cmd_explain(args) -> int:
     database, view = _load(args)
+    if args.analyze:
+        from repro.plan.explain import maintainer_plan_report, stats_annotator
+        from repro.plan.planner import evaluate_view
+
+        warehouse, __ = _run_stream(database, view, args)
+        evaluate_view(view, database)  # give the evaluation plan a run too
+        print(
+            maintainer_plan_report(
+                warehouse.maintainer(view.name), database, stats_annotator
+            )
+        )
+        print(
+            f"\n(observed over {args.transactions} synthetic transactions, "
+            f"seed {args.seed}; nodes without an 'actual:' note never ran)"
+        )
+        return 0
     if args.plan:
         from repro.plan.explain import explain_view_plans
 
@@ -213,6 +297,107 @@ def _cmd_explain(args) -> int:
         view, database, append_only=args.append_only
     )
     print(report.render())
+    return 0
+
+
+def _workload(args) -> tuple:
+    """The (database, view) pair an observability command streams over."""
+    if getattr(args, "retail", False):
+        from repro.workloads.retail import (
+            RetailConfig,
+            build_retail_database,
+            product_sales_view,
+        )
+
+        config = RetailConfig(
+            days=10, stores=3, products=30, products_sold_per_day=10
+        )
+        return build_retail_database(config), product_sales_view()
+    if not args.schema or not args.view:
+        raise ValueError("pass --schema and --view, or --retail")
+    return _load(args)
+
+
+def _run_stream(database, view, args, tracer=None):
+    """Register ``view`` in a warehouse and maintain it under a
+    referential-integrity-preserving synthetic stream; returns the
+    warehouse and the applied transaction count."""
+    from repro.warehouse.warehouse import Warehouse
+    from repro.workloads.streams import (
+        TransactionGenerator,
+        generic_value_makers,
+        seed_database,
+    )
+
+    if all(not table.relation for table in database.tables):
+        seed_database(
+            database, rows_per_table=args.rows_per_table, seed=args.seed
+        )
+    warehouse = Warehouse(database, [view], tracer=tracer)
+    generator = TransactionGenerator(
+        database,
+        seed=args.seed,
+        value_makers=generic_value_makers(database),
+    )
+    applied = 0
+    for __ in range(args.transactions):
+        transaction = generator.next_transaction(update_probability=0.0)
+        if transaction.empty:
+            continue
+        database.apply(transaction)
+        warehouse.apply(transaction)
+        applied += 1
+    return warehouse, applied
+
+
+def _cmd_perf(args) -> int:
+    database, view = _workload(args)
+    warehouse, applied = _run_stream(database, view, args)
+    from repro.perf import TXN_DELTA_ROWS, TXN_LATENCY_MS, TXN_ROWS_PER_SEC
+
+    print(f"synthetic stream: {applied} transactions applied")
+    print(warehouse.perf_report())
+    perf = warehouse.maintainer(view.name).perf
+    print("per-transaction distributions:")
+    for name in (TXN_LATENCY_MS, TXN_DELTA_ROWS, TXN_ROWS_PER_SEC):
+        summary = perf.histogram_summary(name)
+        print(
+            f"  {name}: count={summary['count']} p50={summary['p50']} "
+            f"p95={summary['p95']} p99={summary['p99']}"
+        )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.trace import Tracer
+
+    database, view = _workload(args)
+    tracer = Tracer(sample_every=args.sample_every)
+    warehouse, applied = _run_stream(database, view, args, tracer=tracer)
+    print(
+        f"synthetic stream: {applied} transactions applied, "
+        f"{tracer.sampled} traced (sample_every={args.sample_every})"
+    )
+    slowest = tracer.slowest()
+    if slowest is None:
+        print("no transactions were sampled")
+        return 0
+    print("\nslowest traced transaction:")
+    print(slowest.render())
+    if args.jsonl:
+        tracer.export_jsonl(args.jsonl)
+        print(f"\n{len(tracer.traces)} traces exported to {args.jsonl}")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    database, view = _workload(args)
+    warehouse, __ = _run_stream(database, view, args)
+    registry = warehouse.metrics_registry()
+    print(registry.render_prometheus())
+    if args.jsonl:
+        registry.write_jsonl(args.jsonl)
+        print(f"# registry snapshot written to {args.jsonl}")
     return 0
 
 

@@ -25,7 +25,9 @@ the paper's reduction arguments assume.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.catalog.database import Database
 from repro.core.derivation import (
@@ -47,7 +49,13 @@ from repro.engine.relation import Relation
 from repro.engine.rowindex import make_tuple_extractor
 from repro.engine.schema import Schema
 from repro.engine.undolog import UndoLog
-from repro.perf import PerfStats
+from repro.obs.trace import Tracer
+from repro.perf import (
+    TXN_DELTA_ROWS,
+    TXN_LATENCY_MS,
+    TXN_ROWS_PER_SEC,
+    PerfStats,
+)
 from repro.plan.executor import ExecutionContext
 from repro.plan.maintenance import DeltaPlans, MaintenancePlanner
 from repro.plan.planner import PlanPolicy
@@ -367,6 +375,14 @@ def _delta_rows(transaction: Transaction) -> int:
     )
 
 
+def _phase_span(trace, name: str, **attrs):
+    """A phase span on ``trace``, or a no-op context yielding None when
+    the transaction is untraced — call sites stay branch-free."""
+    if trace is None:
+        return nullcontext(None)
+    return trace.span(name, kind="phase", **attrs)
+
+
 @dataclass
 class GroupState:
     """Maintained state of one group of ``V``."""
@@ -412,6 +428,7 @@ class SelfMaintainer:
         append_only: bool = False,
         initialize: bool = True,
         hotpath: bool = True,
+        tracer: Tracer | None = None,
     ):
         """``append_only`` maintains the view as *old detail data*
         (Section 4): only insertions are accepted, in exchange for
@@ -425,7 +442,11 @@ class SelfMaintainer:
         seed maintenance pipeline (:attr:`PlanPolicy.NAIVE` — rebuilt
         key caches, ancestor-only restriction, no coalescing, no
         cross-view sharing).  Results are identical either way — the
-        policy exists so the hot-path benchmark can measure the gap."""
+        policy exists so the hot-path benchmark can measure the gap.
+        ``tracer`` optionally installs a :class:`~repro.obs.trace.Tracer`
+        that samples transactions into structured span trees (root span
+        per :meth:`apply`, phase spans, nested plan-node spans); with the
+        default ``None`` the hot path pays no tracing cost at all."""
         self.view = view
         self.append_only = append_only
         self.graph = graph or ExtendedJoinGraph(view, database)
@@ -434,6 +455,7 @@ class SelfMaintainer:
         )
         self.reconstructor = Reconstructor(view, self.aux_set, database)
         self.perf = PerfStats()
+        self.tracer = tracer
         self.policy = PlanPolicy.INDEXED if hotpath else PlanPolicy.NAIVE
         self._materializations: dict[str, AuxMaterialization] = {
             aux.table: make_materialization(aux, use_indexes=hotpath)
@@ -754,7 +776,47 @@ class SelfMaintainer:
         delta of a table two views both read) are computed once.  Only
         the ``INDEXED`` policy shares: naive maintainers skip
         coalescing, so their delta bindings differ per maintainer.
+
+        When a :attr:`tracer` is installed and samples this transaction,
+        the whole call is recorded as a span tree; either way the
+        registry's per-transaction histograms (latency, delta rows,
+        throughput) observe every *successful* application.
         """
+        tracer = self.tracer
+        trace = None
+        if tracer is not None:
+            trace = tracer.begin(
+                f"txn:{self.view.name}",
+                view=self.view.name,
+                policy=self.policy.name,
+            )
+        rows_in = _delta_rows(transaction)
+        started = perf_counter()
+        try:
+            self._apply_traced(transaction, undo, shared, trace)
+        except Exception:
+            if trace is not None:
+                trace.root.rows_in = rows_in
+                tracer.finish(trace, status="error")
+            raise
+        elapsed = perf_counter() - started
+        perf = self.perf
+        perf.observe(TXN_LATENCY_MS, elapsed * 1000.0)
+        perf.observe(TXN_DELTA_ROWS, rows_in)
+        if elapsed > 0.0:
+            perf.observe(TXN_ROWS_PER_SEC, rows_in / elapsed)
+        if trace is not None:
+            trace.root.rows_in = rows_in
+            tracer.finish(trace)
+
+    def _apply_traced(
+        self,
+        transaction: Transaction,
+        undo: UndoLog | None,
+        shared: dict | None,
+        trace,
+    ) -> None:
+        """The body of :meth:`apply` (``trace`` is None when unsampled)."""
         perf = self.perf
         perf.count("transactions")
         if self.policy is not PlanPolicy.INDEXED:
@@ -771,24 +833,33 @@ class SelfMaintainer:
                     f"{offenders!r}"
                 )
         if self.policy is PlanPolicy.INDEXED:
-            with perf.timer("coalesce"):
+            before = _delta_rows(transaction)
+            with _phase_span(trace, "coalesce") as span, perf.timer("coalesce"):
                 coalesced = transaction.coalesced()
+            if span is not None:
+                span.rows_in = before
+                span.rows_out = _delta_rows(coalesced)
             if coalesced is not transaction:
                 perf.count(
-                    "rows_coalesced_away",
-                    _delta_rows(transaction) - _delta_rows(coalesced),
+                    "rows_coalesced_away", before - _delta_rows(coalesced)
                 )
                 transaction = coalesced
-        with perf.timer("validate"):
+        with _phase_span(trace, "validate") as span, perf.timer("validate"):
             validated = self._validate_transaction(transaction)
+        if span is not None:
+            span.rows_in = span.rows_out = sum(
+                len(ins) + len(dels) for ins, dels in validated.values()
+            )
         log = UndoLog()
         self._begin_transaction(log)
         try:
-            self._apply_validated(transaction, validated, shared)
+            self._apply_validated(transaction, validated, shared, trace)
         except Exception:
             self._end_transaction()
-            with perf.timer("rollback"):
+            with _phase_span(trace, "rollback") as span, perf.timer("rollback"):
                 undone = log.rollback()
+            if span is not None:
+                span.rows_out = undone
             perf.count("rollbacks")
             perf.count("rows_undone", undone)
             raise
@@ -851,6 +922,7 @@ class SelfMaintainer:
         transaction: Transaction,
         validated: dict[str, tuple[list[tuple], list[tuple]]],
         shared: dict | None = None,
+        trace=None,
     ) -> None:
         """The mutation half of :meth:`apply` (runs inside the undo scope)."""
         perf = self.perf
@@ -859,16 +931,18 @@ class SelfMaintainer:
         for table in self._order:
             __, deleted = validated.get(table, ((), ()))
             if deleted:
-                self._process_delta(table, deleted, -1, dirty, shared)
+                self._process_delta(table, deleted, -1, dirty, shared, trace)
         self._apply_rewrites(rewrites)
         for table in reversed(self._order):
             inserted, __ = validated.get(table, ((), ()))
             if inserted:
-                self._process_delta(table, inserted, +1, dirty, shared)
+                self._process_delta(table, inserted, +1, dirty, shared, trace)
         if dirty:
             perf.count("groups_recomputed", len(dirty))
-            with perf.timer("recompute"):
+            with _phase_span(trace, "recompute") as span, perf.timer("recompute"):
                 self._recompute_groups(dirty)
+            if span is not None:
+                span.rows_out = len(dirty)
 
     # ------------------------------------------------------------------
     # Dimension updates under an eliminated root (Section 3.3).
@@ -1021,6 +1095,17 @@ class SelfMaintainer:
             plans = self._delta_plans[key] = self._planner.build(table, sign)
         return plans
 
+    def runtime_stats(self) -> dict:
+        """Observed per-node plan statistics of every compiled delta
+        pipeline, keyed ``'+table'``/``'-table'``.  The accumulators live
+        on the cached plan nodes, so after a transaction stream this is
+        the full observed-cardinality profile of the maintenance work
+        (see ``explain --analyze``)."""
+        return {
+            ("+" if sign > 0 else "-") + table: plans.runtime_stats()
+            for (table, sign), plans in sorted(self._delta_plans.items())
+        }
+
     def set_restriction(self, enabled: bool) -> None:
         """Plan future propagation joins with (default) or without the
         delta-driven semijoin restriction of the other auxiliary views —
@@ -1035,6 +1120,7 @@ class SelfMaintainer:
         sign: int,
         dirty: set[tuple],
         shared: dict | None = None,
+        trace=None,
     ) -> None:
         """Reduce and propagate one table's (pre-validated) delta rows.
 
@@ -1043,7 +1129,9 @@ class SelfMaintainer:
         execution context memoizes shared prefixes (the reduced delta
         feeds both the propagation join and the auxiliary fold), and the
         warehouse-supplied ``shared`` dict extends that memoization to
-        the delta-only subplans of sibling maintainers.
+        the delta-only subplans of sibling maintainers.  When ``trace``
+        is active, every phase and every executed plan node lands in its
+        span tree.
         """
         info = self._tables[table]
         perf = self.perf
@@ -1053,25 +1141,42 @@ class SelfMaintainer:
             perf=perf,
             shared=shared,
             deltas={(table, sign): Relation(info.schema, rows, validate=False)},
+            trace=trace,
         )
-        with perf.timer("local-reduce"):
+        with _phase_span(
+            trace, "local-reduce", table=table, sign=sign
+        ) as span, perf.timer("local-reduce"):
             locally = plans.local.run(ctx)
+        if span is not None:
+            span.rows_in, span.rows_out = len(rows), len(locally)
         perf.count("rows_locally_reduced_away", len(rows) - len(locally))
-        with perf.timer("join-reduce"):
+        with _phase_span(
+            trace, "join-reduce", table=table, sign=sign
+        ) as span, perf.timer("join-reduce"):
             reduced = plans.reduce.run(ctx)
             perf.count("join_reduce_probes", len(locally) * plans.n_reductions)
             perf.count("rows_join_reduced_away", len(locally) - len(reduced))
+        if span is not None:
+            span.rows_in, span.rows_out = len(locally), len(reduced)
         if not reduced:
             return
         perf.count("rows_propagated", len(reduced))
         if plans.propagate is not None:
-            with perf.timer("aggregate-fold"):
+            with _phase_span(
+                trace, "aggregate-fold", table=table, sign=sign
+            ) as span, perf.timer("aggregate-fold"):
                 contributions = plans.propagate.run(ctx)
                 for key, acc in contributions.items():
                     self._merge_group(key, acc, sign, dirty)
+            if span is not None:
+                span.rows_in, span.rows_out = len(reduced), len(contributions)
         if table not in self._eliminated:
-            with perf.timer("aux-apply"):
+            with _phase_span(
+                trace, "aux-apply", table=table, sign=sign
+            ) as span, perf.timer("aux-apply"):
                 self._materializations[table].apply(reduced.rows, sign)
+            if span is not None:
+                span.rows_in = span.rows_out = len(reduced)
 
     def _merge_group(
         self, key: tuple, acc: GroupAccumulator, sign: int, dirty: set[tuple]

@@ -1,0 +1,53 @@
+"""repro.obs — the end-to-end observability layer.
+
+Three cooperating facilities, deliberately dependency-free (nothing in
+here imports the engine, the planner, or the warehouse, so every layer
+above can use them):
+
+:mod:`repro.obs.metrics`
+    A :class:`MetricsRegistry` of named counters, gauges, and
+    fixed-bucket histograms (p50/p95/p99 derivable), exportable as
+    Prometheus text exposition and as JSONL snapshots.
+    :class:`~repro.perf.PerfStats` is a thin façade over one of these.
+
+:mod:`repro.obs.trace`
+    A :class:`Tracer` producing per-transaction trace trees: one root
+    span per maintained transaction, one child span per maintenance
+    phase, and nested plan-node spans carrying wall time, input/output
+    row counts, index-probe counts, and cache-hit flags.  Traces export
+    as JSONL (round-trippable) and render as flame-style text trees.
+    The ``sample_every`` knob keeps the default overhead near zero.
+
+:mod:`repro.obs.stats`
+    :class:`ActualStats`, the per-plan-node runtime accumulator behind
+    ``explain --analyze`` and ``Warehouse.runtime_stats()`` — observed
+    cardinalities as the future cost model's training data.
+"""
+
+from repro.obs.metrics import (
+    CounterMetric,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    DELTA_ROWS_BUCKETS,
+    LATENCY_MS_BUCKETS,
+    ROWS_PER_SEC_BUCKETS,
+)
+from repro.obs.stats import ActualStats, collect_node_stats
+from repro.obs.trace import Span, Trace, Tracer, read_trace_jsonl
+
+__all__ = [
+    "ActualStats",
+    "CounterMetric",
+    "DELTA_ROWS_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "LATENCY_MS_BUCKETS",
+    "MetricsRegistry",
+    "ROWS_PER_SEC_BUCKETS",
+    "Span",
+    "Trace",
+    "Tracer",
+    "collect_node_stats",
+    "read_trace_jsonl",
+]

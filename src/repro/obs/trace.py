@@ -1,0 +1,345 @@
+"""Structured tracing: per-transaction span trees.
+
+A :class:`Tracer` decides (by sampling) whether one maintained
+transaction is traced; a sampled transaction gets a :class:`Trace` — a
+pre-order list of :class:`Span` records forming a tree:
+
+* the **root span** covers the whole ``SelfMaintainer.apply`` call;
+* one **phase span** per maintenance phase (``coalesce``, ``validate``,
+  ``local-reduce``, ``join-reduce``, ``aggregate-fold``, ``aux-apply``,
+  ``recompute``, ``rollback``), carrying the phase's row counts;
+* nested **plan spans**, one per executed physical plan node, carrying
+  wall time, input/output row counts, index-probe counts, and cache-hit
+  flags (memo hits and cross-view shared-cache hits appear as
+  zero-duration spans flagged ``cache_hit``).
+
+Spans are plain mutable records (callers set ``rows_in``/``rows_out``
+after the work ran); durations come from ``perf_counter`` and are
+*inclusive* of children — the exclusive per-node times stay in the
+``plan:*`` timers of :class:`~repro.perf.PerfStats`.
+
+Export is JSONL, one span object per line, reconstructable with
+:func:`read_trace_jsonl` (the round-trip the trace tooling and tests
+rely on); :meth:`Trace.render` draws a flame-style text tree whose bar
+widths are proportional to each span's share of the root's wall time.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Iterator
+
+
+class Span:
+    """One timed operation inside a trace tree."""
+
+    __slots__ = (
+        "span_id", "parent_id", "name", "kind", "phase", "depth",
+        "start_ms", "duration_ms", "rows_in", "rows_out", "index_probes",
+        "cache_hit", "error", "attrs",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        kind: str,
+        phase: str,
+        depth: int,
+        start_ms: float,
+        **attrs,
+    ):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.kind = kind
+        self.phase = phase
+        self.depth = depth
+        self.start_ms = start_ms
+        self.duration_ms = 0.0
+        self.rows_in: int | None = None
+        self.rows_out: int | None = None
+        self.index_probes = 0
+        self.cache_hit = False
+        self.error = False
+        self.attrs = attrs
+
+    def to_dict(self, trace_id: int) -> dict:
+        return {
+            "trace": trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "phase": self.phase,
+            "start_ms": round(self.start_ms, 4),
+            "duration_ms": round(self.duration_ms, 4),
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "index_probes": self.index_probes,
+            "cache_hit": self.cache_hit,
+            "error": self.error,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Span":
+        span = cls(
+            record["span"],
+            record["parent"],
+            record["name"],
+            record["kind"],
+            record["phase"],
+            0,
+            record["start_ms"],
+            **record.get("attrs", {}),
+        )
+        span.duration_ms = record["duration_ms"]
+        span.rows_in = record["rows_in"]
+        span.rows_out = record["rows_out"]
+        span.index_probes = record["index_probes"]
+        span.cache_hit = record["cache_hit"]
+        span.error = record["error"]
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"Span({self.name!r}, kind={self.kind!r}, "
+            f"{self.duration_ms:.3f}ms)"
+        )
+
+
+class Trace:
+    """The span tree of one traced transaction (spans in pre-order)."""
+
+    __slots__ = ("trace_id", "label", "spans", "status", "_stack", "_origin")
+
+    def __init__(self, trace_id: int, label: str, **attrs):
+        self.trace_id = trace_id
+        self.label = label
+        self.spans: list[Span] = []
+        self.status = "open"
+        self._stack: list[Span] = []
+        self._origin = perf_counter()
+        self._open(label, kind="transaction", **attrs)
+
+    # ------------------------------------------------------------------
+    # Span construction.
+    # ------------------------------------------------------------------
+
+    def _now_ms(self) -> float:
+        return (perf_counter() - self._origin) * 1000.0
+
+    def _open(self, name: str, kind: str, **attrs) -> Span:
+        parent = self._stack[-1] if self._stack else None
+        if kind == "phase":
+            phase = name
+        elif parent is not None:
+            phase = parent.phase
+        else:
+            phase = name
+        span = Span(
+            span_id=len(self.spans),
+            parent_id=None if parent is None else parent.span_id,
+            name=name,
+            kind=kind,
+            phase=phase,
+            depth=len(self._stack),
+            start_ms=self._now_ms(),
+            **attrs,
+        )
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.duration_ms = self._now_ms() - span.start_ms
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()  # pragma: no cover - unbalanced-exit guard
+        if self._stack:
+            self._stack.pop()
+
+    @contextmanager
+    def span(self, name: str, kind: str = "span", **attrs) -> Iterator[Span]:
+        """Open a child span of the innermost open span; closes (and
+        flags errors) even when the body raises — fault-injected phases
+        still leave a well-formed tree."""
+        opened = self._open(name, kind, **attrs)
+        try:
+            yield opened
+        except BaseException:
+            opened.error = True
+            raise
+        finally:
+            self._close(opened)
+
+    def instant(self, name: str, kind: str = "span", **attrs) -> Span:
+        """A zero-duration child span (cache hits, annotations)."""
+        span = self._open(name, kind, **attrs)
+        self._close(span)
+        span.duration_ms = 0.0
+        return span
+
+    def finish(self, status: str = "ok") -> None:
+        while self._stack:
+            self._close(self._stack[-1])
+        self.status = status
+        if self.spans:
+            self.spans[0].attrs["status"] = status
+
+    # ------------------------------------------------------------------
+    # Inspection / export.
+    # ------------------------------------------------------------------
+
+    @property
+    def root(self) -> Span:
+        return self.spans[0]
+
+    def children(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def to_dicts(self) -> list[dict]:
+        return [span.to_dict(self.trace_id) for span in self.spans]
+
+    def render(self, bar_width: int = 24) -> str:
+        """Flame-style text tree: one line per span, duration-scaled bars."""
+        total = self.root.duration_ms or 1.0
+        name_width = max(
+            (len("  " * self._depth_of(s)) + len(s.name) for s in self.spans),
+            default=0,
+        )
+        lines = []
+        for span in self.spans:
+            indent = "  " * self._depth_of(span)
+            bar = "#" * max(
+                1 if span.duration_ms > 0 else 0,
+                round(bar_width * span.duration_ms / total),
+            )
+            notes = []
+            if span.rows_in is not None or span.rows_out is not None:
+                rows_in = "?" if span.rows_in is None else str(span.rows_in)
+                rows_out = "?" if span.rows_out is None else str(span.rows_out)
+                notes.append(f"rows {rows_in}->{rows_out}")
+            if span.index_probes:
+                notes.append(f"probes={span.index_probes}")
+            if span.cache_hit:
+                notes.append("cache-hit")
+            if span.error:
+                notes.append("ERROR")
+            if span.kind == "transaction":
+                notes.append(f"status={self.status}")
+            suffix = ("  [" + ", ".join(notes) + "]") if notes else ""
+            lines.append(
+                f"{indent}{span.name:<{name_width - len(indent)}}"
+                f"{span.duration_ms:>10.3f}ms  {bar:<{bar_width}}{suffix}"
+            )
+        return "\n".join(lines)
+
+    def _depth_of(self, span: Span) -> int:
+        depth = 0
+        current = span
+        by_id = {s.span_id: s for s in self.spans}
+        while current.parent_id is not None:
+            current = by_id[current.parent_id]
+            depth += 1
+        return depth
+
+
+class Tracer:
+    """Samples transactions and keeps the most recent finished traces.
+
+    ``sample_every=N`` traces the first of every ``N`` transactions
+    seen (``1`` traces everything, ``0`` disables tracing entirely —
+    the cheap default the maintainer runs with unless one is
+    installed).  ``max_traces`` bounds memory: older traces fall off a
+    ring buffer.
+    """
+
+    def __init__(self, sample_every: int = 1, max_traces: int = 128):
+        if sample_every < 0:
+            raise ValueError("sample_every must be >= 0")
+        self.sample_every = sample_every
+        self._seen = 0
+        self._next_id = 0
+        self._finished: deque[Trace] = deque(maxlen=max_traces)
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def begin(self, label: str, **attrs) -> Trace | None:
+        """Start a trace for the next transaction, or None when the
+        sampler skips it (the only per-transaction cost of a quiet
+        tracer is this counter bump)."""
+        self._seen += 1
+        if self.sample_every == 0 or (self._seen - 1) % self.sample_every:
+            return None
+        trace = Trace(self._next_id, label, **attrs)
+        self._next_id += 1
+        return trace
+
+    def finish(self, trace: Trace, status: str = "ok") -> None:
+        trace.finish(status)
+        self._finished.append(trace)
+
+    # ------------------------------------------------------------------
+    # Inspection / export.
+    # ------------------------------------------------------------------
+
+    @property
+    def traces(self) -> list[Trace]:
+        return list(self._finished)
+
+    @property
+    def last(self) -> Trace | None:
+        return self._finished[-1] if self._finished else None
+
+    @property
+    def sampled(self) -> int:
+        """Transactions traced so far (seen minus sampled-away)."""
+        return self._next_id
+
+    def slowest(self) -> Trace | None:
+        if not self._finished:
+            return None
+        return max(self._finished, key=lambda t: t.root.duration_ms)
+
+    def to_jsonl(self) -> str:
+        return "\n".join(
+            json.dumps(record, sort_keys=True)
+            for trace in self._finished
+            for record in trace.to_dicts()
+        )
+
+    def export_jsonl(self, path) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl() + "\n")
+
+
+def read_trace_jsonl(path) -> list[Trace]:
+    """Rebuild traces from a JSONL export (the round-trip inverse of
+    :meth:`Tracer.export_jsonl`)."""
+    grouped: dict[int, list[dict]] = {}
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            grouped.setdefault(record["trace"], []).append(record)
+    traces: list[Trace] = []
+    for trace_id, records in sorted(grouped.items()):
+        records.sort(key=lambda r: r["span"])
+        trace = Trace.__new__(Trace)
+        trace.trace_id = trace_id
+        trace.label = records[0]["name"]
+        trace.spans = [Span.from_dict(record) for record in records]
+        trace.status = trace.spans[0].attrs.get("status", "ok")
+        trace._stack = []
+        trace._origin = 0.0
+        traces.append(trace)
+    return traces

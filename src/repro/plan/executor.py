@@ -10,6 +10,9 @@ a :class:`~repro.perf.PerfStats` sink for per-node timings/counters and
 a *shared* result cache that one warehouse transaction passes to every
 maintainer so structurally identical delta subplans across views are
 computed once (multi-query optimization à la Mistry et al., VLDB 2001).
+A third optional service is an active :class:`~repro.obs.trace.Trace`:
+when present, every plan node executed under this context opens a
+nested span (see :meth:`PhysicalNode.run`).
 """
 
 from __future__ import annotations
@@ -27,7 +30,10 @@ class PlanExecutionError(Exception):
 class ExecutionContext:
     """Per-run bindings and caches for one plan execution."""
 
-    __slots__ = ("relations", "resolver", "providers", "perf", "memo", "shared", "deltas")
+    __slots__ = (
+        "relations", "resolver", "providers", "perf", "memo", "shared",
+        "deltas", "trace",
+    )
 
     def __init__(
         self,
@@ -37,6 +43,7 @@ class ExecutionContext:
         perf: PerfStats | None = None,
         shared: dict | None = None,
         deltas: Mapping[tuple[str, int], Relation] | None = None,
+        trace=None,
     ):
         self.relations = relations
         self.resolver = resolver
@@ -45,6 +52,7 @@ class ExecutionContext:
         self.memo: dict[int, object] = {}
         self.shared = shared
         self.deltas = deltas
+        self.trace = trace
 
     def relation(self, name: str) -> Relation:
         """The relation bound to ``name`` (explicit binding first, then

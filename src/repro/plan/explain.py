@@ -66,6 +66,23 @@ def make_shared_annotator(owners: dict[LogicalNode, list[str]]):
     return annotator
 
 
+def stats_annotator(node) -> str | None:
+    """Annotate a node with its observed runtime statistics (the
+    ``explain --analyze`` rendering); silent for never-executed nodes."""
+    return node.stats.describe()
+
+
+def combine_annotators(*annotators):
+    """One annotator joining the non-empty notes of several."""
+
+    def annotator(node) -> str | None:
+        notes = [a(node) for a in annotators]
+        notes = [note for note in notes if note]
+        return "; ".join(notes) if notes else None
+
+    return annotator
+
+
 def maintainer_plan_report(maintainer, database, annotator=None) -> str:
     """One view's plans: evaluation plus one maintenance plan per table.
 

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 
 from repro.engine.expressions import conjoin
 from repro.engine.schema import Schema
+from repro.obs.stats import collect_node_stats
 from repro.plan.logical import DeltaScan, PlanError, Select
 from repro.plan.physical import (
     AccumulateNode,
@@ -61,6 +62,34 @@ class DeltaPlans:
     reduce: PhysicalNode
     propagate: PhysicalNode | None
     n_reductions: int
+
+    def roots(self) -> tuple[PhysicalNode, ...]:
+        """The pipeline's stage roots, outermost first.  ``reduce``
+        contains ``local`` as a subtree and ``propagate`` (when present)
+        contains ``reduce``, so the *first* root covers every node."""
+        if self.propagate is not None:
+            return (self.propagate, self.reduce, self.local)
+        return (self.reduce, self.local)
+
+    def walk(self):
+        """Every unique physical node of the pipeline, pre-order from
+        the outermost root."""
+        seen: set[int] = set()
+        for root in self.roots():
+            for node in root.walk():
+                if id(node) not in seen:
+                    seen.add(id(node))
+                    yield node
+
+    def runtime_stats(self) -> list[dict]:
+        """Observed per-node cardinality/timing records accumulated over
+        every transaction this compiled pipeline has maintained (the
+        ``explain --analyze`` payload)."""
+        return collect_node_stats(self.roots()[0])
+
+    def reset_runtime_stats(self) -> None:
+        for node in self.walk():
+            node.stats.reset()
 
 
 class MaintenancePlanner:

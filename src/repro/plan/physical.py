@@ -15,7 +15,15 @@ gets for free:
   delta subplan results;
 * **per-node timing** — with a perf sink attached, each node's own
   execution time accumulates under ``plan:<label>``, rendered after the
-  standard maintenance phases.
+  standard maintenance phases;
+* **runtime statistics** — every real execution (not memo/shared hits)
+  folds into the node's persistent :class:`~repro.obs.stats.ActualStats`
+  (executions, output cardinality, wall time), the observed-cardinality
+  record behind ``explain --analyze`` and ``Warehouse.runtime_stats()``;
+* **tracing** — when the context carries an active
+  :class:`~repro.obs.trace.Trace`, the node opens a nested span with
+  input/output row counts, index-probe deltas, and cache-hit flags
+  (memo and cross-view shared-cache hits become zero-duration spans).
 
 Timing is two inline ``perf_counter`` calls, deliberately *not*
 ``PerfStats.timer``: the fault-injection harness hooks ``timer`` to
@@ -39,16 +47,29 @@ from repro.engine.operators import (
 )
 from repro.engine.relation import Relation
 from repro.engine.schema import Schema
+from repro.obs.stats import ActualStats
 from repro.plan.executor import ExecutionContext
 from repro.plan.logical import LogicalNode, _render_pairs
 
 _MISSING = object()
 
 
+def _result_size(result) -> int | None:
+    """Output cardinality of a node result (rows of a relation, groups
+    of an accumulator dict); None for unsized results."""
+    try:
+        return len(result)
+    except TypeError:
+        return None
+
+
 class PhysicalNode:
     """Base physical operator: children plus one ``execute`` step."""
 
-    __slots__ = ("children", "label", "logical", "annotations", "share_key", "_timer_key")
+    __slots__ = (
+        "children", "label", "logical", "annotations", "share_key",
+        "stats", "_timer_key",
+    )
 
     def __init__(
         self,
@@ -61,6 +82,7 @@ class PhysicalNode:
         self.logical = logical
         self.annotations: list[str] = []
         self.share_key: LogicalNode | None = None
+        self.stats = ActualStats()
         self._timer_key = "plan:" + self.label
 
     def describe(self) -> str:
@@ -70,10 +92,15 @@ class PhysicalNode:
         raise NotImplementedError
 
     def run(self, ctx: ExecutionContext):
-        """Evaluate this subtree under ``ctx`` (memoized, shared, timed)."""
+        """Evaluate this subtree under ``ctx`` (memoized, shared, timed,
+        traced, and folded into the node's :class:`ActualStats`)."""
         memo = ctx.memo
         key = id(self)
         if key in memo:
+            if ctx.trace is not None:
+                ctx.trace.instant(
+                    self.label, kind="plan", cache_hit=True, cache="memo"
+                )
             return memo[key]
         shared = ctx.shared
         share_key = self.share_key
@@ -81,19 +108,48 @@ class PhysicalNode:
             cached = shared.get(share_key, _MISSING)
             if cached is not _MISSING:
                 ctx.count("plan_shared_hits")
+                self.stats.record_reuse()
+                if ctx.trace is not None:
+                    span = ctx.trace.instant(
+                        self.label, kind="plan", cache_hit=True, cache="shared"
+                    )
+                    span.rows_out = _result_size(cached)
                 memo[key] = cached
                 return cached
-        inputs = [child.run(ctx) for child in self.children]
-        perf = ctx.perf
-        if perf is None:
-            result = self.execute(ctx, inputs)
+        if ctx.trace is None:
+            result = self._run_timed(ctx, None)
         else:
-            started = perf_counter()
-            result = self.execute(ctx, inputs)
-            perf.seconds[self._timer_key] += perf_counter() - started
+            with ctx.trace.span(self.label, kind="plan") as span:
+                perf = ctx.perf
+                probes_before = (
+                    perf.counters["index_probes"] if perf is not None else 0
+                )
+                result = self._run_timed(ctx, span)
+                if perf is not None:
+                    span.index_probes = (
+                        perf.counters["index_probes"] - probes_before
+                    )
+                span.rows_out = _result_size(result)
         memo[key] = result
         if shared is not None and share_key is not None:
             shared[share_key] = result
+        return result
+
+    def _run_timed(self, ctx: ExecutionContext, span):
+        """Run children then execute, timing and recording this node."""
+        inputs = [child.run(ctx) for child in self.children]
+        if span is not None and inputs:
+            sizes = [_result_size(value) for value in inputs]
+            sized = [size for size in sizes if size is not None]
+            if sized:
+                span.rows_in = sum(sized)
+        perf = ctx.perf
+        started = perf_counter()
+        result = self.execute(ctx, inputs)
+        elapsed = perf_counter() - started
+        if perf is not None:
+            perf.seconds[self._timer_key] += elapsed
+        self.stats.record(_result_size(result), elapsed)
         return result
 
     def walk(self):

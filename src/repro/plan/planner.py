@@ -28,6 +28,7 @@ from typing import Callable, Mapping, Sequence
 # ViewDefinition/Database hints below stay strings.
 from repro.engine.relation import Relation
 from repro.engine.schema import Schema
+from repro.obs.stats import collect_node_stats
 from repro.plan.executor import ExecutionContext
 from repro.plan.logical import (
     AntiJoin,
@@ -375,6 +376,12 @@ class ViewPlan:
     physical: PhysicalNode
     pushed: list = field(default_factory=list)
     pruned: list = field(default_factory=list)
+
+    def runtime_stats(self) -> list[dict]:
+        """Observed per-node cardinalities/timings accumulated across
+        every execution of this (cached) plan — evaluation plans persist
+        in the view-plan cache, so stats survive across calls."""
+        return collect_node_stats(self.physical)
 
 
 _VIEW_PLAN_CACHE: dict = {}

@@ -18,6 +18,7 @@ from repro.core.maintenance import SelfMaintainer
 from repro.engine.deltas import Transaction, coalesce
 from repro.engine.relation import Relation
 from repro.engine.undolog import UndoLog
+from repro.perf import REFRESH_PROPAGATED_ROWS
 
 
 class StaleViewError(Exception):
@@ -44,6 +45,11 @@ class DeferredMaintainer:
         self._inner = maintainer
         self._coalesce = coalesce_deltas
         self._buffer: list[Transaction] = []
+        # Backlog depth as a live gauge in the maintainer's registry, so
+        # metrics exports show how stale the deferred view currently is.
+        self._pending_gauge = maintainer.perf.registry.gauge(
+            "repro_deferred_pending_transactions", view=maintainer.view.name
+        )
 
     @property
     def view(self):
@@ -58,6 +64,7 @@ class DeferredMaintainer:
         """Queue a source transaction (no maintenance work yet)."""
         if not transaction.empty:
             self._buffer.append(transaction)
+            self._pending_gauge.set(len(self._buffer))
 
     def discard(self, transaction: Transaction) -> bool:
         """Drop one buffered occurrence of ``transaction`` (the operator
@@ -67,6 +74,7 @@ class DeferredMaintainer:
             self._buffer.remove(transaction)
         except ValueError:
             return False
+        self._pending_gauge.set(len(self._buffer))
         return True
 
     def refresh(self) -> RefreshStats:
@@ -107,6 +115,8 @@ class DeferredMaintainer:
                     perf.count("rows_undone", undone)
                 raise
         self._buffer = []
+        self._pending_gauge.set(0)
+        self._inner.perf.observe(REFRESH_PROPAGATED_ROWS, propagated_rows)
         return RefreshStats(count, buffered_rows, propagated_rows)
 
     def current_view(self, allow_stale: bool = False) -> Relation:

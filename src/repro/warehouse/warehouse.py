@@ -14,9 +14,12 @@ from repro.catalog.database import Database
 from repro.core.derivation import AuxiliaryViewSet
 from repro.core.maintenance import SelfMaintainer
 from repro.core.view import ViewDefinition
+from repro.engine import compilecache
 from repro.engine.deltas import Transaction
 from repro.engine.relation import Relation
 from repro.engine.undolog import UndoLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.perf import PerfStats
 
 
@@ -44,9 +47,18 @@ class StorageReport:
 class Warehouse:
     """Materializes views + minimal current detail; maintained from deltas."""
 
-    def __init__(self, database: Database, views: list[ViewDefinition] | None = None):
-        """``database`` is only read during :meth:`register` (initial load)."""
+    def __init__(
+        self,
+        database: Database,
+        views: list[ViewDefinition] | None = None,
+        tracer: Tracer | None = None,
+    ):
+        """``database`` is only read during :meth:`register` (initial load).
+        ``tracer`` is handed to every maintainer registered here, so one
+        sampler sees the warehouse's whole transaction stream (each
+        maintained view contributes its own trace per sampled call)."""
         self._database = database
+        self.tracer = tracer
         self._maintainers: dict[str, SelfMaintainer] = {}
         for view in views or []:
             self.register(view)
@@ -59,7 +71,7 @@ class Warehouse:
         """Derive auxiliary views for ``view`` and materialize everything."""
         if view.name in self._maintainers:
             raise ValueError(f"view {view.name!r} already registered")
-        maintainer = SelfMaintainer(view, self._database)
+        maintainer = SelfMaintainer(view, self._database, tracer=self.tracer)
         self._maintainers[view.name] = maintainer
         return maintainer.aux_set
 
@@ -159,6 +171,39 @@ class Warehouse:
         for maintainer in self._maintainers.values():
             merged.merge(maintainer.perf)
         return merged.render()
+
+    def runtime_stats(self, view_name: str | None = None) -> dict:
+        """Observed per-plan-node statistics (cardinalities, timings,
+        reuse counts) accumulated over every applied transaction.
+
+        With a view name, that maintainer's ``{delta shape: [node
+        records]}`` mapping; with none, one mapping per registered view.
+        This is the ``explain --analyze`` payload, and the observed
+        cardinality feed the ROADMAP's cost-based planner will train on.
+        """
+        if view_name is not None:
+            return self._maintainers[view_name].runtime_stats()
+        return {
+            name: maintainer.runtime_stats()
+            for name, maintainer in self._maintainers.items()
+        }
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """A merged :class:`~repro.obs.metrics.MetricsRegistry` over all
+        maintainers — counters, phase seconds, and per-transaction
+        histograms — plus gauges for the process-wide compile/shared
+        cache (``repro_compile_cache_*``).  The merge is a snapshot: it
+        copies, so exporting never perturbs the live hot-path stores."""
+        merged = MetricsRegistry()
+        for maintainer in self._maintainers.values():
+            merged.merge(maintainer.perf.registry)
+        for name, value in compilecache.cache_stats().items():
+            merged.gauge(f"repro_compile_cache_{name}").set(value)
+        return merged
+
+    def metrics_text(self) -> str:
+        """The merged registry in Prometheus text exposition format."""
+        return self.metrics_registry().render_prometheus()
 
     def explain_plans(self) -> str:
         """Render every maintainer's chosen physical plans (evaluation

@@ -15,6 +15,99 @@ from typing import Callable
 
 from repro.catalog.database import BaseTable, Database
 from repro.engine.deltas import Delta, Transaction
+from repro.engine.types import AttributeType
+
+
+def generic_value_makers(
+    database: Database,
+) -> dict[str, Callable[[random.Random, int], tuple]]:
+    """Type-driven row factories for every table of ``database``.
+
+    Keys get the generator's fresh key, foreign keys get placeholder
+    values (the generator rebinds them to live referenced keys), and the
+    remaining attributes get small random values of their declared type
+    — enough to drive a synthetic stream over a schema parsed from bare
+    DDL, where no example rows exist to resample.
+    """
+
+    def maker_for(table: BaseTable) -> Callable[[random.Random, int], tuple]:
+        key_index = table.key_index()
+
+        def make(rng: random.Random, fresh_key: int) -> tuple:
+            row = []
+            for index, attribute in enumerate(table.schema):
+                if index == key_index:
+                    row.append(fresh_key)
+                elif attribute.atype is AttributeType.INT:
+                    row.append(rng.randint(1, 100))
+                elif attribute.atype is AttributeType.FLOAT:
+                    row.append(round(rng.uniform(1.0, 100.0), 2))
+                elif attribute.atype is AttributeType.BOOL:
+                    row.append(rng.random() < 0.5)
+                else:
+                    row.append(f"{attribute.name}_{rng.randint(0, 19)}")
+            return tuple(row)
+
+        return make
+
+    return {table.name: maker_for(table) for table in database.tables}
+
+
+def seed_database(
+    database: Database, rows_per_table: int = 20, seed: int = 0
+) -> None:
+    """Populate an empty (or sparse) database with valid synthetic rows.
+
+    Tables are filled referenced-first so every foreign key binds to a
+    live key; one transaction per table keeps integrity checkable at
+    each step.  Used by the CLI observability commands to make a bare
+    DDL schema streamable.
+    """
+    rng = random.Random(seed)
+    makers = generic_value_makers(database)
+    generator = TransactionGenerator(database, seed=seed, value_makers=makers)
+    for name in _referenced_first(database):
+        table = database.table(name)
+        key_index = table.key_index()
+        rows = []
+        for __ in range(rows_per_table):
+            row = list(makers[name](rng, generator.fresh_key(name)))
+            for constraint in table.references:
+                if constraint.referenced not in database:
+                    continue
+                targets = sorted(
+                    database.table(constraint.referenced).key_values(),
+                    key=repr,
+                )
+                if not targets:
+                    raise ValueError(
+                        f"cannot seed {name!r}: referenced table "
+                        f"{constraint.referenced!r} is empty"
+                    )
+                index = table.schema.index_of(constraint.attribute)
+                row[index] = rng.choice(targets)
+            rows.append(tuple(row))
+        database.apply(Transaction.of(Delta(name, tuple(rows), ())))
+
+
+def _referenced_first(database: Database) -> list[str]:
+    """Table names ordered so referenced tables precede referencing ones."""
+    ordered: list[str] = []
+    visiting: set[str] = set()
+
+    def visit(name: str) -> None:
+        if name in ordered or name in visiting:
+            return
+        visiting.add(name)
+        for constraint in database.table(name).references:
+            if constraint.referenced in database:
+                visit(constraint.referenced)
+        visiting.discard(name)
+        ordered.append(name)
+
+    for table in database.tables:
+        visit(table.name)
+    return ordered
 
 
 class TransactionGenerator:

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -145,6 +147,88 @@ class TestExplain:
         assert "Derivation report" in out
         assert "smart duplicate compression" in out
         assert "Need(sale)" in out
+
+
+class TestExplainAnalyze:
+    def test_annotates_plans_with_observed_stats(self, files, capsys):
+        schema, view = files
+        assert main(
+            ["explain", "--schema", schema, "--view", view,
+             "--analyze", "--transactions", "15"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "maintenance plans" in out
+        assert "actual: execs=" in out
+        assert "observed over 15 synthetic transactions" in out
+
+
+class TestPerfCommand:
+    def test_retail_stream_prints_report_and_histograms(self, capsys):
+        assert main(["perf", "--retail", "--transactions", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "transactions applied" in out
+        assert "phase timings (ms):" in out
+        assert "per-transaction distributions:" in out
+        assert "repro_txn_latency_ms" in out
+
+    def test_bare_ddl_schema_is_seeded(self, files, capsys):
+        schema, view = files
+        assert main(
+            ["perf", "--schema", schema, "--view", view,
+             "--transactions", "8", "--rows-per-table", "12"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "phase timings (ms):" in out
+
+    def test_requires_schema_or_retail(self, capsys):
+        assert main(["perf"]) == 1
+        assert "--retail" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def test_prints_flame_tree_and_exports_jsonl(self, tmp_path, capsys):
+        out_path = tmp_path / "traces.jsonl"
+        assert main(
+            ["trace", "--retail", "--transactions", "10",
+             "--jsonl", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "slowest traced transaction:" in out
+        assert "txn:product_sales" in out
+        records = [
+            json.loads(line)
+            for line in out_path.read_text().splitlines()
+            if line
+        ]
+        assert records
+        assert {"trace", "span", "parent", "phase"} <= records[0].keys()
+
+    def test_sample_every_reduces_traces(self, capsys):
+        assert main(
+            ["trace", "--retail", "--transactions", "10",
+             "--sample-every", "5"]
+        ) == 0
+        assert "traced (sample_every=5)" in capsys.readouterr().out
+
+
+class TestMetricsCommand:
+    def test_prometheus_output_and_jsonl(self, tmp_path, capsys):
+        out_path = tmp_path / "metrics.jsonl"
+        assert main(
+            ["metrics", "--retail", "--transactions", "10",
+             "--jsonl", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_maintenance_events_total counter" in out
+        assert "# TYPE repro_txn_latency_ms histogram" in out
+        assert "repro_txn_latency_ms_bucket{le=" in out
+        assert "repro_compile_cache_" in out
+        records = [
+            json.loads(line)
+            for line in out_path.read_text().splitlines()
+            if line
+        ]
+        assert any(record["type"] == "histogram" for record in records)
 
 
 class TestShare:

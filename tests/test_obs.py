@@ -1,0 +1,610 @@
+"""The observability layer: metrics registry, tracing, runtime stats.
+
+Covers the ``repro.obs`` package itself (histogram math, Prometheus
+exposition, JSONL round-trips, span-tree invariants) and its threading
+through the stack: :class:`~repro.perf.PerfStats` as a registry façade,
+maintainer tracing with per-transaction histograms, plan-node
+``ActualStats`` behind ``explain --analyze``, and the warehouse
+metrics surface.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.maintenance import SelfMaintainer
+from repro.engine.deltas import Delta, Transaction
+from repro.obs.metrics import (
+    DELTA_ROWS_BUCKETS,
+    LATENCY_MS_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.stats import ActualStats, collect_node_stats
+from repro.obs.trace import Trace, Tracer, read_trace_jsonl
+from repro.perf import (
+    PHASES,
+    TXN_DELTA_ROWS,
+    TXN_LATENCY_MS,
+    TXN_ROWS_PER_SEC,
+    PerfStats,
+)
+from repro.testing.faults import FaultInjector, InjectedFault
+from repro.warehouse.deferred import DeferredMaintainer
+from repro.warehouse.warehouse import Warehouse
+from repro.workloads.retail import (
+    RetailConfig,
+    build_retail_database,
+    product_sales_view,
+)
+from repro.workloads.streams import TransactionGenerator
+
+from tests.helpers import assert_same_bag
+
+SETTINGS = dict(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+#: Phase spans whose row counts the maintainer always fills in.
+COUNTED_PHASES = frozenset(
+    ("coalesce", "validate", "local-reduce", "join-reduce",
+     "aggregate-fold", "aux-apply")
+)
+
+
+def small_retail():
+    config = RetailConfig(
+        days=6, stores=2, products=15, products_sold_per_day=6,
+        start_year=1997, seed=4,
+    )
+    return build_retail_database(config)
+
+
+def sale_insert(key: int) -> Transaction:
+    """A minimal valid fact insertion against :func:`small_retail`."""
+    return Transaction.of(Delta("sale", ((key, 1, 1, 1, 42),), ()))
+
+
+def run_stream(maintainer, database, count=8, seed=3):
+    """Drive random valid transactions, ending with a guaranteed fact
+    insertion so the sale maintenance pipeline definitely ran."""
+    generator = TransactionGenerator(database, seed=seed)
+    for __ in range(count - 1):
+        transaction = generator.next_transaction(update_probability=0.0)
+        database.apply(transaction)
+        maintainer.apply(transaction)
+    guaranteed = sale_insert(990_000 + seed)
+    database.apply(guaranteed)
+    maintainer.apply(guaranteed)
+
+
+# ----------------------------------------------------------------------
+# Histograms.
+# ----------------------------------------------------------------------
+
+
+class TestHistogram:
+    def test_counts_and_sum(self):
+        h = Histogram("h", (), (1, 2, 4))
+        for value in (0.5, 2.0, 3.0, 100.0):
+            h.observe(value)
+        assert h.count == 4
+        assert h.total == 105.5
+        # Bounds are upper-inclusive; the last bucket is +Inf overflow.
+        assert h.bucket_counts == [1, 1, 1, 1]
+
+    def test_quantiles_clamped_to_observation(self):
+        h = Histogram("h", (), LATENCY_MS_BUCKETS)
+        h.observe(3.0)
+        # A single observation reports itself at every percentile.
+        for q in (0.5, 0.95, 0.99):
+            assert h.quantile(q) == pytest.approx(3.0)
+
+    def test_empty_summary(self):
+        summary = Histogram("h", (), DELTA_ROWS_BUCKETS).summary()
+        assert summary["count"] == 0
+        assert summary["p50"] is None and summary["min"] is None
+
+    def test_bounds_must_ascend(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (), (4, 2, 1))
+
+    def test_merge_requires_same_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (), (1, 2)).merge(Histogram("h", (), (1, 3)))
+
+    @given(values=st.lists(st.floats(0.01, 9_000), min_size=1, max_size=60))
+    @settings(**SETTINGS)
+    def test_quantiles_bounded_by_observations(self, values):
+        h = Histogram("h", (), LATENCY_MS_BUCKETS)
+        for value in values:
+            h.observe(value)
+        for q in (0.5, 0.95, 0.99):
+            assert min(values) <= h.quantile(q) <= max(values)
+        summary = h.summary()
+        assert summary["sum"] == pytest.approx(math.fsum(values))
+        assert summary["min"] == min(values)
+        assert summary["max"] == max(values)
+
+
+# ----------------------------------------------------------------------
+# Registry and Prometheus exposition.
+# ----------------------------------------------------------------------
+
+
+def parse_prometheus(text: str) -> dict:
+    """Minimal exposition-format check; returns ``{types, samples}``."""
+    types: dict[str, str] = {}
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            marker, name, kind = line[1:].split()
+            assert marker == "TYPE"
+            types[name] = kind
+            continue
+        name_and_labels, value = line.rsplit(" ", 1)
+        samples[name_and_labels] = float(value)
+        base = name_and_labels.split("{", 1)[0]
+        family = base
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix):
+                family = base[: -len(suffix)]
+        assert family in types or base in types, (
+            f"sample {name_and_labels!r} has no # TYPE header"
+        )
+    return {"types": types, "samples": samples}
+
+
+class TestRegistry:
+    def test_counter_monotonic_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_widgets_total").inc(3)
+        with pytest.raises(ValueError):
+            registry.counter("repro_widgets_total").inc(-1)
+        assert registry.counter("repro_widgets_total").value == 3
+        registry.gauge("repro_depth").set(7)
+        registry.gauge("repro_depth").inc(-2)
+        assert registry.gauge("repro_depth").value == 5
+
+    def test_counter_group_is_live(self):
+        registry = MetricsRegistry()
+        group = registry.counter_group("repro_events_total", "event")
+        group["x"] += 2
+        assert 'repro_events_total{event="x"} 2' in registry.render_prometheus()
+        registry.reset()
+        assert group["x"] == 0  # same Counter object, cleared in place
+        group["x"] += 5
+        assert 'event="x"} 5' in registry.render_prometheus()
+
+    def test_prometheus_parses_and_buckets_cumulative(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("repro_latency_ms", LATENCY_MS_BUCKETS)
+        for value in (0.2, 3.0, 40.0, 999.0):
+            h.observe(value)
+        registry.counter("repro_txns_total", view="v").inc()
+        parsed = parse_prometheus(registry.render_prometheus())
+        assert parsed["types"]["repro_latency_ms"] == "histogram"
+        assert parsed["types"]["repro_txns_total"] == "counter"
+        buckets = [
+            value
+            for key, value in parsed["samples"].items()
+            if key.startswith("repro_latency_ms_bucket")
+        ]
+        assert buckets == sorted(buckets)  # cumulative series
+        assert buckets[-1] == parsed["samples"]["repro_latency_ms_count"] == 4
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_odd_total", phase='a"b\\c').inc()
+        rendered = registry.render_prometheus()
+        assert '\\"b' in rendered and "\\\\c" in rendered
+
+    def test_jsonl_snapshot(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total").inc(2)
+        registry.gauge("repro_g").set(1)
+        registry.histogram("repro_h", (1, 2)).observe(1.5)
+        path = tmp_path / "metrics.jsonl"
+        registry.write_jsonl(path)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert {r["type"] for r in records} == {"counter", "gauge", "histogram"}
+        histogram = next(r for r in records if r["type"] == "histogram")
+        assert histogram["count"] == 1 and histogram["buckets"]["2"] == 1
+
+    def test_merge_sums_every_kind(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for registry, amount in ((a, 1), (b, 4)):
+            registry.counter("repro_c_total").inc(amount)
+            registry.counter_group("repro_e_total", "event")["x"] += amount
+            registry.gauge("repro_g").set(amount)
+            registry.histogram("repro_h", (1, 10)).observe(amount)
+        a.merge(b)
+        assert a.counter("repro_c_total").value == 5
+        assert a.counter_group("repro_e_total", "event")["x"] == 5
+        assert a.gauge("repro_g").value == 5
+        h = a.histogram("repro_h", (1, 10))
+        assert h.count == 2 and h.minimum == 1 and h.maximum == 4
+
+
+# ----------------------------------------------------------------------
+# PerfStats façade (including the render/snapshot satellite fixes).
+# ----------------------------------------------------------------------
+
+
+def make_perf(counters, seconds, observations):
+    perf = PerfStats()
+    for name, amount in counters.items():
+        perf.count(name, amount)
+    for phase, value in seconds.items():
+        perf.seconds[phase] += value
+    for value in observations:
+        perf.observe(TXN_LATENCY_MS, value)
+    return perf
+
+
+def copy_perf(perf: PerfStats) -> PerfStats:
+    duplicate = PerfStats()
+    duplicate.merge(perf)
+    return duplicate
+
+
+def perf_state(perf: PerfStats) -> tuple:
+    summary = perf.histogram_summary(TXN_LATENCY_MS)
+    return (
+        dict(perf.counters),
+        dict(perf.seconds),
+        summary["count"],
+        summary["sum"],
+    )
+
+
+# Exact binary fractions (multiples of 1/256) keep float addition exact,
+# so merge associativity can be asserted with ==, not approx.
+exact_floats = st.integers(0, 512).map(lambda n: n / 256.0)
+
+perf_strategy = st.builds(
+    make_perf,
+    counters=st.dictionaries(
+        st.sampled_from(["transactions", "rollbacks", "index_probes"]),
+        st.integers(0, 50),
+        max_size=3,
+    ),
+    seconds=st.dictionaries(
+        st.sampled_from(["validate", "coalesce", "plan:x"]),
+        exact_floats,
+        max_size=3,
+    ),
+    observations=st.lists(exact_floats.map(lambda v: v + 0.125), max_size=6),
+)
+
+
+class TestPerfStats:
+    def test_render_aligns_long_phase_names(self):
+        perf = PerfStats()
+        perf.seconds["a-very-long-phase-name-over-sixteen-chars"] += 0.001
+        perf.seconds["validate"] += 0.002
+        perf.count("a_counter_with_quite_a_long_name", 3)
+        perf.count("x")
+        lines = perf.render().splitlines()
+        timing = lines[1:lines.index("counters:")]
+        counter = lines[lines.index("counters:") + 1:]
+        # Columns are sized from the longest name, so every value line of
+        # a section has identical width — nothing overflows its column.
+        assert len(timing) == 2 and len(counter) == 2
+        assert len({len(line) for line in timing}) == 1
+        assert len({len(line) for line in counter}) == 1
+
+    def test_snapshot_timings_follow_phase_order(self):
+        perf = PerfStats()
+        for phase in ("rollback", "validate", "coalesce", "plan:z", "plan:a"):
+            perf.seconds[phase] += 0.001
+        ordered = list(perf.snapshot()["timings_ms"])
+        assert ordered == ["coalesce", "validate", "rollback", "plan:a", "plan:z"]
+        known = [p for p in ordered if p in PHASES]
+        assert known == [p for p in PHASES if p in known]
+
+    def test_fault_injection_timer_hook_still_works(self):
+        """The ``timer`` seam the fault injector overrides must survive
+        the registry refactor: a subclassed timer still sees every phase
+        and still lands its time in the (registry-owned) seconds store."""
+        database = small_retail()
+        maintainer = SelfMaintainer(product_sales_view(), database)
+        injector = FaultInjector(maintainer).arm("local-reduce")
+        with pytest.raises(InjectedFault):
+            maintainer.apply(sale_insert(990_100))
+        injector.uninstall()
+        assert maintainer.perf.counters["rollbacks"] == 1
+        assert maintainer.perf.seconds["rollback"] >= 0.0
+
+    @given(a=perf_strategy, b=perf_strategy)
+    @settings(**SETTINGS)
+    def test_merge_commutative(self, a, b):
+        left, right = copy_perf(a), copy_perf(b)
+        left.merge(b)
+        right.merge(a)
+        assert perf_state(left) == perf_state(right)
+
+    @given(a=perf_strategy, b=perf_strategy, c=perf_strategy)
+    @settings(**SETTINGS)
+    def test_merge_associative(self, a, b, c):
+        left = copy_perf(a)
+        left.merge(b)
+        left.merge(c)
+        bc = copy_perf(b)
+        bc.merge(c)
+        right = copy_perf(a)
+        right.merge(bc)
+        assert perf_state(left) == perf_state(right)
+
+
+# ----------------------------------------------------------------------
+# Tracing.
+# ----------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_sampling(self):
+        tracer = Tracer(sample_every=3)
+        sampled = [tracer.begin("t") is not None for __ in range(9)]
+        assert sampled == [True, False, False] * 3
+        assert Tracer(sample_every=0).begin("t") is None
+        with pytest.raises(ValueError):
+            Tracer(sample_every=-1)
+
+    def test_max_traces_ring(self):
+        tracer = Tracer(sample_every=1, max_traces=2)
+        for __ in range(5):
+            tracer.finish(tracer.begin("t"))
+        assert len(tracer.traces) == 2
+        assert tracer.sampled == 5
+
+    def test_span_tree_and_error_flag(self):
+        trace = Trace(0, "txn")
+        with pytest.raises(RuntimeError):
+            with trace.span("validate", kind="phase"):
+                with trace.span("inner"):
+                    raise RuntimeError("boom")
+        trace.finish("error")
+        assert [s.name for s in trace.spans] == ["txn", "validate", "inner"]
+        assert trace.spans[1].error and trace.spans[2].error
+        assert trace.spans[2].phase == "validate"  # inherited from parent
+        assert trace.root.attrs["status"] == "error"
+        assert trace.status == "error"
+
+    def test_maintained_stream_trace_invariants(self, tmp_path):
+        database = small_retail()
+        tracer = Tracer(sample_every=1)
+        maintainer = SelfMaintainer(
+            product_sales_view(), database, tracer=tracer
+        )
+        run_stream(maintainer, database, count=8)
+        assert tracer.sampled == 8
+        path = tmp_path / "traces.jsonl"
+        tracer.export_jsonl(path)
+        restored = read_trace_jsonl(path)
+        assert len(restored) == 8
+        phase_names = set()
+        plan_spans = 0
+        for original, back in zip(tracer.traces, restored):
+            assert back.to_dicts() == original.to_dicts()  # exact round-trip
+            ids = {span.span_id for span in back.spans}
+            for span in back.spans:
+                assert span.duration_ms >= 0.0
+                assert span.phase
+                if span.parent_id is None:
+                    assert span.kind == "transaction"
+                    assert span.rows_in is not None
+                else:
+                    assert span.parent_id in ids
+                if span.kind == "phase":
+                    phase_names.add(span.name)
+                    if span.name in COUNTED_PHASES:
+                        assert span.rows_in is not None
+                        assert span.rows_out is not None
+                if span.kind == "plan":
+                    plan_spans += 1
+        assert {"coalesce", "validate", "local-reduce", "join-reduce"} <= (
+            phase_names
+        )
+        assert plan_spans > 0  # plan nodes nested under their phases
+
+    def test_failed_transaction_trace_has_rollback_span(self):
+        database = small_retail()
+        tracer = Tracer(sample_every=1)
+        maintainer = SelfMaintainer(
+            product_sales_view(), database, tracer=tracer
+        )
+        FaultInjector(maintainer).arm("join-reduce")
+        with pytest.raises(InjectedFault):
+            maintainer.apply(sale_insert(990_200))
+        last = tracer.last
+        assert last is not None and last.status == "error"
+        names = [span.name for span in last.spans]
+        assert "rollback" in names
+        failed = next(s for s in last.spans if s.name == "join-reduce")
+        assert failed.error
+
+    def test_render_contains_bars_rows_and_status(self):
+        database = small_retail()
+        tracer = Tracer(sample_every=1)
+        maintainer = SelfMaintainer(
+            product_sales_view(), database, tracer=tracer
+        )
+        maintainer.apply(sale_insert(990_300))
+        rendered = tracer.slowest().render()
+        assert "txn:product_sales" in rendered
+        assert "#" in rendered
+        assert "rows" in rendered
+        assert "status=ok" in rendered
+
+    def test_tracing_does_not_change_results(self):
+        plain_db, traced_db = small_retail(), small_retail()
+        plain = SelfMaintainer(product_sales_view(), plain_db)
+        traced = SelfMaintainer(
+            product_sales_view(), traced_db, tracer=Tracer(sample_every=1)
+        )
+        run_stream(plain, plain_db, count=6)
+        run_stream(traced, traced_db, count=6)
+        assert_same_bag(plain.current_view(), traced.current_view())
+
+
+# ----------------------------------------------------------------------
+# Plan-node runtime statistics.
+# ----------------------------------------------------------------------
+
+
+class TestActualStats:
+    def test_accumulator_math(self):
+        stats = ActualStats()
+        stats.record(10, 0.5)
+        stats.record(None, 0.25)
+        stats.record_reuse()
+        assert stats.executions == 2
+        assert stats.mean_rows_out == 5.0
+        assert stats.reuses == 1
+        other = ActualStats()
+        other.record(4, 0.0)
+        stats.merge(other)
+        assert stats.rows_out_total == 14 and stats.executions == 3
+        assert "actual: execs=3" in stats.describe()
+        stats.reset()
+        assert stats.describe() is None
+
+    def test_delta_plan_stats_accumulate(self):
+        database = small_retail()
+        maintainer = SelfMaintainer(product_sales_view(), database)
+        run_stream(maintainer, database, count=8)
+        runtime = maintainer.runtime_stats()
+        assert "+sale" in runtime
+        executed = [
+            record
+            for records in runtime.values()
+            for record in records
+            if record["executions"] > 0
+        ]
+        assert executed, "no plan node recorded an execution"
+        for record in executed:
+            assert record["total_ms"] >= 0.0
+            assert record["rows_out"] >= record["rows_out_max"] >= 0
+        labels = {record["label"] for record in runtime["+sale"]}
+        assert any(label.startswith("Δscan") for label in labels)
+
+    def test_collect_node_stats_unique_preorder(self):
+        database = small_retail()
+        maintainer = SelfMaintainer(product_sales_view(), database)
+        plans = maintainer.delta_plans("sale", +1)
+        records = collect_node_stats(plans.roots()[0])
+        assert records[0]["depth"] == 0
+        # One record per unique node: shared subtrees are visited once.
+        assert len(records) == len(list(plans.walk()))
+
+    def test_reset_runtime_stats(self):
+        database = small_retail()
+        maintainer = SelfMaintainer(product_sales_view(), database)
+        run_stream(maintainer, database, count=4)
+        plans = maintainer.delta_plans("sale", +1)
+        assert any(r["executions"] for r in plans.runtime_stats())
+        plans.reset_runtime_stats()
+        assert all(not r["executions"] for r in plans.runtime_stats())
+
+    def test_warehouse_runtime_stats_and_explain_analyze(self):
+        database = small_retail()
+        warehouse = Warehouse(database, [product_sales_view()])
+        transaction = sale_insert(990_400)
+        database.apply(transaction)
+        warehouse.apply(transaction)
+        per_view = warehouse.runtime_stats()
+        assert set(per_view) == {"product_sales"}
+        assert warehouse.runtime_stats("product_sales") == (
+            per_view["product_sales"]
+        )
+        from repro.plan.explain import maintainer_plan_report, stats_annotator
+
+        report = maintainer_plan_report(
+            warehouse.maintainer("product_sales"), database, stats_annotator
+        )
+        assert "actual: execs=" in report
+
+
+# ----------------------------------------------------------------------
+# Maintainer histograms and the warehouse metrics surface.
+# ----------------------------------------------------------------------
+
+
+class TestWarehouseObservability:
+    def test_txn_histograms_observe_every_success(self):
+        database = small_retail()
+        maintainer = SelfMaintainer(product_sales_view(), database)
+        run_stream(maintainer, database, count=7)
+        for name in (TXN_LATENCY_MS, TXN_DELTA_ROWS, TXN_ROWS_PER_SEC):
+            summary = maintainer.perf.histogram_summary(name)
+            assert summary["count"] == 7, name
+        # Failed transactions do not observe.
+        injector = FaultInjector(maintainer).arm("local-reduce")
+        with pytest.raises(InjectedFault):
+            maintainer.apply(sale_insert(990_500))
+        injector.uninstall()
+        summary = maintainer.perf.histogram_summary(TXN_LATENCY_MS)
+        assert summary["count"] == 7
+
+    def test_perf_report_merges_all_views(self):
+        database = small_retail()
+        warehouse = Warehouse(database, [product_sales_view()])
+        transaction = sale_insert(990_600)
+        database.apply(transaction)
+        warehouse.apply(transaction)
+        merged = PerfStats()
+        total = 0
+        for name in warehouse.view_names:
+            perf = warehouse.maintainer(name).perf
+            merged.merge(perf)
+            total += perf.counters["transactions"]
+        assert warehouse.perf_report() == merged.render()
+        assert merged.counters["transactions"] == total == 1
+        # The per-view form renders just that maintainer.
+        assert warehouse.perf_report("product_sales") == (
+            warehouse.maintainer("product_sales").perf.render()
+        )
+
+    def test_metrics_text_parses_and_includes_compile_cache(self):
+        database = small_retail()
+        warehouse = Warehouse(database, [product_sales_view()])
+        transaction = sale_insert(990_700)
+        database.apply(transaction)
+        warehouse.apply(transaction)
+        text = warehouse.metrics_text()
+        parsed = parse_prometheus(text)
+        assert parsed["types"]["repro_maintenance_events_total"] == "counter"
+        assert parsed["types"]["repro_phase_seconds_total"] == "counter"
+        assert parsed["types"][TXN_LATENCY_MS] == "histogram"
+        assert any(
+            key.startswith("repro_compile_cache_") for key in parsed["samples"]
+        )
+        # Export merges into a fresh registry: a snapshot, not a drain.
+        assert warehouse.metrics_text() == text
+
+    def test_deferred_gauge_and_refresh_histogram(self):
+        database = small_retail()
+        maintainer = SelfMaintainer(product_sales_view(), database)
+        deferred = DeferredMaintainer(maintainer)
+        gauge = maintainer.perf.registry.gauge(
+            "repro_deferred_pending_transactions", view="product_sales"
+        )
+        for key in (990_800, 990_801, 990_802):
+            transaction = sale_insert(key)
+            database.apply(transaction)
+            deferred.apply(transaction)
+        assert gauge.value == deferred.pending == 3
+        stats = deferred.refresh()
+        assert gauge.value == 0
+        summary = maintainer.perf.histogram_summary(
+            "repro_refresh_propagated_rows"
+        )
+        assert summary["count"] == 1
+        assert summary["min"] == stats.propagated_rows
