@@ -1,0 +1,159 @@
+"""Backend comparison: in-memory interpreter vs SQLite executor.
+
+Replays the same deterministic update streams used by the hot-path
+benchmark against two maintainers over identical warehouses — one on
+the default :class:`MemoryBackend`, one on :class:`SQLiteBackend`
+(stdlib ``sqlite3``, in-memory database) — checks the final view and
+auxiliary-view states are bag-identical, and reports maintenance
+rows/second for both.
+
+Raw rows/second is hardware-bound, so the committed baseline gates on
+``relative_throughput`` (SQLite rows/s over memory rows/s, measured
+within one run on one machine): the SQL generation + staging overhead
+per transaction must not silently grow.  Each stream record also
+carries the SQLite side's physical detail bytes (``dbstat``) next to
+the paper-model byte estimate, which is what the EXPERIMENTS storage
+entry quotes.
+
+Standalone::
+
+    python benchmarks/bench_backends.py --scale large
+
+writes ``BENCH_backends.json``; ``--scale all`` covers all three
+scales.  Also collectable by pytest as a smoke test at the smallest
+scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_hotpath_maintenance import SCALES, STREAMS, hotpath_view, make_stream
+
+from repro.backends.sqlite import SQLiteBackend
+from repro.core.maintenance import SelfMaintainer
+from repro.perf import TXN_DELTA_ROWS, TXN_LATENCY_MS, TXN_ROWS_PER_SEC
+from repro.workloads.retail import build_retail_database
+
+BACKENDS = ("memory", "sqlite")
+
+
+def _replay(maintainer: SelfMaintainer, stream) -> float:
+    started = time.perf_counter()
+    for transaction in stream:
+        maintainer.apply(transaction)
+    return time.perf_counter() - started
+
+
+def _assert_equivalent(scale: str, kind: str, memory_m, sqlite_m) -> None:
+    if not sqlite_m.current_view().same_bag(memory_m.current_view()):
+        raise AssertionError(f"{scale}/{kind}: backends' views diverged")
+    for table in memory_m.aux_relations():
+        if not sqlite_m.aux_relation(table).same_bag(
+            memory_m.aux_relation(table)
+        ):
+            raise AssertionError(
+                f"{scale}/{kind}: backends' aux {table} diverged"
+            )
+
+
+def run_scale(scale: str, transactions: int = 120) -> dict:
+    """Replay all three streams at ``scale`` on both backends."""
+    config = SCALES[scale]
+    database = build_retail_database(config)
+    view = hotpath_view(config.start_year)
+    results: dict = {
+        "fact_rows": config.fact_rows(),
+        "transactions_per_stream": transactions,
+        "streams": {},
+    }
+    for kind in STREAMS:
+        stream = make_stream(database, kind, transactions=transactions)
+        delta_rows = sum(
+            len(d.inserted) + len(d.deleted) for tx in stream for d in tx
+        )
+        memory_m = SelfMaintainer(view, database, backend="memory")
+        sqlite_m = SelfMaintainer(view, database, backend=SQLiteBackend())
+        seconds_memory = _replay(memory_m, stream)
+        seconds_sqlite = _replay(sqlite_m, stream)
+        _assert_equivalent(scale, kind, memory_m, sqlite_m)
+        rows_memory = delta_rows / seconds_memory
+        rows_sqlite = delta_rows / seconds_sqlite
+        results["streams"][kind] = {
+            "delta_rows": delta_rows,
+            "seconds_memory": round(seconds_memory, 4),
+            "seconds_sqlite": round(seconds_sqlite, 4),
+            "rows_per_sec_memory": round(rows_memory, 1),
+            "rows_per_sec_sqlite": round(rows_sqlite, 1),
+            # The machine-invariant ratio the regression gate watches.
+            "relative_throughput": round(rows_sqlite / rows_memory, 3),
+            # Paper-model estimate vs what SQLite actually stores.
+            "detail_bytes_model": sqlite_m.detail_size_bytes(),
+            "detail_bytes_physical": sqlite_m.physical_detail_size_bytes(),
+            "histograms": {
+                "txn_latency_ms": sqlite_m.perf.histogram_summary(
+                    TXN_LATENCY_MS
+                ),
+                "txn_delta_rows": sqlite_m.perf.histogram_summary(
+                    TXN_DELTA_ROWS
+                ),
+                "txn_rows_per_sec": sqlite_m.perf.histogram_summary(
+                    TXN_ROWS_PER_SEC
+                ),
+            },
+        }
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", choices=[*SCALES, "all"], default="all",
+        help="warehouse scale to replay (default: all three)",
+    )
+    parser.add_argument(
+        "--transactions", type=int, default=120,
+        help="transactions per stream (default: 120)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_backends.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+    scales = list(SCALES) if args.scale == "all" else [args.scale]
+    report = {"benchmark": "backend_comparison", "scales": {}}
+    for scale in scales:
+        print(f"== scale: {scale} ==")
+        measured = run_scale(scale, transactions=args.transactions)
+        report["scales"][scale] = measured
+        for kind, numbers in measured["streams"].items():
+            print(
+                f"  {kind:<13} memory {numbers['rows_per_sec_memory']:>12,.0f}"
+                f"  sqlite {numbers['rows_per_sec_sqlite']:>12,.0f} rows/s "
+                f"(ratio {numbers['relative_throughput']:.2f})"
+            )
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+def test_backends_smoke():
+    """CI smoke: smallest scale, short streams, equivalence enforced."""
+    measured = run_scale("small", transactions=40)
+    for kind, numbers in measured["streams"].items():
+        assert numbers["delta_rows"] > 0, kind
+        assert numbers["relative_throughput"] > 0, kind
+        assert numbers["detail_bytes_model"] >= 0, kind
+        for name, summary in numbers["histograms"].items():
+            assert summary["count"] == 40, (kind, name)
+            assert summary["p50"] is not None, (kind, name)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,19 +1,29 @@
-"""CI gate: fail on hot-path throughput regression vs the committed baseline.
+"""CI gate: fail on benchmark throughput regression vs the committed baseline.
 
-Compares a fresh ``bench_hotpath_maintenance.py`` run against the
-checked-in ``BENCH_hotpath.json``.  Raw rows/second is hardware-bound
-and useless across CI machines, so the gate compares each stream's
-``speedup`` — the indexed-over-naive throughput ratio measured within
-one run on one machine — which is what the plan layer must not erode.
+Compares a fresh benchmark run against its checked-in baseline.  Raw
+rows/second is hardware-bound and useless across CI machines, so each
+benchmark declares a machine-invariant *ratio* measured within one run
+on one machine, and the gate compares that:
+
+* ``bench_hotpath_maintenance.py`` → ``BENCH_hotpath.json``, gated on
+  ``speedup`` (indexed-over-naive throughput), which the plan layer
+  must not erode;
+* ``bench_backends.py`` → ``BENCH_backends.json``, gated on
+  ``relative_throughput`` (SQLite-over-memory throughput), which the
+  SQL generation + staging overhead must not erode.
+
+The baseline file and metric are picked from the fresh report's
+``benchmark`` name; ``--baseline``/``--metric`` override.
 
 Usage::
 
     python benchmarks/bench_hotpath_maintenance.py \
         --scale small --transactions 40 --out /tmp/BENCH_smoke.json
     python benchmarks/check_bench_regression.py /tmp/BENCH_smoke.json \
-        [--baseline BENCH_hotpath.json] [--scale small] [--tolerance 0.25]
+        [--baseline BENCH_hotpath.json] [--metric speedup] \
+        [--scale small] [--tolerance 0.25]
 
-Exit status 1 (with a per-stream report) if any stream's speedup falls
+Exit status 1 (with a per-stream report) if any stream's metric falls
 more than ``tolerance`` below the baseline's.  The gate also asserts
 both runs carry the per-transaction histogram summaries
 (``histograms.txn_latency_ms`` etc.) so the observability layer's
@@ -27,7 +37,16 @@ import json
 import sys
 from pathlib import Path
 
-DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+_REPO = Path(__file__).resolve().parent.parent
+
+#: benchmark name (the report's ``benchmark`` key) → committed baseline
+#: and the machine-invariant ratio field it gates on.
+BENCHMARKS = {
+    "hotpath_maintenance": (_REPO / "BENCH_hotpath.json", "speedup"),
+    "backend_comparison": (_REPO / "BENCH_backends.json", "relative_throughput"),
+}
+
+DEFAULT_BASELINE = BENCHMARKS["hotpath_maintenance"][0]
 
 #: Histogram summaries every stream record must carry (and the summary
 #: keys inside each), since the bench promises distribution reporting.
@@ -57,7 +76,11 @@ def check_histograms(label: str, streams: dict) -> list[str]:
 
 
 def compare(
-    baseline: dict, fresh: dict, scale: str, tolerance: float
+    baseline: dict,
+    fresh: dict,
+    scale: str,
+    tolerance: float,
+    metric: str = "speedup",
 ) -> list[str]:
     """Human-readable failures; empty when the gate passes."""
     try:
@@ -75,17 +98,20 @@ def compare(
         if measured is None:
             failures.append(f"{kind}: missing from fresh run")
             continue
-        floor = base["speedup"] * (1.0 - tolerance)
-        verdict = "ok" if measured["speedup"] >= floor else "REGRESSION"
+        if metric not in base or metric not in measured:
+            failures.append(f"{kind}: no {metric!r} field to compare")
+            continue
+        floor = base[metric] * (1.0 - tolerance)
+        verdict = "ok" if measured[metric] >= floor else "REGRESSION"
         print(
-            f"  {kind:<13} baseline {base['speedup']:>5.2f}x  "
-            f"measured {measured['speedup']:>5.2f}x  "
+            f"  {kind:<13} baseline {base[metric]:>5.2f}x  "
+            f"measured {measured[metric]:>5.2f}x  "
             f"floor {floor:>5.2f}x  {verdict}"
         )
-        if measured["speedup"] < floor:
+        if measured[metric] < floor:
             failures.append(
-                f"{kind}: speedup {measured['speedup']:.2f}x fell below "
-                f"{floor:.2f}x ({base['speedup']:.2f}x baseline - "
+                f"{kind}: {metric} {measured[metric]:.2f}x fell below "
+                f"{floor:.2f}x ({base[metric]:.2f}x baseline - "
                 f"{tolerance:.0%} tolerance)"
             )
     return failures
@@ -96,8 +122,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("fresh", help="JSON written by a fresh bench run")
     parser.add_argument(
         "--baseline",
-        default=str(DEFAULT_BASELINE),
-        help="committed baseline JSON (default: repo BENCH_hotpath.json)",
+        default=None,
+        help="committed baseline JSON (default: picked from the fresh "
+        "report's 'benchmark' name)",
+    )
+    parser.add_argument(
+        "--metric",
+        default=None,
+        help="ratio field to gate on (default: picked from the fresh "
+        "report's 'benchmark' name)",
     )
     parser.add_argument(
         "--scale", default="small", help="scale to gate on (default: small)"
@@ -106,16 +139,22 @@ def main(argv: list[str] | None = None) -> int:
         "--tolerance",
         type=float,
         default=0.25,
-        help="allowed fractional speedup drop (default: 0.25)",
+        help="allowed fractional metric drop (default: 0.25)",
     )
     args = parser.parse_args(argv)
-    baseline = json.loads(Path(args.baseline).read_text())
     fresh = json.loads(Path(args.fresh).read_text())
-    print(
-        f"hot-path regression gate: scale={args.scale} "
-        f"tolerance={args.tolerance:.0%}"
+    default_baseline, default_metric = BENCHMARKS.get(
+        fresh.get("benchmark", "hotpath_maintenance"),
+        BENCHMARKS["hotpath_maintenance"],
     )
-    failures = compare(baseline, fresh, args.scale, args.tolerance)
+    baseline_path = Path(args.baseline) if args.baseline else default_baseline
+    metric = args.metric or default_metric
+    baseline = json.loads(baseline_path.read_text())
+    print(
+        f"regression gate: benchmark={fresh.get('benchmark', '?')} "
+        f"metric={metric} scale={args.scale} tolerance={args.tolerance:.0%}"
+    )
+    failures = compare(baseline, fresh, args.scale, args.tolerance, metric)
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

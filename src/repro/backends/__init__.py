@@ -1,0 +1,30 @@
+"""Pluggable execution backends behind the plan layer.
+
+The paper's reductions are relational algebra, not Python; this package
+proves that by running the same :class:`~repro.plan.planner.ViewPlan` /
+:class:`~repro.plan.maintenance.DeltaPlans` against more than one
+store.  :class:`~repro.backends.base.MemoryBackend` wraps the existing
+in-memory interpreter; :class:`~repro.backends.sqlite.SQLiteBackend`
+compiles plans to SQL (:mod:`repro.backends.sqlgen`) and executes them
+on stdlib :mod:`sqlite3` with native transactional rollback.
+
+Select a backend with ``Warehouse(..., backend="sqlite")``, the CLI's
+``--backend`` flag, or the ``REPRO_BACKEND`` environment variable (used
+by CI to run the whole suite against SQLite).
+"""
+
+from repro.backends.base import (
+    BACKEND_NAMES,
+    Backend,
+    BackendError,
+    MemoryBackend,
+    make_backend,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "Backend",
+    "BackendError",
+    "MemoryBackend",
+    "make_backend",
+]

@@ -1,0 +1,143 @@
+"""The execution-backend interface and the in-memory reference backend.
+
+A :class:`Backend` owns the *physical* side of a warehouse: where
+auxiliary views live, how a compiled plan runs, and how a transaction's
+mutations are made atomic.  Everything above it — derivation, planning,
+group reconstruction, observability — is backend-independent, which is
+exactly the separation the plan layer was built for.
+
+:class:`MemoryBackend` delegates to the existing Python interpreter
+(:meth:`~repro.plan.physical.PhysicalNode.run` and the
+materializations of :mod:`repro.core.maintenance`); atomicity stays
+with the :class:`~repro.engine.undolog.UndoLog`.  The SQLite backend
+(:mod:`repro.backends.sqlite`) replaces both with generated SQL and
+native savepoint rollback.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.plan.executor import ExecutionContext
+
+#: Backends selectable by name (``sqlite`` also accepts ``sqlite:<path>``).
+BACKEND_NAMES = ("memory", "sqlite")
+
+#: Environment variable consulted when no backend is given explicitly.
+BACKEND_ENV = "REPRO_BACKEND"
+
+
+class BackendError(Exception):
+    """Raised for unknown backend names or backend-level failures."""
+
+
+class Backend:
+    """Interface every execution backend implements."""
+
+    name = "abstract"
+
+    def make_materialization(self, aux, use_indexes=True, namespace=""):
+        """A live materialization of auxiliary view ``aux`` on this
+        backend (the object :class:`~repro.core.maintenance.SelfMaintainer`
+        loads, probes, and applies deltas to).  ``namespace`` scopes the
+        backing storage per maintained view."""
+        raise NotImplementedError
+
+    def run_plan(self, node, ctx: ExecutionContext):
+        """Execute one physical stage root against ``ctx``'s bindings."""
+        raise NotImplementedError
+
+    def execute_view_plan(self, plan, database):
+        """Evaluate a :class:`~repro.plan.planner.ViewPlan` from base
+        tables (recomputation, not maintenance)."""
+        raise NotImplementedError
+
+    def execute_delta_plans(self, plans, ctx: ExecutionContext) -> dict:
+        """Convenience: run a full :class:`DeltaPlans` pipeline, stage
+        by stage, returning ``{"local": ..., "reduce": ...,
+        "propagate": ...}`` (``propagate`` omitted when the pipeline has
+        none)."""
+        results = {
+            "local": self.run_plan(plans.local, ctx),
+            "reduce": self.run_plan(plans.reduce, ctx),
+        }
+        if plans.propagate is not None:
+            results["propagate"] = self.run_plan(plans.propagate, ctx)
+        return results
+
+    # ------------------------------------------------------------------
+    # Transaction boundaries.
+    # ------------------------------------------------------------------
+
+    def begin_transaction(self, log) -> None:
+        """Open the backend's atomic scope for one warehouse transaction
+        and register its rollback with ``log`` (an
+        :class:`~repro.engine.undolog.UndoLog`)."""
+
+    def end_transaction(self) -> None:
+        """Close the per-transaction undo hooks (success or failure)."""
+
+    def commit(self) -> None:
+        """Durably commit every scope opened since the last commit."""
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def physical_detail_size_bytes(self, materializations) -> int | None:
+        """Bytes the backend's own storage engine uses for the given
+        materializations, or ``None`` when the backend has no physical
+        measure beyond the paper's attribute-width model."""
+        return None
+
+    def close(self) -> None:
+        """Release backend resources."""
+
+
+class MemoryBackend(Backend):
+    """The existing Python interpreter, unchanged, behind the interface."""
+
+    name = "memory"
+
+    def make_materialization(self, aux, use_indexes=True, namespace=""):
+        from repro.core.maintenance import make_materialization
+
+        return make_materialization(aux, use_indexes=use_indexes)
+
+    def run_plan(self, node, ctx: ExecutionContext):
+        return node.run(ctx)
+
+    def execute_view_plan(self, plan, database):
+        return plan.physical.run(ExecutionContext(resolver=database.relation))
+
+
+def resolve_backend_name(spec: str | None = None) -> str:
+    """The backend name ``spec`` selects, honoring ``REPRO_BACKEND``."""
+    if spec is None:
+        spec = os.environ.get(BACKEND_ENV) or "memory"
+    name = spec.split(":", 1)[0]
+    if name not in BACKEND_NAMES:
+        raise BackendError(
+            f"unknown backend {spec!r} (expected one of {BACKEND_NAMES})"
+        )
+    return name
+
+
+def make_backend(spec=None) -> Backend:
+    """Build a backend from a spec: an instance (returned as-is),
+    ``"memory"``, ``"sqlite"``, ``"sqlite:<path>"``, or ``None`` (defer
+    to the ``REPRO_BACKEND`` environment variable, default memory)."""
+    if isinstance(spec, Backend):
+        return spec
+    if spec is None:
+        spec = os.environ.get(BACKEND_ENV) or "memory"
+    name, _, rest = spec.partition(":")
+    if name == "memory":
+        return MemoryBackend()
+    if name == "sqlite":
+        from repro.backends.sqlite import SQLiteBackend
+
+        return SQLiteBackend(path=rest or ":memory:")
+    raise BackendError(
+        f"unknown backend {spec!r} (expected one of {BACKEND_NAMES})"
+    )

@@ -1,0 +1,403 @@
+"""Compile plan-layer trees to generic SQL (:mod:`repro.sql.ast`).
+
+Two entry points mirror the two plan families:
+
+:func:`compile_logical`
+    the optimized logical tree of a :class:`~repro.plan.planner.ViewPlan`
+    (``Scan/DeltaScan/Select/Project/GeneralizedProject/EquiJoin/
+    SemiJoin/AntiJoin``) — view recomputation, including the
+    duplicate-compression ``GROUP BY`` with distributive-aggregate
+    folding; semijoins and antijoins become correlated ``EXISTS`` /
+    ``NOT EXISTS`` probes.
+
+:func:`compile_physical`
+    the static per-(table, sign) maintenance stage trees of a
+    :class:`~repro.plan.maintenance.DeltaPlans` pipeline.  Key-probe
+    semijoin reductions become ``EXISTS`` probes against the auxiliary
+    tables; the propagation join tree flattens to one ``SELECT`` whose
+    column order matches the interpreter's left-deep concatenation, so
+    the reconstructor's compiled row program runs unchanged on the
+    fetched rows.  ``NeighborRestrictNode`` (the index-backed semijoin
+    restriction of the hot path) maps to a plain scan of the auxiliary
+    table: every restriction it encodes reappears as an equijoin
+    condition of the flattened join, so the SQL engine's own planner
+    takes over that optimization.
+
+Everything produced here unparses with ``SelectStatement.to_sql()`` and
+re-parses through :func:`repro.sql.parser.parse_select` to an equal
+tree.  Execution uses :func:`render_select`, which differs from the
+canonical unparsing only where SQLite semantics diverge from the
+interpreter (true division).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.expressions import (
+    And,
+    Arithmetic,
+    Column,
+    Comparison,
+    Expression,
+    InList,
+    Literal,
+    Not,
+    Or,
+    conjuncts,
+)
+from repro.engine.operators import (
+    AggregateItem,
+    GroupByItem,
+    ProjectionItem,
+    projection_schema,
+)
+from repro.engine.schema import Schema
+from repro.plan import logical as L
+from repro.plan import physical as P
+from repro.sql.ast import CountStar, Exists, SelectStatement, TableRef
+
+
+class SqlGenError(Exception):
+    """Raised for plan shapes outside the GPSJ-generated SQL surface."""
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """A generated statement plus the schema of its result rows."""
+
+    statement: SelectStatement
+    schema: Schema
+
+
+class NameResolver:
+    """Maps logical plan sources to physical store names and schemas."""
+
+    def physical(self, source: str) -> str:
+        raise NotImplementedError
+
+    def schema(self, source: str) -> Schema:
+        raise NotImplementedError
+
+    def delta_physical(self, table: str, sign: int) -> str:
+        raise NotImplementedError
+
+    def delta_schema(self, table: str, sign: int) -> Schema:
+        raise NotImplementedError
+
+
+class _Query:
+    """Mutable builder for one flat (or finally grouped) SELECT."""
+
+    __slots__ = (
+        "tables", "where", "schema", "items", "group_by", "having",
+        "distinct", "qualifier",
+    )
+
+    def __init__(self, tables, where, schema):
+        self.tables: list[TableRef] = tables
+        self.where: list[Expression] = where
+        self.schema: Schema = schema
+        self.items: tuple[ProjectionItem, ...] | None = None
+        self.group_by: tuple[Expression, ...] = ()
+        self.having: Expression | None = None
+        self.distinct = False
+        self.qualifier: str | None = None
+
+    @property
+    def grouped(self) -> bool:
+        return self.items is not None
+
+    def sole_binding(self) -> str:
+        if len(self.tables) != 1:
+            raise SqlGenError("expected a single-table query at this point")
+        return self.tables[0].binding
+
+    def statement(self) -> SelectStatement:
+        items = self.items
+        if items is None:
+            items = tuple(
+                GroupByItem(Column(attr.name, attr.qualifier))
+                for attr in self.schema
+            )
+        return SelectStatement(
+            items=items,
+            tables=tuple(self.tables),
+            where=tuple(self.where),
+            group_by=self.group_by,
+            having=self.having,
+            distinct=self.distinct,
+        )
+
+
+def _source_query(name: str, resolver: NameResolver) -> _Query:
+    schema = resolver.schema(name)
+    return _Query([TableRef(resolver.physical(name), name)], [], schema)
+
+
+def _delta_query(table: str, sign: int, resolver: NameResolver) -> _Query:
+    schema = resolver.delta_schema(table, sign)
+    return _Query(
+        [TableRef(resolver.delta_physical(table, sign), table)], [], schema
+    )
+
+
+def _merge_flat(left: _Query, right: _Query, pairs) -> _Query:
+    if left.grouped or right.grouped or left.distinct or right.distinct:
+        raise SqlGenError("cannot join an already-grouped subquery")
+    merged = _Query(
+        left.tables + right.tables,
+        left.where + right.where,
+        left.schema.concat(right.schema),
+    )
+    merged.where.extend(
+        Comparison("=", Column.parse(l), Column.parse(r)) for l, r in pairs
+    )
+    return merged
+
+
+def _exists_probe(outer: _Query, inner: _Query, pairs, negated: bool) -> None:
+    if inner.grouped or inner.distinct:
+        raise SqlGenError("EXISTS subqueries must be flat")
+    correlation = [
+        Comparison("=", Column.parse(l), Column.parse(r)) for l, r in pairs
+    ]
+    probe = SelectStatement(
+        items=(),
+        tables=tuple(inner.tables),
+        where=tuple(inner.where + correlation),
+    )
+    outer.where.append(Exists(probe, negated))
+
+
+def _normalize_item(item: ProjectionItem) -> ProjectionItem:
+    """Drop aliases the unparser would drop, so the generated statement
+    equals its own re-parse (``x AS x`` never renders)."""
+    if isinstance(item, GroupByItem) and item.alias == item.column.name:
+        return GroupByItem(item.column, None)
+    return item
+
+
+def _strip_qualifier(expression: Expression, qualifier: str) -> Expression:
+    """Rewrite ``view.alias`` references to bare ``alias`` — HAVING
+    conditions name the select list's output columns."""
+    mapping = {
+        column: Column(column.name)
+        for column in expression.columns()
+        if column.qualifier == qualifier
+    }
+    return expression.substitute(mapping) if mapping else expression
+
+
+def _add_having(query: _Query, condition: Expression) -> None:
+    if query.qualifier is not None:
+        condition = _strip_qualifier(condition, query.qualifier)
+    if query.having is None:
+        query.having = condition
+    else:
+        query.having = And(*conjuncts(query.having), *conjuncts(condition))
+
+
+def _apply_generalized_project(
+    query: _Query, items, qualifier: str | None
+) -> None:
+    if query.grouped or query.distinct:
+        raise SqlGenError("nested generalized projections are not supported")
+    normalized = tuple(_normalize_item(item) for item in items)
+    group_columns = tuple(
+        item.column for item in normalized if isinstance(item, GroupByItem)
+    )
+    has_aggregates = any(
+        isinstance(item, AggregateItem) for item in normalized
+    )
+    schema = projection_schema(items, query.schema, qualifier)
+    query.items = normalized
+    query.qualifier = qualifier
+    query.schema = schema
+    if has_aggregates:
+        query.group_by = group_columns
+        if not group_columns:
+            # SQL aggregates an empty input to one NULL row where the
+            # generalized projection yields no row at all; filtering on
+            # COUNT(*) restores the algebra's semantics (see
+            # engine/aggregates.py's empty-input contract).
+            _add_having(query, Comparison(">", CountStar(), Literal(0)))
+    else:
+        # No aggregates: Π degenerates to duplicate elimination.
+        query.distinct = True
+
+
+def _logical_query(node: L.LogicalNode, resolver: NameResolver) -> _Query:
+    if isinstance(node, L.Scan):
+        return _source_query(node.source, resolver)
+    if isinstance(node, L.DeltaScan):
+        return _delta_query(node.table, node.sign, resolver)
+    if isinstance(node, L.Select):
+        query = _logical_query(node.child, resolver)
+        if query.grouped:
+            _add_having(query, node.condition)
+        else:
+            query.where.extend(conjuncts(node.condition))
+        return query
+    if isinstance(node, L.Project):
+        query = _logical_query(node.child, resolver)
+        if query.grouped:
+            raise SqlGenError("projection above a grouped query")
+        query.schema = query.schema.project(node.references)
+        if node.distinct:
+            query.items = tuple(
+                GroupByItem(Column(attr.name, attr.qualifier))
+                for attr in query.schema
+            )
+            query.distinct = True
+        return query
+    if isinstance(node, L.GeneralizedProject):
+        query = _logical_query(node.child, resolver)
+        _apply_generalized_project(query, node.items, node.qualifier)
+        return query
+    if isinstance(node, L.EquiJoin):
+        return _merge_flat(
+            _logical_query(node.left, resolver),
+            _logical_query(node.right, resolver),
+            node.pairs,
+        )
+    if isinstance(node, (L.SemiJoin, L.AntiJoin)):
+        query = _logical_query(node.left, resolver)
+        if query.grouped:
+            raise SqlGenError("semijoin above a grouped query")
+        _exists_probe(
+            query,
+            _logical_query(node.right, resolver),
+            node.pairs,
+            negated=isinstance(node, L.AntiJoin),
+        )
+        return query
+    raise SqlGenError(f"no SQL lowering for logical node {node!r}")
+
+
+def compile_logical(
+    node: L.LogicalNode, resolver: NameResolver
+) -> CompiledQuery:
+    """Compile an optimized logical plan tree to one SELECT."""
+    query = _logical_query(node, resolver)
+    return CompiledQuery(query.statement(), query.schema)
+
+
+# ----------------------------------------------------------------------
+# Maintenance stage trees (physical nodes).
+# ----------------------------------------------------------------------
+
+
+def _physical_query(node: P.PhysicalNode, resolver: NameResolver) -> _Query:
+    if isinstance(node, P.DeltaScanNode):
+        return _delta_query(node.table, node.sign, resolver)
+    if isinstance(node, P.FilterNode):
+        query = _physical_query(node.children[0], resolver)
+        query.where.extend(conjuncts(node.condition))
+        return query
+    if isinstance(node, P.KeyProbeSemiJoinNode):
+        query = _physical_query(node.children[0], resolver)
+        attr = query.schema[node.fk_index]
+        fk = Column(attr.name, attr.qualifier or query.sole_binding())
+        dep = _source_query(node.dep_table, resolver)
+        _exists_probe(query, dep, [(fk.qualified_name, node.dep_key)], False)
+        return query
+    if isinstance(node, P.AuxScanNode):
+        return _source_query(node.table, resolver)
+    if isinstance(node, P.NeighborRestrictNode):
+        # The semijoin restriction is subsumed by the equijoin
+        # conditions of the flattened propagation join (every restricted
+        # edge is also a join edge), so SQL sees the plain auxiliary
+        # table and the engine's planner picks its own access path.
+        return _source_query(node.table, resolver)
+    if isinstance(node, P.HashJoinNode):
+        return _merge_flat(
+            _physical_query(node.children[0], resolver),
+            _physical_query(node.children[1], resolver),
+            node.pairs,
+        )
+    if isinstance(node, P.IndexJoinNode):
+        return _merge_flat(
+            _physical_query(node.children[0], resolver),
+            _source_query(node.table, resolver),
+            node.pairs,
+        )
+    raise SqlGenError(f"no SQL lowering for physical node {node!r}")
+
+
+def compile_physical(
+    node: P.PhysicalNode, resolver: NameResolver
+) -> CompiledQuery:
+    """Compile one maintenance stage tree (``local``/``reduce``, or the
+    join under an ``AccumulateNode``) to one flat SELECT."""
+    query = _physical_query(node, resolver)
+    return CompiledQuery(query.statement(), query.schema)
+
+
+# ----------------------------------------------------------------------
+# Dialect rendering (execution-time SQL).
+# ----------------------------------------------------------------------
+
+
+def render_expression(expression: Expression) -> str:
+    """SQLite-dialect rendering; canonical except where SQLite semantics
+    diverge from the interpreter (``/`` is integer division on INTEGER
+    operands, the interpreter's is true division)."""
+    if isinstance(expression, Arithmetic):
+        left = render_expression(expression.left)
+        right = render_expression(expression.right)
+        if expression.op == "/":
+            return f"(CAST({left} AS REAL) / {right})"
+        return f"({left} {expression.op} {right})"
+    if isinstance(expression, Comparison):
+        return (
+            f"{render_expression(expression.left)} {expression.op} "
+            f"{render_expression(expression.right)}"
+        )
+    if isinstance(expression, And):
+        if not expression.conditions:
+            return "TRUE"
+        return " AND ".join(
+            render_expression(c) for c in expression.conditions
+        )
+    if isinstance(expression, Or):
+        if not expression.conditions:
+            return "FALSE"
+        rendered = " OR ".join(
+            render_expression(c) for c in expression.conditions
+        )
+        return f"({rendered})"
+    if isinstance(expression, Not):
+        return f"NOT ({render_expression(expression.condition)})"
+    if isinstance(expression, InList):
+        values = ", ".join(Literal(v).to_sql() for v in expression.values)
+        return f"{render_expression(expression.expr)} IN ({values})"
+    if isinstance(expression, Exists):
+        prefix = "NOT EXISTS" if expression.negated else "EXISTS"
+        return f"{prefix} ({render_select(expression.query)})"
+    return expression.to_sql()
+
+
+def render_select(statement: SelectStatement) -> str:
+    """Execution-dialect counterpart of ``SelectStatement.to_sql()``."""
+    parts = ["SELECT"]
+    if statement.distinct:
+        parts.append("DISTINCT")
+    if statement.items:
+        parts.append(", ".join(item.to_sql() for item in statement.items))
+    else:
+        parts.append("1")
+    parts.append("FROM")
+    parts.append(", ".join(table.to_sql() for table in statement.tables))
+    if statement.where:
+        parts.append("WHERE")
+        parts.append(
+            " AND ".join(render_expression(c) for c in statement.where)
+        )
+    if statement.group_by:
+        parts.append("GROUP BY")
+        parts.append(", ".join(c.to_sql() for c in statement.group_by))
+    if statement.having is not None:
+        parts.append("HAVING")
+        parts.append(render_expression(statement.having))
+    return " ".join(parts)

@@ -122,6 +122,7 @@ def _build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--transactions", type=int, default=40)
             sub.add_argument("--seed", type=int, default=0)
             sub.add_argument("--rows-per-table", type=int, default=24)
+            _add_backend_flag(sub)
         sub.set_defaults(handler=handler)
 
     for name, handler, description in (
@@ -160,6 +161,7 @@ def _build_parser() -> argparse.ArgumentParser:
             sub.add_argument(
                 "--jsonl", help="write a JSONL snapshot of the registry"
             )
+        _add_backend_flag(sub)
         sub.set_defaults(handler=handler)
 
     share = subparsers.add_parser(
@@ -191,6 +193,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     storage.set_defaults(handler=_cmd_storage)
     return parser
+
+
+def _add_backend_flag(sub) -> None:
+    from repro.backends import BACKEND_NAMES
+
+    sub.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="execution backend for the maintained warehouse "
+        "(default: the REPRO_BACKEND environment variable, else memory)",
+    )
 
 
 def _read(path: str) -> str:
@@ -333,7 +347,12 @@ def _run_stream(database, view, args, tracer=None):
         seed_database(
             database, rows_per_table=args.rows_per_table, seed=args.seed
         )
-    warehouse = Warehouse(database, [view], tracer=tracer)
+    warehouse = Warehouse(
+        database,
+        [view],
+        tracer=tracer,
+        backend=getattr(args, "backend", None),
+    )
     generator = TransactionGenerator(
         database,
         seed=args.seed,

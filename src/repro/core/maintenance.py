@@ -29,6 +29,7 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 from time import perf_counter
 
+from repro.backends.base import Backend, make_backend
 from repro.catalog.database import Database
 from repro.core.derivation import (
     AuxiliaryView,
@@ -429,6 +430,7 @@ class SelfMaintainer:
         initialize: bool = True,
         hotpath: bool = True,
         tracer: Tracer | None = None,
+        backend: Backend | str | None = None,
     ):
         """``append_only`` maintains the view as *old detail data*
         (Section 4): only insertions are accepted, in exchange for
@@ -446,9 +448,15 @@ class SelfMaintainer:
         ``tracer`` optionally installs a :class:`~repro.obs.trace.Tracer`
         that samples transactions into structured span trees (root span
         per :meth:`apply`, phase spans, nested plan-node spans); with the
-        default ``None`` the hot path pays no tracing cost at all."""
+        default ``None`` the hot path pays no tracing cost at all.
+        ``backend`` selects the execution backend holding ``X`` and
+        running the compiled plans: a :class:`~repro.backends.Backend`
+        instance, a name (``"memory"``, ``"sqlite"``, ``"sqlite:<path>"``),
+        or ``None`` to consult the ``REPRO_BACKEND`` environment
+        variable (default memory)."""
         self.view = view
         self.append_only = append_only
+        self.backend = make_backend(backend)
         self.graph = graph or ExtendedJoinGraph(view, database)
         self.aux_set = aux_set or derive_auxiliary_views(
             view, database, self.graph, append_only=append_only
@@ -458,7 +466,9 @@ class SelfMaintainer:
         self.tracer = tracer
         self.policy = PlanPolicy.INDEXED if hotpath else PlanPolicy.NAIVE
         self._materializations: dict[str, AuxMaterialization] = {
-            aux.table: make_materialization(aux, use_indexes=hotpath)
+            aux.table: self.backend.make_materialization(
+                aux, use_indexes=hotpath, namespace=view.name
+            )
             for aux in self.aux_set
         }
         self._eliminated = frozenset(self.aux_set.eliminated)
@@ -712,6 +722,14 @@ class SelfMaintainer:
         """Total current-detail storage under the paper's size model."""
         return sum(m.size_bytes() for m in self._materializations.values())
 
+    def physical_detail_size_bytes(self) -> int | None:
+        """Bytes the backend's storage engine actually uses for ``X``
+        (e.g. SQLite page counts via ``dbstat``); None when the backend
+        has no physical measure beyond the paper's model."""
+        return self.backend.physical_detail_size_bytes(
+            self._materializations.values()
+        )
+
     def current_view(self) -> Relation:
         """The maintained summary table ``V``."""
         rows = [
@@ -865,7 +883,12 @@ class SelfMaintainer:
             raise
         self._end_transaction()
         if undo is not None:
+            # A coordinator owns the transaction: it absorbs the undo
+            # entries (including the backend's savepoint restore) and
+            # commits the backend itself once all participants succeed.
             undo.absorb(log)
+        else:
+            self.backend.commit()
 
     def _validate_transaction(
         self, transaction: Transaction
@@ -889,6 +912,10 @@ class SelfMaintainer:
     def _begin_transaction(self, log: UndoLog) -> None:
         self._undo = log
         self._undo_saved_groups = set()
+        # The backend's scope opens first, so its entry sits at the
+        # bottom of the LIFO log and its restore (e.g. a SQLite
+        # ``ROLLBACK TO``) runs after every Python-side inverse.
+        self.backend.begin_transaction(log)
         for materialization in self._materializations.values():
             materialization.begin_undo(log)
 
@@ -897,6 +924,7 @@ class SelfMaintainer:
         self._undo_saved_groups = set()
         for materialization in self._materializations.values():
             materialization.end_undo()
+        self.backend.end_transaction()
 
     def _save_group(self, key: tuple) -> None:
         """Record the inverse of this transaction's mutations of one
@@ -1146,14 +1174,14 @@ class SelfMaintainer:
         with _phase_span(
             trace, "local-reduce", table=table, sign=sign
         ) as span, perf.timer("local-reduce"):
-            locally = plans.local.run(ctx)
+            locally = self.backend.run_plan(plans.local, ctx)
         if span is not None:
             span.rows_in, span.rows_out = len(rows), len(locally)
         perf.count("rows_locally_reduced_away", len(rows) - len(locally))
         with _phase_span(
             trace, "join-reduce", table=table, sign=sign
         ) as span, perf.timer("join-reduce"):
-            reduced = plans.reduce.run(ctx)
+            reduced = self.backend.run_plan(plans.reduce, ctx)
             perf.count("join_reduce_probes", len(locally) * plans.n_reductions)
             perf.count("rows_join_reduced_away", len(locally) - len(reduced))
         if span is not None:
@@ -1165,7 +1193,7 @@ class SelfMaintainer:
             with _phase_span(
                 trace, "aggregate-fold", table=table, sign=sign
             ) as span, perf.timer("aggregate-fold"):
-                contributions = plans.propagate.run(ctx)
+                contributions = self.backend.run_plan(plans.propagate, ctx)
                 for key, acc in contributions.items():
                     self._merge_group(key, acc, sign, dirty)
             if span is not None:

@@ -1,0 +1,129 @@
+"""Generic SELECT statements for backend SQL generation.
+
+The view parser (:func:`repro.sql.parser.parse_view`) produces a
+semantic :class:`~repro.core.view.ViewDefinition`; the backends instead
+need a *syntactic* representation of arbitrary GPSJ-shaped queries —
+aliased tables, ``EXISTS`` subqueries for semijoins/antijoins, bare
+``COUNT(*)`` references in ``HAVING`` — that unparses to SQL and
+re-parses to an equal tree (:func:`repro.sql.parser.parse_select`).
+
+Expressions reuse :mod:`repro.engine.expressions` wholesale; this
+module only adds the two SQL-specific expression nodes that have no
+in-memory evaluation (``EXISTS`` probes and ``COUNT(*)`` outside a
+select list) plus the statement/table structure around them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.expressions import Expression, ExpressionError
+from repro.engine.operators import ProjectionItem
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """One FROM entry: a physical table, optionally aliased.
+
+    An alias equal to the table name is normalized away so structurally
+    identical references compare (and round-trip) equal.
+    """
+
+    name: str
+    alias: str | None = None
+
+    def __post_init__(self):
+        if self.alias == self.name:
+            object.__setattr__(self, "alias", None)
+
+    @property
+    def binding(self) -> str:
+        """The name columns of this table are qualified by."""
+        return self.alias or self.name
+
+    def to_sql(self) -> str:
+        if self.alias is None:
+            return self.name
+        return f"{self.name} AS {self.alias}"
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A generic (possibly grouped) SELECT over aliased tables.
+
+    ``items`` may be empty, rendering ``SELECT 1`` — the conventional
+    existence probe used inside :class:`Exists` subqueries.  ``where``
+    is a conjunction; ``group_by`` lists plain column references;
+    ``having`` is a single (possibly composite) expression.
+    """
+
+    items: tuple[ProjectionItem, ...]
+    tables: tuple[TableRef, ...]
+    where: tuple[Expression, ...] = ()
+    group_by: tuple[Expression, ...] = ()
+    having: Expression | None = None
+    distinct: bool = False
+
+    def to_sql(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        if self.items:
+            parts.append(", ".join(item.to_sql() for item in self.items))
+        else:
+            parts.append("1")
+        parts.append("FROM")
+        parts.append(", ".join(table.to_sql() for table in self.tables))
+        if self.where:
+            parts.append("WHERE")
+            parts.append(" AND ".join(c.to_sql() for c in self.where))
+        if self.group_by:
+            parts.append("GROUP BY")
+            parts.append(", ".join(c.to_sql() for c in self.group_by))
+        if self.having is not None:
+            parts.append("HAVING")
+            parts.append(self.having.to_sql())
+        return " ".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.to_sql()
+
+
+@dataclass(frozen=True)
+class Exists(Expression):
+    """``[NOT] EXISTS (subquery)`` — the SQL rendering of semijoins and
+    antijoins.  SQL-only: it has no row-level compilation."""
+
+    query: SelectStatement
+    negated: bool = False
+
+    def compile(self, schema):
+        raise ExpressionError("EXISTS is a SQL-only expression")
+
+    def columns(self):
+        return ()
+
+    def substitute(self, mapping):
+        return self
+
+    def to_sql(self) -> str:
+        prefix = "NOT EXISTS" if self.negated else "EXISTS"
+        return f"{prefix} ({self.query.to_sql()})"
+
+
+@dataclass(frozen=True)
+class CountStar(Expression):
+    """A bare ``COUNT(*)`` expression (e.g. in ``HAVING COUNT(*) > 0``).
+    SQL-only: aggregate references have no row-level compilation."""
+
+    def compile(self, schema):
+        raise ExpressionError("COUNT(*) is a SQL-only expression")
+
+    def columns(self):
+        return ()
+
+    def substitute(self, mapping):
+        return self
+
+    def to_sql(self) -> str:
+        return "COUNT(*)"

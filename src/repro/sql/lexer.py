@@ -30,6 +30,7 @@ KEYWORDS = frozenset(
         "GROUP",
         "BY",
         "HAVING",
+        "EXISTS",
         "COUNT",
         "SUM",
         "AVG",

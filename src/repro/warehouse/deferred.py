@@ -114,6 +114,10 @@ class DeferredMaintainer:
                     perf.count("rollbacks")
                     perf.count("rows_undone", undone)
                 raise
+            # Every per-transaction scope succeeded; commit them on the
+            # backend in one step (the coalesced path commits inside
+            # the standalone apply above).
+            self._inner.backend.commit()
         self._buffer = []
         self._pending_gauge.set(0)
         self._inner.perf.observe(REFRESH_PROPAGATED_ROWS, propagated_rows)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.backends.base import Backend, make_backend
 from repro.catalog.database import Database
 from repro.core.derivation import AuxiliaryViewSet
 from repro.core.maintenance import SelfMaintainer
@@ -38,6 +39,10 @@ class StorageReport:
     per_auxiliary: dict[str, int]
     eliminated: tuple[str, ...]
     perf: dict | None = None
+    #: Bytes the execution backend's own storage engine holds for the
+    #: auxiliary tables (SQLite ``dbstat`` pages); None on backends
+    #: with no physical measure beyond the paper's width model.
+    physical_detail_bytes: int | None = None
 
     @property
     def total_bytes(self) -> int:
@@ -52,13 +57,21 @@ class Warehouse:
         database: Database,
         views: list[ViewDefinition] | None = None,
         tracer: Tracer | None = None,
+        backend: Backend | str | None = None,
     ):
         """``database`` is only read during :meth:`register` (initial load).
         ``tracer`` is handed to every maintainer registered here, so one
         sampler sees the warehouse's whole transaction stream (each
-        maintained view contributes its own trace per sampled call)."""
+        maintained view contributes its own trace per sampled call).
+        ``backend`` selects where the detail data lives and how plans
+        execute — a :class:`~repro.backends.Backend` instance, a name
+        (``"memory"``, ``"sqlite"``, ``"sqlite:<path>"``), or ``None``
+        to consult ``REPRO_BACKEND`` (default memory); one backend
+        instance is shared by every view registered here, so a
+        warehouse transaction is one backend transaction."""
         self._database = database
         self.tracer = tracer
+        self._backend = make_backend(backend)
         self._maintainers: dict[str, SelfMaintainer] = {}
         for view in views or []:
             self.register(view)
@@ -71,7 +84,9 @@ class Warehouse:
         """Derive auxiliary views for ``view`` and materialize everything."""
         if view.name in self._maintainers:
             raise ValueError(f"view {view.name!r} already registered")
-        maintainer = SelfMaintainer(view, self._database, tracer=self.tracer)
+        maintainer = SelfMaintainer(
+            view, self._database, tracer=self.tracer, backend=self._backend
+        )
         self._maintainers[view.name] = maintainer
         return maintainer.aux_set
 
@@ -115,6 +130,7 @@ class Warehouse:
                 maintainer.perf.count("rollbacks")
                 maintainer.perf.count("rows_undone", undone)
             raise
+        self._backend.commit()
 
     # ------------------------------------------------------------------
     # Reads.
@@ -129,6 +145,11 @@ class Warehouse:
         """The source database (read at registration and for planning;
         maintenance itself never touches it)."""
         return self._database
+
+    @property
+    def backend(self) -> Backend:
+        """The execution backend shared by every registered view."""
+        return self._backend
 
     def maintainer(self, view_name: str) -> SelfMaintainer:
         return self._maintainers[view_name]
@@ -155,6 +176,7 @@ class Warehouse:
             per_auxiliary=per_aux,
             eliminated=tuple(maintainer.aux_set.eliminated),
             perf=snapshot if snapshot["counters"] else None,
+            physical_detail_bytes=maintainer.physical_detail_size_bytes(),
         )
 
     def perf_report(self, view_name: str | None = None) -> str:
