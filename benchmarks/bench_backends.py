@@ -29,39 +29,27 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from bench_hotpath_maintenance import SCALES, STREAMS, hotpath_view, make_stream
+from harness import (
+    SCALES,
+    STREAMS,
+    assert_equivalent,
+    delta_rows_of,
+    hotpath_view,
+    make_stream,
+    replay,
+    txn_histograms,
+)
 
 from repro.backends.sqlite import SQLiteBackend
 from repro.core.maintenance import SelfMaintainer
-from repro.perf import TXN_DELTA_ROWS, TXN_LATENCY_MS, TXN_ROWS_PER_SEC
 from repro.workloads.retail import build_retail_database
 
 BACKENDS = ("memory", "sqlite")
-
-
-def _replay(maintainer: SelfMaintainer, stream) -> float:
-    started = time.perf_counter()
-    for transaction in stream:
-        maintainer.apply(transaction)
-    return time.perf_counter() - started
-
-
-def _assert_equivalent(scale: str, kind: str, memory_m, sqlite_m) -> None:
-    if not sqlite_m.current_view().same_bag(memory_m.current_view()):
-        raise AssertionError(f"{scale}/{kind}: backends' views diverged")
-    for table in memory_m.aux_relations():
-        if not sqlite_m.aux_relation(table).same_bag(
-            memory_m.aux_relation(table)
-        ):
-            raise AssertionError(
-                f"{scale}/{kind}: backends' aux {table} diverged"
-            )
 
 
 def run_scale(scale: str, transactions: int = 120) -> dict:
@@ -76,14 +64,12 @@ def run_scale(scale: str, transactions: int = 120) -> dict:
     }
     for kind in STREAMS:
         stream = make_stream(database, kind, transactions=transactions)
-        delta_rows = sum(
-            len(d.inserted) + len(d.deleted) for tx in stream for d in tx
-        )
+        delta_rows = delta_rows_of(stream)
         memory_m = SelfMaintainer(view, database, backend="memory")
         sqlite_m = SelfMaintainer(view, database, backend=SQLiteBackend())
-        seconds_memory = _replay(memory_m, stream)
-        seconds_sqlite = _replay(sqlite_m, stream)
-        _assert_equivalent(scale, kind, memory_m, sqlite_m)
+        seconds_memory = replay(memory_m, stream)
+        seconds_sqlite = replay(sqlite_m, stream)
+        assert_equivalent(f"{scale}/{kind}", memory_m, sqlite_m)
         rows_memory = delta_rows / seconds_memory
         rows_sqlite = delta_rows / seconds_sqlite
         results["streams"][kind] = {
@@ -97,17 +83,7 @@ def run_scale(scale: str, transactions: int = 120) -> dict:
             # Paper-model estimate vs what SQLite actually stores.
             "detail_bytes_model": sqlite_m.detail_size_bytes(),
             "detail_bytes_physical": sqlite_m.physical_detail_size_bytes(),
-            "histograms": {
-                "txn_latency_ms": sqlite_m.perf.histogram_summary(
-                    TXN_LATENCY_MS
-                ),
-                "txn_delta_rows": sqlite_m.perf.histogram_summary(
-                    TXN_DELTA_ROWS
-                ),
-                "txn_rows_per_sec": sqlite_m.perf.histogram_summary(
-                    TXN_ROWS_PER_SEC
-                ),
-            },
+            "histograms": txn_histograms(sqlite_m.perf),
         }
     return results
 

@@ -15,136 +15,35 @@ Standalone::
 writes ``BENCH_hotpath.json``; ``--scale all`` covers all three scales.
 Also collectable by pytest (``pytest benchmarks/bench_hotpath_maintenance.py``)
 as a smoke test at the smallest scale.
+
+Scale configs, the benchmark view, and the stream generator live in
+:mod:`harness` (shared with ``bench_backends.py`` and
+``bench_sharded.py``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import random
 import sys
-import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from harness import (
+    SCALES,
+    STREAMS,
+    assert_equivalent,
+    delta_rows_of,
+    hotpath_view,
+    make_stream,
+    replay,
+    txn_histograms,
+)
 
 from repro.core.maintenance import SelfMaintainer
-from repro.core.view import JoinCondition, make_view
-from repro.perf import TXN_DELTA_ROWS, TXN_LATENCY_MS, TXN_ROWS_PER_SEC
-from repro.engine.aggregates import AggregateFunction
-from repro.engine.deltas import Delta, Transaction
-from repro.engine.expressions import Column, Comparison, Literal
-from repro.engine.operators import AggregateItem, GroupByItem
-from repro.workloads.retail import RetailConfig, build_retail_database
-
-SCALES = {
-    "small": RetailConfig(
-        days=30, stores=2, products=200, products_sold_per_day=10,
-        transactions_per_product=2, start_year=1997, seed=11,
-    ),
-    "medium": RetailConfig(
-        days=90, stores=3, products=1000, products_sold_per_day=20,
-        transactions_per_product=2, start_year=1997, seed=11,
-    ),
-    "large": RetailConfig(
-        days=180, stores=4, products=3000, products_sold_per_day=25,
-        transactions_per_product=2, start_year=1997, seed=11,
-    ),
-}
-
-STREAMS = ("insert_heavy", "delete_heavy", "mixed")
-
-
-def hotpath_view(year: int = 1997):
-    """A fully-CSMAS view (no DISTINCT), so throughput measures the
-    maintenance loop itself rather than Section 3.2's recomputation."""
-    return make_view(
-        "monthly_category_sales",
-        ("sale", "time", "product"),
-        [
-            GroupByItem(Column("month", "time")),
-            GroupByItem(Column("category", "product")),
-            AggregateItem(
-                AggregateFunction.SUM, Column("price", "sale"), alias="TotalPrice"
-            ),
-            AggregateItem(AggregateFunction.COUNT, None, alias="TotalCount"),
-        ],
-        selection=[Comparison("=", Column("year", "time"), Literal(year))],
-        joins=[
-            JoinCondition("sale", "timeid", "time", "id"),
-            JoinCondition("sale", "productid", "product", "id"),
-        ],
-    )
-
-
-def make_stream(
-    database, kind: str, transactions: int = 120, batch: int = 8, seed: int = 5
-) -> list[Transaction]:
-    """A deterministic, integrity-valid stream of ``sale`` transactions.
-
-    ``insert_heavy`` is ~80% insertions, ``delete_heavy`` ~80% deletions
-    of live rows, and ``mixed`` alternates both and adds churn pairs —
-    live rows deleted and re-inserted within one transaction, which the
-    hot path coalesces away and the legacy loop propagates twice.
-    """
-    rng = random.Random(seed)
-    live = list(database.relation("sale"))
-    next_id = max(row[0] for row in live) + 1
-    days = len(database.relation("time"))
-    products = len(database.relation("product"))
-    stores = len(database.relation("store"))
-    stream: list[Transaction] = []
-
-    def fresh_rows(count: int) -> list[tuple]:
-        nonlocal next_id
-        rows = []
-        for __ in range(count):
-            rows.append(
-                (
-                    next_id,
-                    rng.randint(1, days),
-                    rng.randint(1, products),
-                    rng.randint(1, stores),
-                    rng.randint(50, 5_000),
-                )
-            )
-            next_id += 1
-        return rows
-
-    def take_live(count: int) -> list[tuple]:
-        count = min(count, len(live))
-        taken = []
-        for __ in range(count):
-            taken.append(live.pop(rng.randrange(len(live))))
-        return taken
-
-    for step in range(transactions):
-        inserted: list[tuple] = []
-        deleted: list[tuple] = []
-        if kind == "insert_heavy":
-            inserted = fresh_rows(batch)
-            if step % 5 == 4:
-                deleted = take_live(batch // 4)
-        elif kind == "delete_heavy":
-            deleted = take_live(batch)
-            if step % 5 == 4:
-                inserted = fresh_rows(batch // 4)
-        else:  # mixed: half in, half out, plus churn pairs
-            inserted = fresh_rows(batch // 2)
-            deleted = take_live(batch // 2)
-            churn = take_live(batch // 2)
-            inserted += churn  # churn returns to live below, via inserted
-            deleted += churn
-        live.extend(inserted)
-        stream.append(Transaction.of(Delta("sale", inserted, deleted)))
-    return stream
-
-
-def _replay(maintainer: SelfMaintainer, stream: list[Transaction]) -> float:
-    started = time.perf_counter()
-    for transaction in stream:
-        maintainer.apply(transaction)
-    return time.perf_counter() - started
+from repro.workloads.retail import build_retail_database
 
 
 def run_scale(scale: str, transactions: int = 120) -> dict:
@@ -159,18 +58,12 @@ def run_scale(scale: str, transactions: int = 120) -> dict:
     }
     for kind in STREAMS:
         stream = make_stream(database, kind, transactions=transactions)
-        delta_rows = sum(
-            len(d.inserted) + len(d.deleted) for tx in stream for d in tx
-        )
+        delta_rows = delta_rows_of(stream)
         fast = SelfMaintainer(view, database, hotpath=True)
         slow = SelfMaintainer(view, database, hotpath=False)
-        seconds_after = _replay(fast, stream)
-        seconds_before = _replay(slow, stream)
-        if not fast.current_view().same_bag(slow.current_view()):
-            raise AssertionError(f"{scale}/{kind}: views diverged")
-        for table in fast.aux_relations():
-            if not fast.aux_relation(table).same_bag(slow.aux_relation(table)):
-                raise AssertionError(f"{scale}/{kind}: aux {table} diverged")
+        seconds_after = replay(fast, stream)
+        seconds_before = replay(slow, stream)
+        assert_equivalent(f"{scale}/{kind}", fast, slow)
         results["streams"][kind] = {
             "delta_rows": delta_rows,
             "seconds_before": round(seconds_before, 4),
@@ -182,13 +75,7 @@ def run_scale(scale: str, transactions: int = 120) -> dict:
             # Per-transaction distribution summaries (p50/p95/p99) from
             # the hot maintainer's metrics registry — tail latency and
             # per-transaction throughput, not just stream-wide means.
-            "histograms": {
-                "txn_latency_ms": fast.perf.histogram_summary(TXN_LATENCY_MS),
-                "txn_delta_rows": fast.perf.histogram_summary(TXN_DELTA_ROWS),
-                "txn_rows_per_sec": fast.perf.histogram_summary(
-                    TXN_ROWS_PER_SEC
-                ),
-            },
+            "histograms": txn_histograms(fast.perf),
         }
     return results
 

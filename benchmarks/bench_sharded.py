@@ -1,0 +1,250 @@
+"""Sharded maintenance scaling: 1..N shards, serial and parallel.
+
+Replays a mixed update stream with large per-transaction batches (so
+propagate compute dominates dispatch overhead) against
+:class:`ShardedBackend` at several shard counts, in both execution
+modes, plus the plain :class:`MemoryBackend` baseline.  Every
+configuration's final view and auxiliary states are checked
+bag-identical to the baseline.
+
+Two speedup figures are reported, deliberately distinct:
+
+* ``wall_clock`` — measured elapsed time.  On a 1-core host (CI
+  containers; ``cpu_count`` is recorded in the output) parallel workers
+  time-slice one core, so wall-clock speedup cannot exceed 1 and the
+  IPC overhead makes it *worse* than serial.  Machine-honest, not
+  machine-invariant.
+* ``projected_speedup`` — the critical-path projection from serial
+  mode's per-shard compute timers
+  (``repro_shard_compute_seconds_total{shard=...}`` plus the
+  replicated-work Amdahl term): total compute over (max shard + the
+  replicated work every worker repeats).  This is what N real cores
+  buy, measured deterministically on one, and it is what the
+  regression gate watches.
+
+Each stream is run twice — uniformly-keyed and skewed (90% of fresh
+inserts land on one group, hence one shard) — because skew collapses
+the projection toward 1: the hot shard IS the critical path.
+
+Standalone::
+
+    python benchmarks/bench_sharded.py
+
+writes ``BENCH_sharded.json``.  Also collectable by pytest as a smoke
+test at a small configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from harness import (
+    SCALES,
+    assert_equivalent,
+    delta_rows_of,
+    hotpath_view,
+    make_stream,
+    replay,
+    txn_histograms,
+)
+
+from repro.backends.sharded import (
+    SHARD_COMPUTE_SECONDS,
+    SHARD_REPLICATED_SECONDS,
+    SHARD_ROUTED_ROWS,
+    ShardedBackend,
+)
+from repro.core.maintenance import SelfMaintainer
+from repro.workloads.retail import build_retail_database
+
+SHARD_COUNTS = (1, 2, 4, 8)
+DISTRIBUTIONS = {"uniform": 0.0, "skewed": 0.9}
+
+
+def _shard_seconds(backend: ShardedBackend) -> tuple[dict[str, float], float]:
+    """Per-shard compute seconds and the replicated (unparallelizable)
+    seconds, read off the backend's metrics registry."""
+    registry = backend.metrics_registry()
+    compute = dict(registry.counter_group(SHARD_COMPUTE_SECONDS, "shard"))
+    replicated = registry.counter(SHARD_REPLICATED_SECONDS).value
+    return compute, replicated
+
+
+def _routed_rows(backend: ShardedBackend) -> dict[str, int]:
+    return dict(
+        backend.metrics_registry().counter_group(SHARD_ROUTED_ROWS, "shard")
+    )
+
+
+def run_config(
+    scale: str,
+    distribution: str,
+    transactions: int,
+    batch: int,
+    parallel_counts: tuple[int, ...],
+) -> dict:
+    """One (scale, key-distribution) cell: baseline + every shard count."""
+    config = SCALES[scale]
+    database = build_retail_database(config)
+    view = hotpath_view(config.start_year)
+    stream = make_stream(
+        database,
+        "mixed",
+        transactions=transactions,
+        batch=batch,
+        hot_key_fraction=DISTRIBUTIONS[distribution],
+    )
+    delta_rows = delta_rows_of(stream)
+
+    baseline = SelfMaintainer(view, database, backend="memory")
+    seconds_baseline = replay(baseline, stream)
+
+    record: dict = {
+        "delta_rows": delta_rows,
+        "transactions": transactions,
+        "batch": batch,
+        "seconds_baseline": round(seconds_baseline, 4),
+        "rows_per_sec_baseline": round(delta_rows / seconds_baseline, 1),
+        "shards": {},
+    }
+    for n_shards in SHARD_COUNTS:
+        serial_backend = ShardedBackend(n_shards=n_shards, parallel=False)
+        serial_m = SelfMaintainer(view, database, backend=serial_backend)
+        seconds_serial = replay(serial_m, stream)
+        assert_equivalent(
+            f"{scale}/{distribution}/serial:{n_shards}", baseline, serial_m
+        )
+        compute, replicated = _shard_seconds(serial_backend)
+        total_compute = sum(compute.values())
+        max_shard = max(compute.values()) if compute else 0.0
+        # What n real cores would make of this exact workload: every
+        # shard's partitioned work runs concurrently (bounded by the
+        # slowest shard) while replicated work repeats on each worker.
+        projected = (
+            (total_compute + replicated) / (max_shard + replicated)
+            if max_shard + replicated > 0
+            else 1.0
+        )
+        entry: dict = {
+            "seconds_serial": round(seconds_serial, 4),
+            "rows_per_sec_serial": round(delta_rows / seconds_serial, 1),
+            "relative_throughput_serial": round(
+                seconds_baseline / seconds_serial, 3
+            ),
+            "shard_compute_seconds": {
+                shard: round(value, 4) for shard, value in sorted(compute.items())
+            },
+            "replicated_seconds": round(replicated, 4),
+            "projected_speedup": round(projected, 2),
+            "routed_rows": dict(sorted(_routed_rows(serial_backend).items())),
+            "histograms": txn_histograms(serial_m.perf),
+        }
+        if n_shards in parallel_counts:
+            parallel_backend = ShardedBackend(n_shards=n_shards, parallel=True)
+            try:
+                parallel_m = SelfMaintainer(
+                    view, database, backend=parallel_backend
+                )
+                seconds_parallel = replay(parallel_m, stream)
+                assert_equivalent(
+                    f"{scale}/{distribution}/parallel:{n_shards}",
+                    baseline,
+                    parallel_m,
+                )
+            finally:
+                parallel_backend.close()
+            entry["seconds_parallel"] = round(seconds_parallel, 4)
+            entry["rows_per_sec_parallel"] = round(
+                delta_rows / seconds_parallel, 1
+            )
+        record["shards"][str(n_shards)] = entry
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", choices=[*SCALES], default="medium",
+        help="warehouse scale to replay (default: medium)",
+    )
+    parser.add_argument(
+        "--transactions", type=int, default=20,
+        help="transactions per stream (default: 20)",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=2000,
+        help="delta rows per transaction (default: 2000 — large batches "
+        "keep propagate compute, not dispatch, on the critical path)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_sharded.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+    report = {
+        "benchmark": "sharded_scaling",
+        # Wall-clock parallel numbers are meaningless without this.
+        "cpu_count": os.cpu_count(),
+        "scale": args.scale,
+        "distributions": {},
+    }
+    for distribution in DISTRIBUTIONS:
+        print(f"== distribution: {distribution} ==")
+        record = run_config(
+            args.scale,
+            distribution,
+            transactions=args.transactions,
+            batch=args.batch,
+            parallel_counts=(1, 4),
+        )
+        report["distributions"][distribution] = record
+        for n_shards, entry in record["shards"].items():
+            line = (
+                f"  {n_shards:>2} shards  serial "
+                f"{entry['rows_per_sec_serial']:>12,.0f} rows/s  "
+                f"projected {entry['projected_speedup']:.2f}x"
+            )
+            if "rows_per_sec_parallel" in entry:
+                line += (
+                    f"  parallel {entry['rows_per_sec_parallel']:>12,.0f} rows/s"
+                )
+            print(line)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+def test_sharded_smoke():
+    """CI smoke: small scale, short skewed+uniform streams, equivalence
+    and projection sanity enforced."""
+    for distribution in DISTRIBUTIONS:
+        record = run_config(
+            "small",
+            distribution,
+            transactions=6,
+            batch=200,
+            parallel_counts=(2,),
+        )
+        assert record["delta_rows"] > 0
+        for n_shards, entry in record["shards"].items():
+            assert entry["projected_speedup"] >= 1.0, (distribution, n_shards)
+            assert entry["projected_speedup"] <= int(n_shards) + 0.01, (
+                distribution,
+                n_shards,
+            )
+            for name, summary in entry["histograms"].items():
+                assert summary["count"] == 6, (distribution, n_shards, name)
+        # Skew concentrates routing: the hot shard carries most rows.
+        routed = record["shards"]["4"]["routed_rows"]
+        if distribution == "skewed" and routed:
+            assert max(routed.values()) > sum(routed.values()) / 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,7 +10,15 @@ on one machine, and the gate compares that:
   must not erode;
 * ``bench_backends.py`` → ``BENCH_backends.json``, gated on
   ``relative_throughput`` (SQLite-over-memory throughput), which the
-  SQL generation + staging overhead must not erode.
+  SQL generation + staging overhead must not erode;
+* ``bench_sharded.py`` → ``BENCH_sharded.json``, gated on
+  ``projected_speedup`` (critical-path speedup projected from serial
+  mode's per-shard compute timers, per key distribution and shard
+  count).  The 1-shard projection is 1.0 by construction, so gating
+  the 4-shard value is exactly the 4-over-1 scaling ratio; it is
+  measured deterministically on one core, hence core-count-invariant
+  — wall-clock parallel numbers are NOT gated (CI hosts may have a
+  single core).
 
 The baseline file and metric are picked from the fresh report's
 ``benchmark`` name; ``--baseline``/``--metric`` override.
@@ -44,6 +52,7 @@ _REPO = Path(__file__).resolve().parent.parent
 BENCHMARKS = {
     "hotpath_maintenance": (_REPO / "BENCH_hotpath.json", "speedup"),
     "backend_comparison": (_REPO / "BENCH_backends.json", "relative_throughput"),
+    "sharded_scaling": (_REPO / "BENCH_sharded.json", "projected_speedup"),
 }
 
 DEFAULT_BASELINE = BENCHMARKS["hotpath_maintenance"][0]
@@ -117,6 +126,55 @@ def compare(
     return failures
 
 
+def compare_sharded(
+    baseline: dict,
+    fresh: dict,
+    tolerance: float,
+    metric: str = "projected_speedup",
+) -> list[str]:
+    """The sharded-scaling report gates per (distribution, shard count)
+    rather than per (scale, stream); scales may differ between runs —
+    the projection is a ratio, invariant to batch and warehouse size
+    within the gate's tolerance."""
+    failures: list[str] = []
+    for distribution, base_record in sorted(baseline["distributions"].items()):
+        fresh_record = fresh.get("distributions", {}).get(distribution)
+        if fresh_record is None:
+            failures.append(f"{distribution}: missing from fresh run")
+            continue
+        failures += check_histograms(
+            f"baseline/{distribution}", base_record["shards"]
+        )
+        failures += check_histograms(
+            f"fresh/{distribution}", fresh_record["shards"]
+        )
+        for n_shards, base in sorted(
+            base_record["shards"].items(), key=lambda kv: int(kv[0])
+        ):
+            measured = fresh_record["shards"].get(n_shards)
+            if measured is None:
+                failures.append(
+                    f"{distribution}/{n_shards}: missing from fresh run"
+                )
+                continue
+            floor = base[metric] * (1.0 - tolerance)
+            verdict = "ok" if measured[metric] >= floor else "REGRESSION"
+            print(
+                f"  {distribution:<8} {n_shards:>2} shards  "
+                f"baseline {base[metric]:>5.2f}x  "
+                f"measured {measured[metric]:>5.2f}x  "
+                f"floor {floor:>5.2f}x  {verdict}"
+            )
+            if measured[metric] < floor:
+                failures.append(
+                    f"{distribution}/{n_shards}: {metric} "
+                    f"{measured[metric]:.2f}x fell below {floor:.2f}x "
+                    f"({base[metric]:.2f}x baseline - "
+                    f"{tolerance:.0%} tolerance)"
+                )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("fresh", help="JSON written by a fresh bench run")
@@ -154,7 +212,10 @@ def main(argv: list[str] | None = None) -> int:
         f"regression gate: benchmark={fresh.get('benchmark', '?')} "
         f"metric={metric} scale={args.scale} tolerance={args.tolerance:.0%}"
     )
-    failures = compare(baseline, fresh, args.scale, args.tolerance, metric)
+    if fresh.get("benchmark") == "sharded_scaling":
+        failures = compare_sharded(baseline, fresh, args.tolerance, metric)
+    else:
+        failures = compare(baseline, fresh, args.scale, args.tolerance, metric)
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

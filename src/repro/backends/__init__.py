@@ -8,9 +8,16 @@ in-memory interpreter; :class:`~repro.backends.sqlite.SQLiteBackend`
 compiles plans to SQL (:mod:`repro.backends.sqlgen`) and executes them
 on stdlib :mod:`sqlite3` with native transactional rollback.
 
+:class:`~repro.backends.sharded.ShardedBackend` composes N per-shard
+in-memory stores behind the same interface, partitioning the root
+auxiliary view by its group key (``"sharded:<N>"`` runs the shards
+serially in-process; ``"sharded:<N>:parallel"`` drives N persistent
+worker processes).
+
 Select a backend with ``Warehouse(..., backend="sqlite")``, the CLI's
 ``--backend`` flag, or the ``REPRO_BACKEND`` environment variable (used
-by CI to run the whole suite against SQLite).
+by CI to run the whole suite against SQLite and against serial
+sharding).
 """
 
 from repro.backends.base import (
@@ -19,6 +26,7 @@ from repro.backends.base import (
     BackendError,
     MemoryBackend,
     make_backend,
+    resolve_backend_name,
 )
 
 __all__ = [
@@ -27,4 +35,5 @@ __all__ = [
     "BackendError",
     "MemoryBackend",
     "make_backend",
+    "resolve_backend_name",
 ]

@@ -20,8 +20,9 @@ import os
 
 from repro.plan.executor import ExecutionContext
 
-#: Backends selectable by name (``sqlite`` also accepts ``sqlite:<path>``).
-BACKEND_NAMES = ("memory", "sqlite")
+#: Backends selectable by name (``sqlite`` also accepts ``sqlite:<path>``;
+#: ``sharded`` accepts ``sharded:<N>`` and ``sharded:<N>:parallel``).
+BACKEND_NAMES = ("memory", "sqlite", "sharded")
 
 #: Environment variable consulted when no backend is given explicitly.
 BACKEND_ENV = "REPRO_BACKEND"
@@ -35,6 +36,22 @@ class Backend:
     """Interface every execution backend implements."""
 
     name = "abstract"
+
+    def prepare_view(
+        self,
+        view,
+        database,
+        graph,
+        aux_set,
+        namespace: str = "",
+        append_only: bool = False,
+        hotpath: bool = True,
+    ) -> None:
+        """Called once per maintained view, *before* any
+        :meth:`make_materialization` for it: backends that need
+        view-level physical decisions (e.g. the sharded backend's
+        routing, derived from the join graph) hook in here.  The default
+        is a no-op."""
 
     def make_materialization(self, aux, use_indexes=True, namespace=""):
         """A live materialization of auxiliary view ``aux`` on this
@@ -90,6 +107,19 @@ class Backend:
         measure beyond the paper's attribute-width model."""
         return None
 
+    def describe(self, namespace: str = "") -> str | None:
+        """One-line physical description of how this backend executes
+        ``namespace`` (shown by ``explain``), or ``None`` when there is
+        nothing physical to report beyond the plans themselves."""
+        return None
+
+    def metrics_registry(self):
+        """A snapshot :class:`~repro.obs.metrics.MetricsRegistry` of
+        backend-level metrics (e.g. shard routing skew), or ``None``
+        when the backend keeps none.  Merged into
+        :meth:`Warehouse.metrics_registry`."""
+        return None
+
     def close(self) -> None:
         """Release backend resources."""
 
@@ -123,10 +153,33 @@ def resolve_backend_name(spec: str | None = None) -> str:
     return name
 
 
+def _parse_sharded_spec(rest: str, spec: str) -> tuple[int, bool]:
+    """``(n_shards, parallel)`` from the part after ``sharded:``."""
+    if not rest:
+        return 2, False
+    count, _, mode = rest.partition(":")
+    try:
+        n_shards = int(count)
+    except ValueError:
+        raise BackendError(
+            f"bad sharded spec {spec!r}: shard count {count!r} is not an "
+            "integer (expected 'sharded:<N>' or 'sharded:<N>:parallel')"
+        ) from None
+    if n_shards < 1:
+        raise BackendError(f"bad sharded spec {spec!r}: need at least 1 shard")
+    if mode not in ("", "serial", "parallel"):
+        raise BackendError(
+            f"bad sharded spec {spec!r}: mode {mode!r} is not 'serial' or "
+            "'parallel'"
+        )
+    return n_shards, mode == "parallel"
+
+
 def make_backend(spec=None) -> Backend:
     """Build a backend from a spec: an instance (returned as-is),
-    ``"memory"``, ``"sqlite"``, ``"sqlite:<path>"``, or ``None`` (defer
-    to the ``REPRO_BACKEND`` environment variable, default memory)."""
+    ``"memory"``, ``"sqlite"``, ``"sqlite:<path>"``, ``"sharded:<N>"``,
+    ``"sharded:<N>:parallel"``, or ``None`` (defer to the
+    ``REPRO_BACKEND`` environment variable, default memory)."""
     if isinstance(spec, Backend):
         return spec
     if spec is None:
@@ -138,6 +191,11 @@ def make_backend(spec=None) -> Backend:
         from repro.backends.sqlite import SQLiteBackend
 
         return SQLiteBackend(path=rest or ":memory:")
+    if name == "sharded":
+        from repro.backends.sharded import ShardedBackend
+
+        n_shards, parallel = _parse_sharded_spec(rest, spec)
+        return ShardedBackend(n_shards, parallel=parallel)
     raise BackendError(
         f"unknown backend {spec!r} (expected one of {BACKEND_NAMES})"
     )

@@ -437,6 +437,11 @@ class SQLiteBackend(Backend):
         # recycled while an entry is live.
         self._compiled: dict[int, tuple[object, CompiledQuery]] = {}
         self._delta_tables: dict[tuple[str, int], str] = {}
+        # Scratch tables known to exist outside any rolled-back scope,
+        # plus their prepared INSERT statements: staging a delta is then
+        # DELETE + executemany with no per-transaction DDL.
+        self._delta_ready: set[tuple[str, int]] = set()
+        self._delta_insert: dict[tuple[str, int], str] = {}
 
     # ------------------------------------------------------------------
     # Materializations.
@@ -549,16 +554,19 @@ class SQLiteBackend(Backend):
     def _delta_table(self, table: str, sign: int, schema: Schema) -> str:
         mark = "ins" if sign > 0 else "del"
         name = f"delta_{mark}_{_ident(table)}"
-        columns = ", ".join(
-            f'"{a.name}" {_SQL_TYPES[a.atype]}' for a in schema
-        )
-        # IF NOT EXISTS on every staging: a transaction rollback also
-        # rolls back the CREATE TABLE of a scratch table first staged
-        # inside that transaction's savepoint.
-        self._conn.execute(
-            f'CREATE TABLE IF NOT EXISTS "{name}" ({columns})'
-        )
-        self._delta_tables[(table, sign)] = name
+        key = (table, sign)
+        if key not in self._delta_ready:
+            columns = ", ".join(
+                f'"{a.name}" {_SQL_TYPES[a.atype]}' for a in schema
+            )
+            # IF NOT EXISTS: a rollback may have undone the CREATE of a
+            # scratch table first staged inside that savepoint (see
+            # _rollback_to, which conservatively forgets readiness).
+            self._conn.execute(
+                f'CREATE TABLE IF NOT EXISTS "{name}" ({columns})'
+            )
+            self._delta_ready.add(key)
+        self._delta_tables[key] = name
         return name
 
     def _bind_deltas(self, node, ctx: ExecutionContext) -> None:
@@ -575,10 +583,14 @@ class SQLiteBackend(Backend):
             name = self._delta_table(leaf.table, leaf.sign, delta.schema)
             self._conn.execute(f'DELETE FROM "{name}"')
             if delta.rows:
-                marks = ", ".join("?" * len(delta.schema))
-                self._conn.executemany(
-                    f'INSERT INTO "{name}" VALUES ({marks})', delta.rows
-                )
+                key = (leaf.table, leaf.sign)
+                insert = self._delta_insert.get(key)
+                if insert is None:
+                    marks = ", ".join("?" * len(delta.schema))
+                    insert = self._delta_insert[key] = (
+                        f'INSERT INTO "{name}" VALUES ({marks})'
+                    )
+                self._conn.executemany(insert, delta.rows)
             ctx.memo[marker] = True
 
     def _load_base_table(self, table: str, relation: Relation) -> str:
@@ -615,6 +627,9 @@ class SQLiteBackend(Backend):
         self._conn.execute(f"ROLLBACK TO {name}")
         self._conn.execute(f"RELEASE {name}")
         del self._open_savepoints[self._open_savepoints.index(name):]
+        # The rollback may have undone the CREATE TABLE of any scratch
+        # table first staged inside the savepoint; re-create on next use.
+        self._delta_ready.clear()
 
     def commit(self) -> None:
         if not self._open_savepoints:

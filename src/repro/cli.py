@@ -200,11 +200,27 @@ def _add_backend_flag(sub) -> None:
 
     sub.add_argument(
         "--backend",
-        choices=BACKEND_NAMES,
+        metavar="SPEC",
+        type=_backend_spec,
         default=None,
-        help="execution backend for the maintained warehouse "
-        "(default: the REPRO_BACKEND environment variable, else memory)",
+        help="execution backend for the maintained warehouse: one of "
+        f"{', '.join(BACKEND_NAMES)}, optionally parameterized "
+        "('sqlite:<path>', 'sharded:<N>', 'sharded:<N>:parallel'); "
+        "default: the REPRO_BACKEND environment variable, else memory",
     )
+
+
+def _backend_spec(value: str) -> str:
+    """Validate a ``--backend`` spec early, with an argparse-style error."""
+    import argparse
+
+    from repro.backends import BackendError, resolve_backend_name
+
+    try:
+        resolve_backend_name(value)
+    except BackendError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
 
 
 def _read(path: str) -> str:
@@ -303,7 +319,7 @@ def _cmd_explain(args) -> int:
     if args.plan:
         from repro.plan.explain import explain_view_plans
 
-        print(explain_view_plans(view, database))
+        print(explain_view_plans(view, database, backend=args.backend))
         return 0
     from repro.core.explain import explain_derivation
 

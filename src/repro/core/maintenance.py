@@ -370,6 +370,20 @@ def make_materialization(
     return ProjectionMaterialization(aux, use_indexes)
 
 
+def processing_order(graph: ExtendedJoinGraph) -> tuple[str, ...]:
+    """Tables root-to-leaves (deletion order; reversed for insertions).
+
+    Module-level so execution backends (the sharded backend's worker
+    processes) can rebuild the same order from the same join graph."""
+    order: list[str] = []
+    stack = [graph.root]
+    while stack:
+        table = stack.pop()
+        order.append(table)
+        stack.extend(reversed(graph.children(table)))
+    return tuple(order)
+
+
 def _delta_rows(transaction: Transaction) -> int:
     return sum(
         len(delta.inserted) + len(delta.deleted) for delta in transaction
@@ -465,6 +479,15 @@ class SelfMaintainer:
         self.perf = PerfStats()
         self.tracer = tracer
         self.policy = PlanPolicy.INDEXED if hotpath else PlanPolicy.NAIVE
+        self.backend.prepare_view(
+            view,
+            database,
+            self.graph,
+            self.aux_set,
+            namespace=view.name,
+            append_only=append_only,
+            hotpath=hotpath,
+        )
         self._materializations: dict[str, AuxMaterialization] = {
             aux.table: self.backend.make_materialization(
                 aux, use_indexes=hotpath, namespace=view.name
@@ -522,14 +545,7 @@ class SelfMaintainer:
     # ------------------------------------------------------------------
 
     def _processing_order(self) -> tuple[str, ...]:
-        """Tables root-to-leaves (deletion order; reversed for insertions)."""
-        order: list[str] = []
-        stack = [self._root]
-        while stack:
-            table = stack.pop()
-            order.append(table)
-            stack.extend(reversed(self.graph.children(table)))
-        return tuple(order)
+        return processing_order(self.graph)
 
     def _table_info(
         self, view: ViewDefinition, database: Database, table: str

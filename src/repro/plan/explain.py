@@ -89,7 +89,11 @@ def maintainer_plan_report(maintainer, database, annotator=None) -> str:
     Insertion plans are shown; deletion plans are mirror images (the
     delta scan's sign flips, the pipeline is identical).
     """
-    lines = [f"view {maintainer.view.name}", "  evaluation plan:"]
+    lines = [f"view {maintainer.view.name}"]
+    physical = maintainer.backend.describe(maintainer.view.name)
+    if physical is not None:
+        lines.append(f"  {physical}")
+    lines.append("  evaluation plan:")
     plan = view_plan(maintainer.view, database)
     lines.append(indent(plan.physical.render(annotator), "    "))
     lines.append("  maintenance plans (per inserted-delta table):")
@@ -114,13 +118,17 @@ def warehouse_plan_report(warehouse) -> str:
     return "\n\n".join(sections)
 
 
-def explain_view_plans(view, database) -> str:
+def explain_view_plans(view, database, backend=None) -> str:
     """Plans for one standalone view (``python -m repro explain --plan``).
 
     Builds an uninitialized maintainer — plans depend only on schemas
-    and the derivation, so no base data is loaded or read.
+    and the derivation, so no base data is loaded or read.  ``backend``
+    (a spec string or instance) adds that backend's physical line, e.g.
+    the sharded backend's derived routing.
     """
     from repro.core.maintenance import SelfMaintainer  # upward, lazy
 
-    maintainer = SelfMaintainer(view, database, initialize=False)
+    maintainer = SelfMaintainer(
+        view, database, initialize=False, backend=backend
+    )
     return maintainer_plan_report(maintainer, database)

@@ -151,6 +151,11 @@ class Warehouse:
         """The execution backend shared by every registered view."""
         return self._backend
 
+    def close(self) -> None:
+        """Release the backend's resources (database handles, the
+        sharded backend's worker processes)."""
+        self._backend.close()
+
     def maintainer(self, view_name: str) -> SelfMaintainer:
         return self._maintainers[view_name]
 
@@ -219,6 +224,9 @@ class Warehouse:
         merged = MetricsRegistry()
         for maintainer in self._maintainers.values():
             merged.merge(maintainer.perf.registry)
+        backend_registry = self._backend.metrics_registry()
+        if backend_registry is not None:
+            merged.merge(backend_registry)
         for name, value in compilecache.cache_stats().items():
             merged.gauge(f"repro_compile_cache_{name}").set(value)
         return merged
