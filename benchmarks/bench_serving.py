@@ -1,0 +1,154 @@
+"""Serving-layer load benchmark: snapshot-isolated reads under writes.
+
+Boots a :class:`WarehouseServer` over the retail warehouse, then drives
+it with concurrent reader threads while one writer streams the standard
+``mixed`` transaction stream through ``/apply`` (exercising micro-batch
+coalescing).  Every read is *proved* consistent afterwards: hash
+agreement across reads of the same ``(version, watermark)`` pair plus a
+full shadow replay of the stream through an offline maintainer over an
+identically-built database (see :mod:`repro.serving.loadgen`).
+
+Raw latency is hardware-bound, so the committed baseline gates on
+``consistent_fraction`` — the fraction of reads that passed every
+isolation check, which must be exactly 1.0 on any machine — plus an
+absolute ``read_p99_ms`` budget generous enough for a single-core CI
+host (the read path is O(|summary|) dict copying; the budget catches it
+becoming accidentally O(detail) or lock-coupled to the writer).
+
+Standalone::
+
+    python benchmarks/bench_serving.py --scale small
+
+writes ``BENCH_serving.json``.  Also collectable by pytest as a smoke
+test at the smallest scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from harness import SCALES, hotpath_view, make_stream, txn_histograms
+
+from repro.core.maintenance import SelfMaintainer
+from repro.serving.loadgen import check_against_shadow, run_load
+from repro.serving.server import WarehouseServer
+from repro.warehouse.warehouse import Warehouse
+from repro.workloads.retail import build_retail_database
+
+#: Absolute p99 budget for one snapshot read, wide enough for a loaded
+#: single-core CI container — a regression to O(detail-data) reads or a
+#: reader blocking on the writer blows through it regardless of host.
+READ_P99_BUDGET_MS = 250.0
+
+
+def run_scale(
+    scale: str,
+    transactions: int = 64,
+    readers: int = 4,
+    max_batch: int = 8,
+) -> dict:
+    """One load run at ``scale``; returns the gate-ready record."""
+    config = SCALES[scale]
+    database = build_retail_database(config)
+    view = hotpath_view(config.start_year)
+    stream = make_stream(database, "mixed", transactions=transactions)
+    warehouse = Warehouse(database, [view])
+    with WarehouseServer(warehouse, max_batch=max_batch) as server:
+        report, snapshots = run_load(
+            server.url, view.name, stream, readers=readers
+        )
+        with urllib.request.urlopen(server.url + "/metrics") as response:
+            exposition = response.read().decode()
+    serving_metrics = sorted(
+        {
+            line.split("{")[0].split(" ")[0]
+            for line in exposition.splitlines()
+            if line.startswith("repro_serving_")
+        }
+    )
+    histograms = txn_histograms(warehouse.maintainer(view.name).perf)
+    warehouse.close()
+    # The proof: replay the same stream offline over an identical
+    # database and compare every observed snapshot at its watermark.
+    shadow = SelfMaintainer(
+        hotpath_view(config.start_year), build_retail_database(config)
+    )
+    check_against_shadow(report, snapshots, shadow, stream)
+    record = report.summary()
+    record["read_p99_budget_ms"] = READ_P99_BUDGET_MS
+    record["readers"] = readers
+    record["max_batch"] = max_batch
+    record["serving_metrics"] = serving_metrics
+    record["histograms"] = histograms
+    return {
+        "fact_rows": config.fact_rows(),
+        "transactions_per_stream": transactions,
+        "streams": {"mixed": record},
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", choices=[*SCALES, "all"], default="small",
+        help="warehouse scale to serve (default: small)",
+    )
+    parser.add_argument(
+        "--transactions", type=int, default=64,
+        help="transactions streamed through /apply (default: 64)",
+    )
+    parser.add_argument(
+        "--readers", type=int, default=4,
+        help="concurrent reader threads (default: 4)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_serving.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+    scales = list(SCALES) if args.scale == "all" else [args.scale]
+    report = {"benchmark": "serving_load", "scales": {}}
+    for scale in scales:
+        print(f"== scale: {scale} ==")
+        measured = run_scale(
+            scale, transactions=args.transactions, readers=args.readers
+        )
+        report["scales"][scale] = measured
+        for kind, numbers in measured["streams"].items():
+            print(
+                f"  {kind:<13} reads {numbers['reads']:>6,}  "
+                f"p50 {numbers['read_p50_ms']:>7.2f}ms  "
+                f"p99 {numbers['read_p99_ms']:>7.2f}ms  "
+                f"torn {numbers['torn_reads']}  "
+                f"mismatches {numbers['replay_mismatches']}  "
+                f"consistent {numbers['consistent_fraction']:.3f}"
+            )
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+def test_serving_smoke():
+    """CI smoke: smallest scale, short stream, isolation proved."""
+    measured = run_scale("small", transactions=24, readers=2)
+    record = measured["streams"]["mixed"]
+    assert record["writes_applied"] == 24
+    assert record["torn_reads"] == 0
+    assert record["replay_mismatches"] == 0
+    assert record["consistent_fraction"] == 1.0
+    assert record["versions_checked"] >= 1
+    assert "repro_serving_queue_depth" in record["serving_metrics"]
+    assert "repro_serving_lag_transactions" in record["serving_metrics"]
+    assert "repro_serving_read_latency_ms_bucket" in record["serving_metrics"]
+    for name, summary in record["histograms"].items():
+        assert summary["count"] > 0, name
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

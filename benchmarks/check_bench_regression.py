@@ -18,7 +18,12 @@ on one machine, and the gate compares that:
   the 4-shard value is exactly the 4-over-1 scaling ratio; it is
   measured deterministically on one core, hence core-count-invariant
   — wall-clock parallel numbers are NOT gated (CI hosts may have a
-  single core).
+  single core);
+* ``bench_serving.py`` → ``BENCH_serving.json``, gated on
+  ``consistent_fraction`` (which must be *exactly* 1.0 — snapshot
+  isolation is correctness, not throughput, so no tolerance applies)
+  plus the absolute ``read_p99_ms`` budget each record carries
+  (``read_p99_budget_ms``), generous enough for a single-core CI host.
 
 The baseline file and metric are picked from the fresh report's
 ``benchmark`` name; ``--baseline``/``--metric`` override.
@@ -53,6 +58,7 @@ BENCHMARKS = {
     "hotpath_maintenance": (_REPO / "BENCH_hotpath.json", "speedup"),
     "backend_comparison": (_REPO / "BENCH_backends.json", "relative_throughput"),
     "sharded_scaling": (_REPO / "BENCH_sharded.json", "projected_speedup"),
+    "serving_load": (_REPO / "BENCH_serving.json", "consistent_fraction"),
 }
 
 DEFAULT_BASELINE = BENCHMARKS["hotpath_maintenance"][0]
@@ -175,6 +181,56 @@ def compare_sharded(
     return failures
 
 
+def compare_serving(
+    baseline: dict,
+    fresh: dict,
+    scale: str,
+    metric: str = "consistent_fraction",
+) -> list[str]:
+    """The serving gate: isolation is exact (no tolerance) and read p99
+    must stay inside the absolute budget the baseline record declares.
+    """
+    try:
+        base_streams = baseline["scales"][scale]["streams"]
+    except KeyError:
+        return [f"baseline has no scale {scale!r}"]
+    try:
+        fresh_streams = fresh["scales"][scale]["streams"]
+    except KeyError:
+        return [f"fresh run has no scale {scale!r}"]
+    failures = check_histograms("baseline", base_streams)
+    failures += check_histograms("fresh", fresh_streams)
+    for kind, base in sorted(base_streams.items()):
+        measured = fresh_streams.get(kind)
+        if measured is None:
+            failures.append(f"{kind}: missing from fresh run")
+            continue
+        fraction = measured.get(metric)
+        budget = base.get("read_p99_budget_ms")
+        p99 = measured.get("read_p99_ms")
+        iso_ok = fraction == 1.0
+        p99_ok = budget is None or (p99 is not None and p99 <= budget)
+        verdict = "ok" if iso_ok and p99_ok else "REGRESSION"
+        print(
+            f"  {kind:<13} {metric} {fraction}  "
+            f"p99 {p99}ms (budget {budget}ms)  "
+            f"torn {measured.get('torn_reads')}  "
+            f"mismatches {measured.get('replay_mismatches')}  {verdict}"
+        )
+        if not iso_ok:
+            failures.append(
+                f"{kind}: {metric} {fraction!r} != 1.0 "
+                f"(torn_reads={measured.get('torn_reads')}, "
+                f"replay_mismatches={measured.get('replay_mismatches')})"
+            )
+        if not p99_ok:
+            failures.append(
+                f"{kind}: read_p99_ms {p99} exceeds the "
+                f"{budget}ms budget"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("fresh", help="JSON written by a fresh bench run")
@@ -214,6 +270,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     if fresh.get("benchmark") == "sharded_scaling":
         failures = compare_sharded(baseline, fresh, args.tolerance, metric)
+    elif fresh.get("benchmark") == "serving_load":
+        failures = compare_serving(baseline, fresh, args.scale, metric)
     else:
         failures = compare(baseline, fresh, args.scale, args.tolerance, metric)
     if failures:

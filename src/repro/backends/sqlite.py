@@ -430,7 +430,13 @@ class SQLiteBackend(Backend):
 
     def __init__(self, path: str = ":memory:"):
         self.path = path
-        self._conn = sqlite3.connect(path, isolation_level=None)
+        # check_same_thread=False: the serving layer hands the backend
+        # from the thread that built the warehouse to the apply queue's
+        # single worker.  Access stays serialized — one writer at any
+        # time — which is the contract that flag requires.
+        self._conn = sqlite3.connect(
+            path, isolation_level=None, check_same_thread=False
+        )
         self._open_savepoints: list[str] = []
         self._savepoint_seq = 0
         # Keyed by id(node); the node reference keeps ids from being

@@ -35,9 +35,15 @@ Usage (``python -m repro <command> ...``)::
         Same stream; prints the merged metrics registry in Prometheus
         text exposition format and optionally snapshots it as JSONL.
 
-The three observability commands also run against the built-in retail
-star schema with ``--retail`` (no schema/view files needed), and share
-``--transactions``/``--seed``/``--rows-per-table`` stream knobs.
+    python -m repro serve --retail [--host H --port P --backend SPEC]
+        Run the warehouse as an HTTP service: snapshot-isolated
+        /query reads, a single-writer /apply queue with micro-batched
+        coalescing, /refresh barrier, /explain, Prometheus /metrics,
+        and /healthz.
+
+The observability commands and ``serve`` also run against the built-in
+retail star schema with ``--retail`` (no schema/view files needed), and
+share ``--transactions``/``--seed``/``--rows-per-table`` stream knobs.
 
 ``schema.sql`` holds CREATE TABLE statements (see ``repro.sql.ddl``);
 ``view.sql`` holds one CREATE VIEW statement in the GPSJ dialect.  Pass
@@ -163,6 +169,51 @@ def _build_parser() -> argparse.ArgumentParser:
             )
         _add_backend_flag(sub)
         sub.set_defaults(handler=handler)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the warehouse as an HTTP service (snapshot-isolated reads)",
+    )
+    serve.add_argument("--schema", help="CREATE TABLE file ('-' for stdin)")
+    serve.add_argument("--view", help="CREATE VIEW file ('-' for stdin)")
+    serve.add_argument(
+        "--retail",
+        action="store_true",
+        help="serve the built-in retail star schema instead of "
+        "--schema/--view",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8642,
+        help="TCP port (0 binds an ephemeral port; default 8642)",
+    )
+    serve.add_argument(
+        "--rows-per-table",
+        type=int,
+        default=24,
+        help="synthetic rows seeded per table when the schema has no data",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        help="apply-queue depth before submissions get 503 backpressure",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="transactions coalesced into one micro-batch per apply",
+    )
+    serve.add_argument(
+        "--retain-versions",
+        type=int,
+        default=64,
+        help="snapshot versions kept reconstructable for pinned readers",
+    )
+    _add_backend_flag(serve)
+    serve.set_defaults(handler=_cmd_serve)
 
     share = subparsers.add_parser(
         "share",
@@ -340,7 +391,8 @@ def _workload(args) -> tuple:
         )
 
         config = RetailConfig(
-            days=10, stores=3, products=30, products_sold_per_day=10
+            days=10, stores=3, products=30, products_sold_per_day=10,
+            start_year=1997,
         )
         return build_retail_database(config), product_sales_view()
     if not args.schema or not args.view:
@@ -433,6 +485,39 @@ def _cmd_metrics(args) -> int:
     if args.jsonl:
         registry.write_jsonl(args.jsonl)
         print(f"# registry snapshot written to {args.jsonl}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serving.server import WarehouseServer
+    from repro.warehouse.warehouse import Warehouse
+    from repro.workloads.streams import seed_database
+
+    database, view = _workload(args)
+    if all(not table.relation for table in database.tables):
+        seed_database(
+            database, rows_per_table=args.rows_per_table, seed=args.seed
+        )
+    warehouse = Warehouse(database, [view], backend=args.backend)
+    server = WarehouseServer(
+        warehouse,
+        host=args.host,
+        port=args.port,
+        max_pending=args.max_pending,
+        max_batch=args.max_batch,
+        retain_versions=args.retain_versions,
+    )
+    print(f"serving {view.name!r} on {server.url}")
+    print(
+        "endpoints: /query?view=" + view.name + "  /apply  /refresh  "
+        "/explain  /metrics  /healthz   (Ctrl-C stops)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        warehouse.close()
     return 0
 
 

@@ -756,6 +756,25 @@ class SelfMaintainer:
             result = select(result, self.view.having)
         return result
 
+    def summary_row(self, key: tuple) -> tuple | None:
+        """The current summary row for one group key, or ``None`` when
+        the group is absent (deleted or never created).  HAVING is *not*
+        applied — this is the raw maintained group, the unit the serving
+        layer's version patches carry (its snapshots apply HAVING at
+        read time, like :meth:`current_view` does)."""
+        state = self._groups.get(key)
+        if state is None:
+            return None
+        return self._state_row(key, state)
+
+    def group_rows(self) -> dict[tuple, tuple]:
+        """Every maintained group as ``{group key: summary row}`` (no
+        HAVING) — the full-state seed for a versioned snapshot store."""
+        return {
+            key: self._state_row(key, state)
+            for key, state in self._groups.items()
+        }
+
     def _state_row(self, key: tuple, state: GroupState) -> tuple:
         out: list[object] = []
         key_iter = iter(key)
@@ -904,7 +923,21 @@ class SelfMaintainer:
             # commits the backend itself once all participants succeed.
             undo.absorb(log)
         else:
-            self.backend.commit()
+            try:
+                self.backend.commit()
+            except Exception:
+                # A failed commit is a failed transaction: the in-memory
+                # views must not keep state the backend never made
+                # durable.
+                with _phase_span(trace, "rollback") as span, perf.timer(
+                    "rollback"
+                ):
+                    undone = log.rollback()
+                if span is not None:
+                    span.rows_out = undone
+                perf.count("rollbacks")
+                perf.count("rows_undone", undone)
+                raise
 
     def _validate_transaction(
         self, transaction: Transaction
@@ -950,8 +983,14 @@ class SelfMaintainer:
             return
         self._undo_saved_groups.add(key)
         state = self._groups.get(key)
+        # The redo record is the inverse flipped forward: it names the
+        # group this transaction touches, so a committed undo log reads
+        # as the exact set of changed summary keys (what the serving
+        # layer's copy-on-write snapshot chain publishes as a patch).
         if state is None:
-            undo.record(lambda k=key: self._groups.pop(k, None), rows=1)
+            undo.record(
+                lambda k=key: self._groups.pop(k, None), rows=1, redo=key
+            )
         else:
             snapshot = GroupState(
                 state.count, dict(state.sums), dict(state.values)
@@ -959,6 +998,7 @@ class SelfMaintainer:
             undo.record(
                 lambda k=key, s=snapshot: self._groups.__setitem__(k, s),
                 rows=1,
+                redo=key,
             )
 
     def _apply_validated(

@@ -19,7 +19,24 @@ which only runs on failure.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Hashable
+
+
+class RollbackError(Exception):
+    """One or more inverse operations failed during a multi-log rollback.
+
+    Raised by coordinators (:meth:`rollback_all`) that must keep rolling
+    back sibling logs even after one of them fails: every log is given
+    its chance, then the failures surface together.  ``failures`` holds
+    the exceptions in the order they occurred.
+    """
+
+    def __init__(self, failures: list[BaseException]):
+        self.failures = list(failures)
+        summary = "; ".join(f"{type(e).__name__}: {e}" for e in self.failures)
+        super().__init__(
+            f"{len(self.failures)} rollback step(s) failed: {summary}"
+        )
 
 
 class UndoLog:
@@ -28,13 +45,23 @@ class UndoLog:
     ``rows`` on :meth:`record` lets participants attribute a row count
     to each entry, so a rollback can report how many stored rows it
     restored (the ``rows_undone`` perf counter).
+
+    ``redo`` on :meth:`record` lets a participant attach a *forward*
+    description of the mutation being made undoable — e.g. the summary
+    group key a transaction touched.  Redo records are the inverse log
+    flipped around: after a successful transaction they name exactly
+    what changed, so a snapshot layer can publish a copy-on-write patch
+    for readers without diffing whole views.  They are discarded by
+    :meth:`rollback` (the change never happened) and preserved by
+    :meth:`commit` and :meth:`absorb`.
     """
 
-    __slots__ = ("_entries", "_rows")
+    __slots__ = ("_entries", "_rows", "_redo")
 
     def __init__(self):
         self._entries: list[Callable[[], None]] = []
         self._rows = 0
+        self._redo: list[Hashable] = []
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -44,10 +71,24 @@ class UndoLog:
         """Total row mutations the logged entries would undo."""
         return self._rows
 
-    def record(self, undo: Callable[[], None], rows: int = 0) -> None:
-        """Append an inverse operation (undoing ``rows`` row mutations)."""
+    @property
+    def redo_records(self) -> tuple[Hashable, ...]:
+        """Forward records attached via ``record(..., redo=...)``, in
+        the order the forward operations ran."""
+        return tuple(self._redo)
+
+    def record(
+        self,
+        undo: Callable[[], None],
+        rows: int = 0,
+        redo: Hashable | None = None,
+    ) -> None:
+        """Append an inverse operation (undoing ``rows`` row mutations),
+        optionally tagged with a forward ``redo`` record."""
         self._entries.append(undo)
         self._rows += rows
+        if redo is not None:
+            self._redo.append(redo)
 
     def rollback(self) -> int:
         """Run every inverse operation in reverse order; return the number
@@ -56,12 +97,14 @@ class UndoLog:
         rows = self._rows
         self._entries = []
         self._rows = 0
+        self._redo = []
         while entries:
             entries.pop()()
         return rows
 
     def commit(self) -> None:
-        """Discard the logged entries (the transaction is keeping them)."""
+        """Discard the logged entries (the transaction is keeping them).
+        Redo records survive: they describe the committed history."""
         self._entries.clear()
         self._rows = 0
 
@@ -71,8 +114,35 @@ class UndoLog:
         that commit or roll back several scopes as one."""
         self._entries.extend(other._entries)
         self._rows += other._rows
+        self._redo.extend(other._redo)
         other._entries = []
         other._rows = 0
+        other._redo = []
 
     def __repr__(self) -> str:  # pragma: no cover - display helper
         return f"UndoLog({len(self._entries)} entries, {self._rows} rows)"
+
+
+def rollback_all(logs, perf_for=None) -> None:
+    """Roll back every ``(participant, UndoLog)`` pair in ``logs`` —
+    already in the desired (reverse) order — *continuing past failures*
+    so one broken inverse never leaves sibling participants
+    un-rolled-back.  ``perf_for(participant)`` (optional) returns the
+    PerfStats to count ``rollbacks``/``rows_undone`` on.
+
+    Raises :class:`RollbackError` carrying every failure once all logs
+    have been attempted; returns silently when all rollbacks succeed.
+    """
+    failures: list[BaseException] = []
+    for participant, log in logs:
+        try:
+            undone = log.rollback()
+        except BaseException as error:  # noqa: BLE001 - keep unwinding
+            failures.append(error)
+            continue
+        if perf_for is not None:
+            perf = perf_for(participant)
+            perf.count("rollbacks")
+            perf.count("rows_undone", undone)
+    if failures:
+        raise RollbackError(failures)

@@ -37,6 +37,15 @@ LATENCY_MS_BUCKETS = (
     100.0, 250.0, 500.0, 1_000.0, 2_500.0, 10_000.0,
 )
 
+#: Bucket bounds for serving-layer read latency: finer sub-millisecond
+#: resolution at the low end (snapshot reads are dict copies, far
+#: cheaper than maintenance transactions) with enough headroom to see a
+#: reader stalling behind a writer.
+READ_LATENCY_MS_BUCKETS = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0,
+    50.0, 100.0, 250.0, 1_000.0,
+)
+
 #: Default bucket bounds for per-transaction delta sizes (rows).
 DELTA_ROWS_BUCKETS = (
     1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1_024, 4_096, 16_384, 65_536,

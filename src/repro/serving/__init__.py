@@ -1,0 +1,45 @@
+"""Warehouse-as-a-service: snapshot-isolated concurrent serving.
+
+The serving layer turns the single-threaded warehouse library into a
+concurrent system with one invariant: **readers never observe a torn
+view**.  Three pieces enforce it:
+
+* :mod:`repro.serving.snapshots` — copy-on-write version chains.  Every
+  committed warehouse transaction publishes an immutable patch (built
+  from the undo log's forward redo records), so a reader pinned at
+  version *v* reconstructs exactly the summary state at *v* without
+  taking any lock the writer holds.
+* :mod:`repro.serving.applyqueue` — the single-writer apply queue.  All
+  mutations funnel through one worker thread that micro-batches queued
+  transactions, coalesces them into one net transaction (the
+  deferred-maintenance coalesce path), applies it atomically, and only
+  then publishes the next snapshot version.
+* :mod:`repro.serving.server` — a stdlib ``ThreadingHTTPServer`` front
+  exposing ``/query``, ``/apply``, ``/refresh``, ``/explain``,
+  ``/metrics`` (Prometheus), and ``/healthz``.
+
+:mod:`repro.serving.loadgen` drives the server with concurrent readers
+and a sustained writer and *proves* snapshot consistency against a
+shadow replay — the harness behind ``benchmarks/bench_serving.py``.
+"""
+
+from repro.serving.applyqueue import ApplyQueue, ApplyTicket, BackpressureError
+from repro.serving.server import WarehouseServer, WarehouseService
+from repro.serving.snapshots import (
+    SnapshotError,
+    VersionedViewStore,
+    VersionGoneError,
+    ViewSnapshot,
+)
+
+__all__ = [
+    "ApplyQueue",
+    "ApplyTicket",
+    "BackpressureError",
+    "SnapshotError",
+    "VersionGoneError",
+    "VersionedViewStore",
+    "ViewSnapshot",
+    "WarehouseServer",
+    "WarehouseService",
+]

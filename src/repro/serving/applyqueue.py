@@ -1,0 +1,280 @@
+"""The single-writer apply queue: all mutations, one thread, one order.
+
+Concurrent clients submit transactions; exactly one worker thread
+drains them.  Each drain takes up to ``max_batch`` pending transactions
+and *coalesces* them into one net transaction (the same multiset
+arithmetic :class:`~repro.warehouse.deferred.DeferredMaintainer` uses
+for nightly refreshes — churn submitted by different clients between
+two snapshots cancels and is never propagated), applies it atomically
+through :meth:`Warehouse.apply`, and publishes one new snapshot version
+carrying the changed group keys the undo logs reported.
+
+Ordering and visibility guarantees:
+
+* transactions become visible in submission (accepted) order — the
+  queue is FIFO and the worker is single;
+* every published version covers a *prefix* of the accepted, applied
+  stream (the ``watermark``), so a reader holding ``(version,
+  watermark)`` knows exactly which transactions its snapshot reflects;
+* a failed micro-batch changes nothing: the warehouse rolls the whole
+  batch back (commit-path atomicity), no version is published, and
+  every ticket in the batch carries the error.
+
+Backpressure is a bounded queue: :meth:`submit` raises
+:class:`BackpressureError` when ``max_pending`` transactions are
+already waiting (HTTP maps it to 503), and the registry gauges
+``repro_serving_queue_depth`` / ``repro_serving_lag_transactions``
+expose the backlog and the accepted-minus-applied lag for scrapes.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+
+from repro.engine.deltas import Transaction, coalesce
+from repro.obs.metrics import DELTA_ROWS_BUCKETS, MetricsRegistry
+
+
+class BackpressureError(Exception):
+    """The apply queue is full; the client should retry later."""
+
+
+@dataclass
+class ApplyTicket:
+    """One submitted transaction's receipt.
+
+    ``seq`` is the accepted-order sequence number.  After the worker
+    processes the transaction, :attr:`version`/:attr:`watermark` hold
+    the snapshot version at which it became visible, or :attr:`error`
+    holds the exception that rejected its micro-batch.
+    """
+
+    seq: int
+    transaction: Transaction | None
+    _done: threading.Event = field(default_factory=threading.Event, repr=False)
+    version: int | None = None
+    watermark: int | None = None
+    error: BaseException | None = None
+
+    def _resolve(self, version: int, watermark: int) -> None:
+        self.version = version
+        self.watermark = watermark
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self.error = error
+        self._done.set()
+
+    def wait(self, timeout: float | None = None) -> "ApplyTicket":
+        """Block until the worker has processed this ticket; raises
+        ``TimeoutError`` on timeout and re-raises the batch's rejection
+        error if there was one."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"transaction seq={self.seq} not applied within {timeout}s"
+            )
+        if self.error is not None:
+            raise self.error
+        return self
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+
+_STOP = object()
+
+
+class ApplyQueue:
+    """Single-writer, micro-batching apply pipeline over a warehouse."""
+
+    def __init__(
+        self,
+        warehouse,
+        stores: dict,
+        registry: MetricsRegistry | None = None,
+        max_pending: int = 256,
+        max_batch: int = 16,
+    ):
+        """``stores`` maps view names to their
+        :class:`~repro.serving.snapshots.VersionedViewStore`; the worker
+        publishes one new version to every store per successful batch.
+        """
+        self._warehouse = warehouse
+        self._stores = stores
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._max_batch = max(1, max_batch)
+        self._queue: queue.Queue = queue.Queue(maxsize=max_pending)
+        self._seq_lock = threading.Lock()
+        self._accepted = 0
+        self._applied = 0
+        self._version = 0
+        self._last_error: str | None = None
+        self._thread: threading.Thread | None = None
+        self._depth_gauge = self.registry.gauge("repro_serving_queue_depth")
+        self._lag_gauge = self.registry.gauge("repro_serving_lag_transactions")
+        self._version_gauge = self.registry.gauge("repro_serving_version")
+        self._watermark_gauge = self.registry.gauge("repro_serving_txn_watermark")
+        self._batches = self.registry.counter("repro_serving_batches_total")
+        self._applied_counter = self.registry.counter(
+            "repro_serving_txns_applied_total"
+        )
+        self._rejected_counter = self.registry.counter(
+            "repro_serving_txns_rejected_total"
+        )
+        self._coalesced_counter = self.registry.counter(
+            "repro_serving_coalesced_rows_total"
+        )
+        self._batch_hist = self.registry.histogram(
+            "repro_serving_batch_txns", DELTA_ROWS_BUCKETS
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ApplyQueue":
+        if self._thread is not None:
+            raise RuntimeError("apply queue already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-apply-queue", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Drain what is queued, then stop the worker."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._queue.put(_STOP)
+        thread.join(timeout)
+        self._thread = None
+
+    # ------------------------------------------------------------------
+    # Client side.
+    # ------------------------------------------------------------------
+
+    def submit(self, transaction: Transaction) -> ApplyTicket:
+        """Enqueue one transaction; returns its ticket immediately.
+
+        Raises :class:`BackpressureError` when the queue is full —
+        nothing was accepted, the client may retry.
+        """
+        with self._seq_lock:
+            ticket = ApplyTicket(self._accepted + 1, transaction)
+            try:
+                self._queue.put_nowait(ticket)
+            except queue.Full:
+                raise BackpressureError(
+                    f"apply queue full ({self._queue.maxsize} pending)"
+                ) from None
+            self._accepted += 1
+        self._update_gauges()
+        return ticket
+
+    def flush(self, timeout: float | None = 30.0) -> ApplyTicket:
+        """A barrier: returns once everything accepted before the call
+        has been applied (or rejected).  The returned ticket's
+        ``version``/``watermark`` are the post-flush snapshot position.
+        """
+        with self._seq_lock:
+            ticket = ApplyTicket(self._accepted, None)
+        self._queue.put(ticket)  # barriers may block; they carry no data
+        return ticket.wait(timeout)
+
+    @property
+    def depth(self) -> int:
+        return self._queue.qsize()
+
+    @property
+    def accepted(self) -> int:
+        return self._accepted
+
+    @property
+    def applied(self) -> int:
+        return self._applied
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    @property
+    def last_error(self) -> str | None:
+        return self._last_error
+
+    # ------------------------------------------------------------------
+    # Worker side.
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            batch = [item]
+            while len(batch) < self._max_batch:
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _STOP:
+                    self._process(batch)
+                    return
+                batch.append(extra)
+            self._process(batch)
+
+    def _process(self, batch: list[ApplyTicket]) -> None:
+        writes = [t for t in batch if t.transaction is not None]
+        barriers = [t for t in batch if t.transaction is None]
+        if writes:
+            self._apply_batch(writes)
+        for ticket in barriers:
+            ticket._resolve(self._version, self._applied)
+        self._update_gauges()
+
+    def _apply_batch(self, writes: list[ApplyTicket]) -> None:
+        transactions = [t.transaction for t in writes]
+        rows_before = _stream_rows(transactions)
+        net = coalesce(transactions)
+        rows_net = sum(
+            len(d.inserted) + len(d.deleted) for d in net
+        )
+        try:
+            changed = (
+                self._warehouse.apply(net) if not net.empty else {}
+            )
+        except Exception as error:
+            self._rejected_counter.inc(len(writes))
+            self._last_error = f"{type(error).__name__}: {error}"
+            for ticket in writes:
+                ticket._fail(error)
+            return
+        self._batches.inc()
+        self._applied_counter.inc(len(writes))
+        self._coalesced_counter.inc(rows_before - rows_net)
+        self._batch_hist.observe(len(writes))
+        self._applied += len(writes)
+        self._version += 1
+        version, watermark = self._version, self._applied
+        for view, store in self._stores.items():
+            keys = changed.get(view, ())
+            maintainer = self._warehouse.maintainer(view)
+            patch = {key: maintainer.summary_row(key) for key in keys}
+            store.publish(version, watermark, patch)
+        self._version_gauge.set(version)
+        self._watermark_gauge.set(watermark)
+        for ticket in writes:
+            ticket._resolve(version, watermark)
+
+    def _update_gauges(self) -> None:
+        self._depth_gauge.set(self._queue.qsize())
+        self._lag_gauge.set(max(0, self._accepted - self._applied))
+
+
+def _stream_rows(transactions) -> int:
+    return sum(
+        len(d.inserted) + len(d.deleted) for t in transactions for d in t
+    )

@@ -1,0 +1,290 @@
+"""Load generation + snapshot-consistency checking for the serving layer.
+
+:func:`run_load` hammers a running :class:`WarehouseServer` with
+concurrent reader threads while one writer streams transactions, then
+*proves* every read was a consistent snapshot:
+
+* **hash agreement** — the first read observed at a ``(version,
+  watermark)`` pair records the canonical multiset of its rows; every
+  later read at the same pair must hash identically.  A torn read (a
+  reader seeing a half-applied batch) cannot agree with any committed
+  version's hash.
+* **shadow replay** — the same transaction stream is replayed, prefix
+  by prefix, through an offline :class:`SelfMaintainer` over an
+  identically-built database.  A snapshot stamped ``watermark=k`` must
+  equal the shadow state after exactly the first ``k`` applied
+  transactions — catching not just tears but wrong/missing
+  publications.
+
+Both checks are exact (float-quantized multiset equality), so
+``consistent_fraction`` in the report is a real end-to-end isolation
+measurement, not a smoke signal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import urllib.request
+from dataclasses import dataclass, field
+from time import perf_counter
+
+
+def _quantize(value):
+    if isinstance(value, float):
+        return round(value, 9)
+    return value
+
+
+def canonical_rows(rows) -> tuple:
+    """An order-insensitive, float-tolerant form of a row multiset."""
+    return tuple(
+        sorted((tuple(_quantize(v) for v in row) for row in rows), key=repr)
+    )
+
+
+def rows_digest(rows) -> str:
+    return hashlib.sha256(repr(canonical_rows(rows)).encode()).hexdigest()
+
+
+@dataclass
+class ReadSample:
+    """One /query response, reduced to what the checker needs."""
+
+    version: int
+    watermark: int
+    digest: str
+    latency_ms: float
+
+
+@dataclass
+class LoadReport:
+    """What a load run did and whether isolation held."""
+
+    reads: int = 0
+    read_errors: int = 0
+    writes_applied: int = 0
+    write_rows: int = 0
+    write_seconds: float = 0.0
+    elapsed_seconds: float = 0.0
+    torn_reads: int = 0
+    replay_mismatches: int = 0
+    monotonicity_violations: int = 0
+    versions_observed: int = 0
+    versions_checked: int = 0
+    latencies_ms: list[float] = field(default_factory=list)
+
+    @property
+    def consistent_fraction(self) -> float:
+        """Fraction of reads that passed every consistency check."""
+        if self.reads == 0:
+            return 1.0
+        bad = self.torn_reads + self.replay_mismatches
+        return max(0.0, 1.0 - bad / self.reads)
+
+    def latency_quantile(self, q: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def summary(self) -> dict:
+        return {
+            "reads": self.reads,
+            "read_errors": self.read_errors,
+            "writes_applied": self.writes_applied,
+            "write_rows": self.write_rows,
+            "reads_per_sec": round(
+                self.reads / self.elapsed_seconds, 2
+            ) if self.elapsed_seconds else 0.0,
+            "write_rows_per_sec": round(
+                self.write_rows / self.write_seconds, 2
+            ) if self.write_seconds else 0.0,
+            "read_p50_ms": round(self.latency_quantile(0.50), 4),
+            "read_p95_ms": round(self.latency_quantile(0.95), 4),
+            "read_p99_ms": round(self.latency_quantile(0.99), 4),
+            "torn_reads": self.torn_reads,
+            "replay_mismatches": self.replay_mismatches,
+            "monotonicity_violations": self.monotonicity_violations,
+            "versions_observed": self.versions_observed,
+            "versions_checked": self.versions_checked,
+            "consistent_fraction": self.consistent_fraction,
+        }
+
+
+def _get_json(url: str, timeout: float = 30.0) -> dict:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def _post_json(url: str, body: dict, timeout: float = 30.0) -> dict:
+    payload = json.dumps(body).encode()
+    request = urllib.request.Request(
+        url, data=payload, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def transaction_body(transaction) -> dict:
+    """A Transaction as the /apply JSON payload."""
+    return {
+        "deltas": [
+            {
+                "table": delta.table,
+                "inserted": [list(r) for r in delta.inserted],
+                "deleted": [list(r) for r in delta.deleted],
+            }
+            for delta in transaction
+        ]
+    }
+
+
+def run_load(
+    base_url: str,
+    view_name: str,
+    transactions,
+    readers: int = 4,
+    sync_every: int = 8,
+    read_timeout: float = 30.0,
+) -> tuple[LoadReport, dict[tuple[int, int], tuple]]:
+    """Drive the server: one writer streaming ``transactions``, plus
+    ``readers`` threads querying ``view_name`` as fast as they can.
+
+    The writer posts asynchronously (exercising micro-batch coalescing)
+    with a sync barrier every ``sync_every`` submissions to bound the
+    in-flight window, and finishes with ``/refresh`` so the final state
+    is published before readers stop.
+
+    Returns the report plus ``{(version, watermark): canonical rows}``
+    for every distinct snapshot observed — the shadow-replay input for
+    :func:`check_against_shadow`.
+    """
+    report = LoadReport()
+    lock = threading.Lock()
+    #: ``(version, watermark) -> [canonical rows, digest, observed reads]``
+    snapshots: dict[tuple[int, int], list] = {}
+    writer_done = threading.Event()
+    query_url = f"{base_url}/query?view={view_name}"
+
+    def read_loop() -> None:
+        last_version = -1
+        while not writer_done.is_set():
+            started = perf_counter()
+            try:
+                body = _get_json(query_url, timeout=read_timeout)
+            except Exception:
+                with lock:
+                    report.read_errors += 1
+                continue
+            latency_ms = (perf_counter() - started) * 1000.0
+            version = body["version"]
+            watermark = body["txn_watermark"]
+            rows = [tuple(r) for r in body["rows"]]
+            digest = rows_digest(rows)
+            key = (version, watermark)
+            with lock:
+                report.reads += 1
+                report.latencies_ms.append(latency_ms)
+                if version < last_version:
+                    report.monotonicity_violations += 1
+                entry = snapshots.get(key)
+                if entry is None:
+                    snapshots[key] = [canonical_rows(rows), digest, 1]
+                else:
+                    entry[2] += 1
+                    if entry[1] != digest:
+                        report.torn_reads += 1
+            last_version = max(last_version, version)
+
+    def write_loop() -> None:
+        started = perf_counter()
+        for index, transaction in enumerate(transactions, start=1):
+            body = transaction_body(transaction)
+            mode = "sync" if index % sync_every == 0 else "async"
+            _post_with_backoff(f"{base_url}/apply?mode={mode}", body)
+            with lock:
+                report.writes_applied += 1
+                report.write_rows += sum(
+                    len(d.inserted) + len(d.deleted) for d in transaction
+                )
+        _post_json(f"{base_url}/refresh", {})
+        with lock:
+            report.write_seconds = perf_counter() - started
+
+    threads = [
+        threading.Thread(target=read_loop, name=f"loadgen-reader-{i}")
+        for i in range(readers)
+    ]
+    writer = threading.Thread(target=write_loop, name="loadgen-writer")
+    overall = perf_counter()
+    for thread in threads:
+        thread.start()
+    writer.start()
+    writer.join()
+    # One deliberate post-refresh read so the final state is always in
+    # the checked set, even if every reader thread raced past it.
+    final = _get_json(query_url, timeout=read_timeout)
+    key = (final["version"], final["txn_watermark"])
+    rows = [tuple(r) for r in final["rows"]]
+    with lock:
+        if key not in snapshots:
+            snapshots[key] = [canonical_rows(rows), rows_digest(rows), 1]
+    writer_done.set()
+    for thread in threads:
+        thread.join()
+    report.elapsed_seconds = perf_counter() - overall
+    report.versions_observed = len(snapshots)
+    return report, snapshots
+
+
+def check_against_shadow(
+    report: LoadReport,
+    snapshots: dict[tuple[int, int], list],
+    shadow_maintainer,
+    transactions,
+) -> LoadReport:
+    """Replay ``transactions`` through ``shadow_maintainer`` and verify
+    every observed snapshot equals the shadow state at its watermark.
+
+    ``shadow_maintainer`` must be built over a database identical to the
+    served warehouse's initial state; ``transactions`` must be the same
+    stream, in submission order.  A mismatching snapshot charges every
+    read that observed it, so ``consistent_fraction`` weighs by
+    exposure.  Mutates and returns ``report``.
+    """
+    by_watermark: dict[int, list[tuple[int, int]]] = {}
+    for key in snapshots:
+        by_watermark.setdefault(key[1], []).append(key)
+    applied = 0
+    for watermark in sorted(by_watermark):
+        while applied < watermark and applied < len(transactions):
+            shadow_maintainer.apply(transactions[applied])
+            applied += 1
+        expected = canonical_rows(shadow_maintainer.current_view().rows)
+        for key in by_watermark[watermark]:
+            rows, __, observed = snapshots[key]
+            report.versions_checked += 1
+            if rows != expected:
+                report.replay_mismatches += observed
+    return report
+
+
+def _post_with_backoff(
+    url: str, body: dict, attempts: int = 50, delay: float = 0.02
+) -> dict:
+    """POST, retrying 503 backpressure with a short sleep — the writer
+    yields to the apply queue instead of failing the run."""
+    import time
+    import urllib.error
+
+    for attempt in range(attempts):
+        try:
+            return _post_json(url, body)
+        except urllib.error.HTTPError as error:
+            if error.code != 503 or attempt == attempts - 1:
+                raise
+            time.sleep(delay)
+    raise AssertionError("unreachable")  # pragma: no cover

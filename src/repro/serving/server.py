@@ -1,0 +1,385 @@
+"""The stdlib HTTP front: warehouse-as-a-service.
+
+:class:`WarehouseService` owns the moving parts — the warehouse, one
+:class:`~repro.serving.snapshots.VersionedViewStore` per registered
+view, and the single-writer
+:class:`~repro.serving.applyqueue.ApplyQueue` — and implements each
+endpoint as a plain method returning ``(status, content-type, body)``,
+so tests can drive the service without sockets.
+:class:`WarehouseServer` binds it to a ``ThreadingHTTPServer``.
+
+Endpoints::
+
+    GET  /healthz                  liveness + versions + backlog
+    GET  /query?view=V[&version=N] snapshot read (rows + version pin)
+    POST /apply[?mode=sync|async]  submit a transaction (JSON deltas)
+    POST /refresh                  barrier: drain the apply queue
+    GET  /explain?view=V           the view's physical plans (text)
+    GET  /metrics                  Prometheus text exposition
+
+Read isolation: ``/query`` touches only the immutable snapshot chain —
+never the maintainer the writer is mutating — so any number of reader
+threads proceed while a transaction applies.  ``/metrics`` and
+``/explain`` do read writer-side structures; they snapshot under a
+short retry loop because the only hazard is a dict growing mid-export
+(CPython raises ``RuntimeError``; the next attempt sees a consistent
+picture).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
+from urllib.parse import parse_qs, urlsplit
+
+from repro.engine.deltas import Delta, Transaction
+from repro.obs.metrics import MetricsRegistry, READ_LATENCY_MS_BUCKETS
+from repro.serving.applyqueue import ApplyQueue, BackpressureError
+from repro.serving.snapshots import (
+    SnapshotError,
+    VersionedViewStore,
+    VersionGoneError,
+)
+
+
+class ServiceError(Exception):
+    """A client error with an HTTP status attached."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class WarehouseService:
+    """The endpoint logic, independent of the HTTP transport."""
+
+    def __init__(
+        self,
+        warehouse,
+        max_pending: int = 256,
+        max_batch: int = 16,
+        retain_versions: int = 64,
+        sync_timeout: float = 30.0,
+    ):
+        self.warehouse = warehouse
+        self.registry = MetricsRegistry()
+        self._sync_timeout = sync_timeout
+        self._obs_lock = threading.Lock()
+        self._read_latency = self.registry.histogram(
+            "repro_serving_read_latency_ms", READ_LATENCY_MS_BUCKETS
+        )
+        self._read_counter = self.registry.counter("repro_serving_reads_total")
+        self.stores: dict[str, VersionedViewStore] = {}
+        for name in warehouse.view_names:
+            maintainer = warehouse.maintainer(name)
+            self.stores[name] = VersionedViewStore(
+                name,
+                maintainer.reconstructor.output_schema,
+                maintainer.group_rows(),
+                having=maintainer.view.having,
+                retain=retain_versions,
+            )
+        self.queue = ApplyQueue(
+            warehouse,
+            self.stores,
+            registry=self.registry,
+            max_pending=max_pending,
+            max_batch=max_batch,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def start(self) -> "WarehouseService":
+        self.queue.start()
+        return self
+
+    def stop(self) -> None:
+        self.queue.stop()
+
+    # ------------------------------------------------------------------
+    # Endpoints.
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> tuple[int, str, bytes]:
+        body = {
+            "status": "ok",
+            "views": {
+                name: {
+                    "version": store.latest_version,
+                    "txn_watermark": store.latest_watermark,
+                }
+                for name, store in self.stores.items()
+            },
+            "queue_depth": self.queue.depth,
+            "accepted": self.queue.accepted,
+            "applied": self.queue.applied,
+            "last_error": self.queue.last_error,
+        }
+        return 200, "application/json", _json_bytes(body)
+
+    def query(self, view: str, version: int | None = None) -> tuple[int, str, bytes]:
+        store = self.stores.get(view)
+        if store is None:
+            raise ServiceError(404, f"unknown view {view!r}")
+        started = perf_counter()
+        try:
+            snapshot = store.snapshot(version)
+        except VersionGoneError as error:
+            raise ServiceError(410, str(error)) from None
+        except SnapshotError as error:
+            raise ServiceError(404, str(error)) from None
+        relation = snapshot.relation()
+        body = {
+            "view": view,
+            "version": snapshot.version,
+            "txn_watermark": snapshot.txn_watermark,
+            "columns": list(snapshot.columns),
+            "rows": [list(row) for row in relation.rows],
+        }
+        payload = _json_bytes(body)
+        elapsed_ms = (perf_counter() - started) * 1000.0
+        # Histograms are not atomic under concurrent observes; reads come
+        # from many handler threads, so serialize the observation.
+        with self._obs_lock:
+            self._read_latency.observe(elapsed_ms)
+            self._read_counter.inc()
+        return 200, "application/json", payload
+
+    def apply(self, payload: bytes, mode: str = "sync") -> tuple[int, str, bytes]:
+        if mode not in ("sync", "async"):
+            raise ServiceError(400, f"mode must be sync or async, not {mode!r}")
+        transaction = _parse_transaction(payload)
+        try:
+            ticket = self.queue.submit(transaction)
+        except BackpressureError as error:
+            raise ServiceError(503, str(error)) from None
+        if mode == "async":
+            body = {"seq": ticket.seq, "accepted": True}
+            return 202, "application/json", _json_bytes(body)
+        try:
+            ticket.wait(self._sync_timeout)
+        except TimeoutError as error:
+            raise ServiceError(504, str(error)) from None
+        except Exception as error:
+            raise ServiceError(
+                422, f"transaction rejected: {type(error).__name__}: {error}"
+            ) from None
+        body = {
+            "seq": ticket.seq,
+            "version": ticket.version,
+            "txn_watermark": ticket.watermark,
+        }
+        return 200, "application/json", _json_bytes(body)
+
+    def refresh(self) -> tuple[int, str, bytes]:
+        try:
+            ticket = self.queue.flush(self._sync_timeout)
+        except TimeoutError as error:
+            raise ServiceError(504, str(error)) from None
+        body = {"version": ticket.version, "txn_watermark": ticket.watermark}
+        return 200, "application/json", _json_bytes(body)
+
+    def explain(self, view: str | None = None) -> tuple[int, str, bytes]:
+        if view is not None and view not in self.stores:
+            raise ServiceError(404, f"unknown view {view!r}")
+        text = _retry_on_runtime_error(self.warehouse.explain_plans)
+        return 200, "text/plain; charset=utf-8", text.encode()
+
+    def metrics(self) -> tuple[int, str, bytes]:
+        def scrape() -> str:
+            merged = self.warehouse.metrics_registry()
+            with self._obs_lock:
+                merged.merge(self.registry)
+            return merged.render_prometheus()
+
+        text = _retry_on_runtime_error(scrape)
+        return 200, "text/plain; version=0.0.4; charset=utf-8", text.encode()
+
+
+def _retry_on_runtime_error(fn, attempts: int = 5):
+    """Run ``fn``, retrying the rare 'dict changed size during
+    iteration' race between a scrape and the writer thread."""
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except RuntimeError:
+            if attempt == attempts - 1:
+                raise
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _json_bytes(value) -> bytes:
+    return json.dumps(value).encode()
+
+
+def _parse_transaction(payload: bytes) -> Transaction:
+    try:
+        body = json.loads(payload or b"{}")
+    except json.JSONDecodeError as error:
+        raise ServiceError(400, f"invalid JSON: {error}") from None
+    deltas = body.get("deltas")
+    if not isinstance(deltas, list) or not deltas:
+        raise ServiceError(400, "body must carry a non-empty 'deltas' list")
+    parsed = []
+    for entry in deltas:
+        if not isinstance(entry, dict) or "table" not in entry:
+            raise ServiceError(400, "each delta needs a 'table'")
+        try:
+            parsed.append(
+                Delta(
+                    str(entry["table"]),
+                    tuple(tuple(r) for r in entry.get("inserted", ())),
+                    tuple(tuple(r) for r in entry.get("deleted", ())),
+                )
+            )
+        except TypeError as error:
+            raise ServiceError(400, f"bad delta rows: {error}") from None
+    try:
+        return Transaction.of(*parsed)
+    except ValueError as error:
+        raise ServiceError(400, str(error)) from None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the service; one instance per request."""
+
+    service: WarehouseService  # installed by WarehouseServer
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        url = urlsplit(self.path)
+        params = parse_qs(url.query)
+        try:
+            if url.path == "/healthz":
+                self._reply(*self.service.healthz())
+            elif url.path == "/metrics":
+                self._reply(*self.service.metrics())
+            elif url.path == "/query":
+                view = _param(params, "view")
+                version = _param(params, "version", optional=True)
+                pinned = int(version) if version is not None else None
+                self._reply(*self.service.query(view, pinned))
+            elif url.path == "/explain":
+                view = _param(params, "view", optional=True)
+                self._reply(*self.service.explain(view))
+            else:
+                self._error(404, f"no such endpoint: {url.path}")
+        except ServiceError as error:
+            self._error(error.status, str(error))
+        except Exception as error:  # pragma: no cover - defensive boundary
+            self._error(500, f"{type(error).__name__}: {error}")
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        url = urlsplit(self.path)
+        params = parse_qs(url.query)
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = self.rfile.read(length) if length else b""
+            if url.path == "/apply":
+                mode = _param(params, "mode", optional=True) or "sync"
+                self._reply(*self.service.apply(payload, mode))
+            elif url.path == "/refresh":
+                self._reply(*self.service.refresh())
+            else:
+                self._error(404, f"no such endpoint: {url.path}")
+        except ServiceError as error:
+            self._error(error.status, str(error))
+        except Exception as error:  # pragma: no cover - defensive boundary
+            self._error(500, f"{type(error).__name__}: {error}")
+
+    # ------------------------------------------------------------------
+
+    def _reply(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(
+            status, "application/json", _json_bytes({"error": message})
+        )
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence the default stderr-per-request noise."""
+
+
+def _param(params: dict, name: str, optional: bool = False) -> str | None:
+    values = params.get(name)
+    if not values:
+        if optional:
+            return None
+        raise ServiceError(400, f"missing query parameter {name!r}")
+    return values[0]
+
+
+class WarehouseServer:
+    """A :class:`WarehouseService` bound to a ``ThreadingHTTPServer``.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`port`/:attr:`url`).  Use as a context manager::
+
+        with WarehouseServer(warehouse) as server:
+            urllib.request.urlopen(server.url + "/healthz")
+    """
+
+    def __init__(
+        self,
+        warehouse,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **service_options,
+    ):
+        self.service = WarehouseService(warehouse, **service_options)
+        handler = type("BoundHandler", (_Handler,), {"service": self.service})
+        self._http = ThreadingHTTPServer((host, port), handler)
+        self._http.daemon_threads = True
+        self.host, self.port = self._http.server_address[:2]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "WarehouseServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self.service.start()
+        self._thread = threading.Thread(
+            target=self._http.serve_forever,
+            name="repro-serving-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._http.shutdown()
+        self._thread.join(10)
+        self._thread = None
+        self._http.server_close()
+        self.service.stop()
+
+    def serve_forever(self) -> None:
+        """Run in the calling thread until interrupted (the CLI path)."""
+        self.service.start()
+        try:
+            self._http.serve_forever()
+        finally:
+            self._http.server_close()
+            self.service.stop()
+
+    def __enter__(self) -> "WarehouseServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

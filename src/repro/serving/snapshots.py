@@ -1,0 +1,229 @@
+"""Copy-on-write version chains: snapshot isolation for view readers.
+
+A :class:`VersionedViewStore` holds one maintained view's summary state
+as an immutable *base* mapping (``{group key: summary row}``) plus a
+chain of forward *patches*, one per published version.  A patch is the
+transaction's undo log flipped around: the redo records name exactly
+the group keys the transaction touched, and the patch carries their
+post-transaction rows (``None`` = group deleted).
+
+Publication is single-writer (the apply queue) and readers never block
+on it: the writer assembles a fresh immutable ``_Published`` record and
+swaps it in with one attribute store, so a concurrent reader either
+sees the old chain or the new one — never a half-built state.  Reads
+reconstruct the pinned version by applying the chained patches to a
+copy of the base, which costs O(|base| + changed rows); the chain is
+periodically *compacted* (old patches folded into a new base) so it
+never grows past ``retain`` links.
+
+Versions older than the retention window cannot be reconstructed any
+more (their patches were folded away); pinning one raises
+:class:`VersionGoneError` — the HTTP layer maps it to ``410 Gone``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import NamedTuple
+
+from repro.engine.operators import select
+from repro.engine.relation import Relation
+from repro.engine.schema import Schema
+
+
+class SnapshotError(Exception):
+    """A snapshot request the store cannot serve."""
+
+
+class VersionGoneError(SnapshotError):
+    """The pinned version predates the store's retention window."""
+
+
+class _Patch(NamedTuple):
+    """One published version: the rows that changed getting there."""
+
+    version: int
+    #: Transactions (by accepted order) included up to this version.
+    watermark: int
+    #: ``{group key: summary row | None}``; None deletes the group.
+    changes: dict
+
+
+class _Published(NamedTuple):
+    """The store's full immutable state as readers see it."""
+
+    version: int
+    watermark: int
+    base_version: int
+    base_watermark: int
+    base: dict
+    patches: tuple[_Patch, ...]
+
+
+class ViewSnapshot:
+    """One view's summary state pinned at one version (immutable).
+
+    ``rows_by_key`` is the raw maintained group map; :meth:`relation`
+    applies the view's HAVING clause, matching
+    :meth:`~repro.core.maintenance.SelfMaintainer.current_view`.
+    """
+
+    __slots__ = ("view", "version", "txn_watermark", "schema", "_rows_by_key", "_having")
+
+    def __init__(self, view, version, watermark, schema, rows_by_key, having):
+        self.view = view
+        self.version = version
+        self.txn_watermark = watermark
+        self.schema = schema
+        self._rows_by_key = rows_by_key
+        self._having = having
+
+    def rows(self) -> list[tuple]:
+        """The summary rows at this version (HAVING applied)."""
+        return self.relation().rows
+
+    def relation(self) -> Relation:
+        result = Relation(
+            self.schema, list(self._rows_by_key.values()), validate=False
+        )
+        if self._having is not None:
+            result = select(result, self._having)
+        return result
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.schema.attributes)
+
+    def __len__(self) -> int:
+        return len(self._rows_by_key)
+
+
+class VersionedViewStore:
+    """The copy-on-write version chain for one maintained view.
+
+    One writer (the apply queue's worker) calls :meth:`publish`; any
+    number of reader threads call :meth:`snapshot` concurrently.  The
+    only shared mutable cell is ``self._published``, replaced atomically
+    under ``_lock`` (the lock exists to order compaction against
+    publication — readers never take it; they read the attribute once
+    and work on the immutable record it points to).
+    """
+
+    def __init__(
+        self,
+        view: str,
+        schema: Schema,
+        rows_by_key: dict,
+        having=None,
+        retain: int = 64,
+    ):
+        if retain < 1:
+            raise ValueError("retain must be at least 1")
+        self.view = view
+        self.schema = schema
+        self._having = having
+        self._retain = retain
+        self._lock = threading.Lock()
+        self._published = _Published(
+            version=0,
+            watermark=0,
+            base_version=0,
+            base_watermark=0,
+            base=dict(rows_by_key),
+            patches=(),
+        )
+
+    # ------------------------------------------------------------------
+    # Writer side.
+    # ------------------------------------------------------------------
+
+    def publish(self, version: int, watermark: int, changes: dict) -> None:
+        """Publish one new version (writer thread only).
+
+        ``changes`` maps the group keys the committed transaction
+        touched to their post-transaction rows (``None`` = deleted) —
+        i.e. the undo log's redo records resolved against the
+        maintainer *after* the commit.  Versions must be published in
+        strictly increasing order.
+        """
+        with self._lock:
+            current = self._published
+            if version <= current.version:
+                raise SnapshotError(
+                    f"version {version} already published "
+                    f"(latest is {current.version})"
+                )
+            patches = current.patches + (_Patch(version, watermark, dict(changes)),)
+            base, base_version, base_watermark = (
+                current.base, current.base_version, current.base_watermark,
+            )
+            if len(patches) > self._retain:
+                # Compact: fold the oldest patches into a *new* base dict
+                # (the old base stays untouched for readers already
+                # holding the previous _Published record).
+                fold = patches[: -self._retain]
+                patches = patches[-self._retain:]
+                base = dict(base)
+                for patch in fold:
+                    _apply_changes(base, patch.changes)
+                base_version = fold[-1].version
+                base_watermark = fold[-1].watermark
+            self._published = _Published(
+                version=version,
+                watermark=watermark,
+                base_version=base_version,
+                base_watermark=base_watermark,
+                base=base,
+                patches=patches,
+            )
+
+    # ------------------------------------------------------------------
+    # Reader side.
+    # ------------------------------------------------------------------
+
+    @property
+    def latest_version(self) -> int:
+        return self._published.version
+
+    @property
+    def latest_watermark(self) -> int:
+        return self._published.watermark
+
+    def snapshot(self, version: int | None = None) -> ViewSnapshot:
+        """The view pinned at ``version`` (default: latest published).
+
+        Safe from any thread: reconstruction works entirely on the
+        immutable published record, so a writer publishing version
+        ``v+1`` mid-call cannot perturb a reader pinned at ``v``.
+        """
+        published = self._published  # one atomic read; immutable after
+        pinned = published.version if version is None else version
+        if pinned < published.base_version:
+            raise VersionGoneError(
+                f"version {pinned} of {self.view!r} is beyond the "
+                f"retention window (oldest reconstructable: "
+                f"{published.base_version})"
+            )
+        if pinned > published.version:
+            raise SnapshotError(
+                f"version {pinned} of {self.view!r} is not published yet "
+                f"(latest: {published.version})"
+            )
+        rows = dict(published.base)
+        watermark = published.base_watermark
+        for patch in published.patches:
+            if patch.version > pinned:
+                break
+            _apply_changes(rows, patch.changes)
+            watermark = patch.watermark
+        return ViewSnapshot(
+            self.view, pinned, watermark, self.schema, rows, self._having
+        )
+
+
+def _apply_changes(rows: dict, changes: dict) -> None:
+    for key, row in changes.items():
+        if row is None:
+            rows.pop(key, None)
+        else:
+            rows[key] = row

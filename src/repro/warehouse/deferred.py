@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from repro.core.maintenance import SelfMaintainer
 from repro.engine.deltas import Transaction, coalesce
 from repro.engine.relation import Relation
-from repro.engine.undolog import UndoLog
+from repro.engine.undolog import UndoLog, rollback_all
 from repro.perf import REFRESH_PROPAGATED_ROWS
 
 
@@ -107,17 +107,20 @@ class DeferredMaintainer:
                     log = UndoLog()
                     self._inner.apply(transaction, undo=log)
                     applied.append(log)
+                # Every per-transaction scope succeeded; commit them on
+                # the backend in one step (the coalesced path commits
+                # inside the standalone apply above).  A commit failure
+                # is treated exactly like an apply failure: the applied
+                # logs roll back and the buffer stays intact, so a
+                # retried refresh() never double-applies.
+                self._inner.backend.commit()
             except Exception:
                 perf = self._inner.perf
-                for log in reversed(applied):
-                    undone = log.rollback()
-                    perf.count("rollbacks")
-                    perf.count("rows_undone", undone)
+                rollback_all(
+                    ((perf, log) for log in reversed(applied)),
+                    perf_for=lambda p: p,
+                )
                 raise
-            # Every per-transaction scope succeeded; commit them on the
-            # backend in one step (the coalesced path commits inside
-            # the standalone apply above).
-            self._inner.backend.commit()
         self._buffer = []
         self._pending_gauge.set(0)
         self._inner.perf.observe(REFRESH_PROPAGATED_ROWS, propagated_rows)
@@ -137,6 +140,18 @@ class DeferredMaintainer:
     def detail_size_bytes(self, allow_stale: bool = False) -> int:
         self._check_fresh(allow_stale)
         return self._inner.detail_size_bytes()
+
+    def close(self) -> None:
+        """Release the wrapped maintainer's backend resources (database
+        handles, sharded worker processes).  Buffered transactions are
+        *not* flushed — call :meth:`refresh` first if they must land."""
+        self._inner.backend.close()
+
+    def __enter__(self) -> "DeferredMaintainer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def _check_fresh(self, allow_stale: bool) -> None:
         if self._buffer and not allow_stale:

@@ -18,7 +18,7 @@ from repro.core.view import ViewDefinition
 from repro.engine import compilecache
 from repro.engine.deltas import Transaction
 from repro.engine.relation import Relation
-from repro.engine.undolog import UndoLog
+from repro.engine.undolog import UndoLog, rollback_all
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.perf import PerfStats
@@ -47,6 +47,17 @@ class StorageReport:
     @property
     def total_bytes(self) -> int:
         return self.summary_bytes + self.detail_bytes
+
+
+def _unique_keys(records) -> tuple:
+    """Deduplicate redo records, preserving first-touch order."""
+    seen: set = set()
+    out: list = []
+    for record in records:
+        if record not in seen:
+            seen.add(record)
+            out.append(record)
+    return tuple(out)
 
 
 class Warehouse:
@@ -101,21 +112,32 @@ class Warehouse:
     # Maintenance.
     # ------------------------------------------------------------------
 
-    def apply(self, transaction: Transaction) -> None:
+    def apply(self, transaction: Transaction) -> dict[str, tuple]:
         """Propagate one source transaction into every registered view,
         atomically across views.
 
         Maintainers run in registration order; if any of them rejects
-        the transaction, the views already updated in this call are
-        rolled back (in reverse order) before the exception propagates,
-        so the warehouse never exposes a state where some summary tables
-        reflect a source transaction and others do not.  The failing
-        maintainer rolls its own partial work back itself.
+        the transaction — or the backend's :meth:`commit` fails after
+        every maintainer succeeded — the views already updated in this
+        call are rolled back (in reverse order) before the exception
+        propagates, so the warehouse never exposes a state where the
+        in-memory summary tables reflect a source transaction the
+        backend never committed.  The failing maintainer rolls its own
+        partial work back itself.  If an individual rollback step
+        itself raises, the remaining logs are still rolled back and a
+        :class:`~repro.engine.undolog.RollbackError` aggregating the
+        failures propagates (chained to the original cause).
 
         One shared plan-result cache spans all maintainers of the call:
         structurally identical delta subplans (two views reading the
         same coalesced, locally-reduced delta of a table) execute once
         and the other maintainers reuse the result.
+
+        Returns ``{view name: (changed group keys...)}`` — the forward
+        redo records the transaction's undo logs collected, i.e. exactly
+        the summary groups whose rows changed.  The serving layer's
+        snapshot store turns this into copy-on-write version patches;
+        other callers may ignore the return value.
         """
         applied: list[tuple[SelfMaintainer, UndoLog]] = []
         shared: dict = {}
@@ -124,13 +146,17 @@ class Warehouse:
                 log = UndoLog()
                 maintainer.apply(transaction, undo=log, shared=shared)
                 applied.append((maintainer, log))
+            self._backend.commit()
         except Exception:
-            for maintainer, log in reversed(applied):
-                undone = log.rollback()
-                maintainer.perf.count("rollbacks")
-                maintainer.perf.count("rows_undone", undone)
+            rollback_all(
+                reversed(applied), perf_for=lambda m: m.perf
+            )
             raise
-        self._backend.commit()
+        changed: dict[str, tuple] = {}
+        for maintainer, log in applied:
+            log.commit()
+            changed[maintainer.view.name] = _unique_keys(log.redo_records)
+        return changed
 
     # ------------------------------------------------------------------
     # Reads.
@@ -155,6 +181,12 @@ class Warehouse:
         """Release the backend's resources (database handles, the
         sharded backend's worker processes)."""
         self._backend.close()
+
+    def __enter__(self) -> "Warehouse":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def maintainer(self, view_name: str) -> SelfMaintainer:
         return self._maintainers[view_name]
