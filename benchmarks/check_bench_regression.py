@@ -19,6 +19,11 @@ on one machine, and the gate compares that:
   measured deterministically on one core, hence core-count-invariant
   — wall-clock parallel numbers are NOT gated (CI hosts may have a
   single core);
+* ``bench_planner.py`` → ``BENCH_planner.json``, gated on
+  ``work_reduction`` (rows of maintenance work avoided by adaptive
+  re-planning and by explicit shared-subplan selection, each measured
+  against a disabled twin within one run) — counted in rows, not
+  seconds, hence machine-invariant;
 * ``bench_serving.py`` → ``BENCH_serving.json``, gated on
   ``consistent_fraction`` (which must be *exactly* 1.0 — snapshot
   isolation is correctness, not throughput, so no tolerance applies)
@@ -59,6 +64,7 @@ BENCHMARKS = {
     "backend_comparison": (_REPO / "BENCH_backends.json", "relative_throughput"),
     "sharded_scaling": (_REPO / "BENCH_sharded.json", "projected_speedup"),
     "serving_load": (_REPO / "BENCH_serving.json", "consistent_fraction"),
+    "planner_adaptivity": (_REPO / "BENCH_planner.json", "work_reduction"),
 }
 
 DEFAULT_BASELINE = BENCHMARKS["hotpath_maintenance"][0]

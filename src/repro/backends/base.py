@@ -120,6 +120,16 @@ class Backend:
         :meth:`Warehouse.metrics_registry`."""
         return None
 
+    def merge_runtime_stats(self, namespace: str, stats: dict) -> dict:
+        """Fold backend-side plan observations into a maintainer's
+        ``runtime_stats()`` payload for ``namespace``.  Backends that
+        execute plans in this process (memory, sqlite) already
+        accumulated everything on the caller's plan nodes and return
+        ``stats`` unchanged; a distributed backend (the sharded pool's
+        parallel mode) merges the per-worker ActualStats here so
+        ``explain --analyze`` reports the whole fleet, not shard 0."""
+        return stats
+
     def close(self) -> None:
         """Release backend resources."""
 

@@ -174,6 +174,47 @@ def merge_contributions(merged: dict, part: dict, combiners: dict) -> None:
                 into.distincts[index] = values
 
 
+def _fold_stat_record(target: dict, record: dict) -> None:
+    """Accumulate one worker's observed-node record into ``target``
+    (additive fields sum, the max tracks the max, the mean re-derives)."""
+    target["executions"] += record["executions"]
+    target["rows_out"] += record["rows_out"]
+    target["rows_out_max"] = max(target["rows_out_max"], record["rows_out_max"])
+    target["total_ms"] = round(target["total_ms"] + record["total_ms"], 3)
+    target["reuses"] += record["reuses"]
+    executions = target["executions"]
+    target["mean_rows_out"] = (
+        round(target["rows_out"] / executions, 3) if executions else 0.0
+    )
+
+
+def _merge_stat_records(target: list, records: list) -> None:
+    """Merge one worker's ``collect_node_stats`` list into the parent's.
+
+    Matching is by node description + label with per-key occurrence
+    counters, not by position: the parent's plan (stage roots only in
+    parallel mode) and each worker's per-shard plan may differ in shape
+    (cost planning consults shard-local statistics), so the k-th
+    occurrence of an operator folds into the parent's k-th occurrence
+    of the same operator, and unmatched worker nodes are appended.
+    """
+    index: dict[tuple, list[dict]] = {}
+    for record in target:
+        index.setdefault((record["node"], record["label"]), []).append(record)
+    used: dict[tuple, int] = {}
+    for record in records:
+        key = (record["node"], record["label"])
+        position = used.get(key, 0)
+        used[key] = position + 1
+        matches = index.get(key, [])
+        if position < len(matches):
+            _fold_stat_record(matches[position], record)
+        else:
+            appended = {**record, "shard_only": True}
+            target.append(appended)
+            index.setdefault(key, []).append(appended)
+
+
 def _result_size(result) -> int | None:
     if result is None:
         return None
@@ -466,6 +507,9 @@ def _handle_command(runtimes, scopes, message):
         for runtime in runtimes.values():
             merged.merge(runtime.maintainer.perf.registry)
         return merged
+    if command == "runtime_stats":
+        __, namespace = message
+        return runtimes[namespace].maintainer.runtime_stats()
     raise BackendError(f"unknown shard worker command {command!r}")
 
 
@@ -1056,6 +1100,20 @@ class ShardedBackend(Backend):
             for registry in self._broadcast(("metrics",)):
                 merged.merge(registry)
         return merged
+
+    def merge_runtime_stats(self, namespace: str, stats: dict) -> dict:
+        """``explain --analyze`` support: in parallel mode the parent
+        only observes stage roots (workers run the inner plan nodes),
+        so fold every worker's per-node ActualStats into the payload —
+        the report shows the whole fleet's observations, not shard 0's.
+        Serial mode runs the parent's own plan nodes per shard and needs
+        no merge."""
+        if not self.parallel or not self._workers or self._closed:
+            return stats
+        for payload in self._broadcast(("runtime_stats", namespace)):
+            for shape, records in payload.items():
+                _merge_stat_records(stats.setdefault(shape, []), records)
+        return stats
 
     def describe(self, namespace: str = "") -> str | None:
         mode = "parallel" if self.parallel else "serial"

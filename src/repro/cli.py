@@ -129,6 +129,7 @@ def _build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--seed", type=int, default=0)
             sub.add_argument("--rows-per-table", type=int, default=24)
             _add_backend_flag(sub)
+            _add_planner_flag(sub)
         sub.set_defaults(handler=handler)
 
     for name, handler, description in (
@@ -168,6 +169,7 @@ def _build_parser() -> argparse.ArgumentParser:
                 "--jsonl", help="write a JSONL snapshot of the registry"
             )
         _add_backend_flag(sub)
+        _add_planner_flag(sub)
         sub.set_defaults(handler=handler)
 
     serve = subparsers.add_parser(
@@ -213,6 +215,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="snapshot versions kept reconstructable for pinned readers",
     )
     _add_backend_flag(serve)
+    _add_planner_flag(serve)
     serve.set_defaults(handler=_cmd_serve)
 
     share = subparsers.add_parser(
@@ -270,6 +273,36 @@ def _backend_spec(value: str) -> str:
     try:
         resolve_backend_name(value)
     except BackendError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
+
+
+def _add_planner_flag(sub) -> None:
+    from repro.plan.cost import PLANNER_NAMES
+
+    sub.add_argument(
+        "--planner",
+        metavar="MODE",
+        type=_planner_spec,
+        default=None,
+        help="maintenance planner mode: one of "
+        f"{', '.join(PLANNER_NAMES)} (cost picks join order, probe "
+        "direction, and restriction from live cardinality statistics "
+        "and re-plans on misestimates; static keeps the deterministic "
+        "policy); default: the REPRO_PLANNER environment variable, "
+        "else cost",
+    )
+
+
+def _planner_spec(value: str) -> str:
+    """Validate a ``--planner`` spec early, with an argparse-style error."""
+    import argparse
+
+    from repro.plan.cost import PlannerError, resolve_planner_name
+
+    try:
+        resolve_planner_name(value)
+    except PlannerError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
     return value
 
@@ -352,14 +385,18 @@ def _cmd_derive(args) -> int:
 def _cmd_explain(args) -> int:
     database, view = _load(args)
     if args.analyze:
-        from repro.plan.explain import maintainer_plan_report, stats_annotator
+        from repro.plan.explain import (
+            maintainer_plan_report,
+            merged_stats_annotator,
+        )
         from repro.plan.planner import evaluate_view
 
         warehouse, __ = _run_stream(database, view, args)
         evaluate_view(view, database)  # give the evaluation plan a run too
+        maintainer = warehouse.maintainer(view.name)
         print(
             maintainer_plan_report(
-                warehouse.maintainer(view.name), database, stats_annotator
+                maintainer, database, merged_stats_annotator(maintainer)
             )
         )
         print(
@@ -370,7 +407,14 @@ def _cmd_explain(args) -> int:
     if args.plan:
         from repro.plan.explain import explain_view_plans
 
-        print(explain_view_plans(view, database, backend=args.backend))
+        print(
+            explain_view_plans(
+                view,
+                database,
+                backend=args.backend,
+                planner=getattr(args, "planner", None),
+            )
+        )
         return 0
     from repro.core.explain import explain_derivation
 
@@ -420,6 +464,7 @@ def _run_stream(database, view, args, tracer=None):
         [view],
         tracer=tracer,
         backend=getattr(args, "backend", None),
+        planner=getattr(args, "planner", None),
     )
     generator = TransactionGenerator(
         database,
@@ -498,7 +543,12 @@ def _cmd_serve(args) -> int:
         seed_database(
             database, rows_per_table=args.rows_per_table, seed=args.seed
         )
-    warehouse = Warehouse(database, [view], backend=args.backend)
+    warehouse = Warehouse(
+        database,
+        [view],
+        backend=args.backend,
+        planner=getattr(args, "planner", None),
+    )
     server = WarehouseServer(
         warehouse,
         host=args.host,

@@ -52,13 +52,25 @@ from repro.engine.schema import Schema
 from repro.engine.undolog import UndoLog
 from repro.obs.trace import Tracer
 from repro.perf import (
+    PLANNER_QERROR,
     TXN_DELTA_ROWS,
     TXN_LATENCY_MS,
     TXN_ROWS_PER_SEC,
     PerfStats,
 )
+from repro.plan.cost import (
+    PlannerMode,
+    StatsCatalog,
+    make_planner_mode,
+    q_error,
+    replan_ratio_from_env,
+)
 from repro.plan.executor import ExecutionContext
-from repro.plan.maintenance import DeltaPlans, MaintenancePlanner
+from repro.plan.maintenance import (
+    DeltaPlans,
+    MaintenancePlanner,
+    transfer_runtime_stats,
+)
 from repro.plan.planner import PlanPolicy
 
 
@@ -445,6 +457,7 @@ class SelfMaintainer:
         hotpath: bool = True,
         tracer: Tracer | None = None,
         backend: Backend | str | None = None,
+        planner: "PlannerMode | str | None" = None,
     ):
         """``append_only`` maintains the view as *old detail data*
         (Section 4): only insertions are accepted, in exchange for
@@ -467,7 +480,15 @@ class SelfMaintainer:
         running the compiled plans: a :class:`~repro.backends.Backend`
         instance, a name (``"memory"``, ``"sqlite"``, ``"sqlite:<path>"``),
         or ``None`` to consult the ``REPRO_BACKEND`` environment
-        variable (default memory)."""
+        variable (default memory).
+        ``planner`` selects how delta plans are chosen: ``"cost"``
+        (the default — join order, probe direction, and restriction
+        decided per compile from live cardinality statistics, with
+        adaptive re-planning on misestimates) or ``"static"`` (the
+        historical deterministic policy); ``None`` consults
+        ``REPRO_PLANNER``.  The ``NAIVE`` policy always plans
+        statically — without maintained indexes there are no free
+        statistics to plan from."""
         self.view = view
         self.append_only = append_only
         self.backend = make_backend(backend)
@@ -479,6 +500,11 @@ class SelfMaintainer:
         self.perf = PerfStats()
         self.tracer = tracer
         self.policy = PlanPolicy.INDEXED if hotpath else PlanPolicy.NAIVE
+        mode = make_planner_mode(planner)
+        if self.policy is not PlanPolicy.INDEXED:
+            mode = PlannerMode.STATIC
+        self.planner_mode = mode
+        self._replan_ratio = replan_ratio_from_env()
         self.backend.prepare_view(
             view,
             database,
@@ -501,6 +527,7 @@ class SelfMaintainer:
             table: self._table_info(view, database, table)
             for table in view.tables
         }
+        self._stats = StatsCatalog(self._materializations)
         self._planner = MaintenancePlanner(
             view,
             database,
@@ -509,8 +536,11 @@ class SelfMaintainer:
             self.reconstructor,
             self.policy,
             self._order,
+            mode=self.planner_mode,
+            catalog=self._stats,
         )
         self._delta_plans: dict[tuple[str, int], DeltaPlans] = {}
+        self._retired_plans: dict[tuple[str, int], DeltaPlans] = {}
         self._constant_tables = self._group_constant_tables()
         self._varying_items = frozenset(
             index
@@ -961,9 +991,18 @@ class SelfMaintainer:
     def _begin_transaction(self, log: UndoLog) -> None:
         self._undo = log
         self._undo_saved_groups = set()
-        # The backend's scope opens first, so its entry sits at the
-        # bottom of the LIFO log and its restore (e.g. a SQLite
-        # ``ROLLBACK TO``) runs after every Python-side inverse.
+        # Estimate hygiene: the stats snapshot describes pre-transaction
+        # state, and an abort must also take back the domain high-water
+        # marks this transaction's inserts raise — otherwise rolled-back
+        # key populations would keep depressing selectivity estimates
+        # forever.  Recorded *first* so the LIFO rollback restores the
+        # catalog last, after every materialization inverse has run.
+        domains = self._stats.domain_snapshot()
+        log.record(lambda s=domains: self._stats.restore_domains(s))
+        self._stats.invalidate()
+        # The backend's scope opens next, below every materialization
+        # inverse, so its restore (e.g. a SQLite ``ROLLBACK TO``) runs
+        # after every Python-side inverse (and before the catalog's).
         self.backend.begin_transaction(log)
         for materialization in self._materializations.values():
             materialization.begin_undo(log)
@@ -974,6 +1013,8 @@ class SelfMaintainer:
         for materialization in self._materializations.values():
             materialization.end_undo()
         self.backend.end_transaction()
+        # The committed state moved; the next plan compile re-reads it.
+        self._stats.invalidate()
 
     def _save_group(self, key: tuple) -> None:
         """Record the inverse of this transaction's mutations of one
@@ -1172,11 +1213,16 @@ class SelfMaintainer:
 
     def delta_plans(self, table: str, sign: int) -> DeltaPlans:
         """The compiled maintenance pipeline for one delta shape, built
-        once per (table, sign) and reused for every transaction."""
+        once per (table, sign) and reused for every transaction (until
+        an adaptive re-plan retires it; the retired pipeline's observed
+        stats carry over onto the recompiled one)."""
         key = (table, sign)
         plans = self._delta_plans.get(key)
         if plans is None:
             plans = self._delta_plans[key] = self._planner.build(table, sign)
+            retired = self._retired_plans.pop(key, None)
+            if retired is not None:
+                transfer_runtime_stats(retired, plans)
         return plans
 
     def runtime_stats(self) -> dict:
@@ -1184,11 +1230,99 @@ class SelfMaintainer:
         pipeline, keyed ``'+table'``/``'-table'``.  The accumulators live
         on the cached plan nodes, so after a transaction stream this is
         the full observed-cardinality profile of the maintenance work
-        (see ``explain --analyze``)."""
-        return {
+        (see ``explain --analyze``).  Backends that execute plans
+        elsewhere (a sharded pool's workers) merge their observations in
+        via :meth:`~repro.backends.base.Backend.merge_runtime_stats`."""
+        stats = {
             ("+" if sign > 0 else "-") + table: plans.runtime_stats()
             for (table, sign), plans in sorted(self._delta_plans.items())
         }
+        for (table, sign), plans in sorted(self._retired_plans.items()):
+            # A shape retired by a re-plan and not yet recompiled still
+            # owns its observed history.
+            stats.setdefault(
+                ("+" if sign > 0 else "-") + table, plans.runtime_stats()
+            )
+        return self.backend.merge_runtime_stats(self.view.name, stats)
+
+    @property
+    def stats_catalog(self) -> StatsCatalog:
+        """The live cardinality/distinct-count catalog cost plans read."""
+        return self._stats
+
+    def set_estimate_hint(
+        self,
+        table: str,
+        sign: int,
+        local_rows: float | None = None,
+        reduce_rows: float | None = None,
+    ) -> None:
+        """Seed the planner's feedback for one delta shape and force its
+        next compile to use it (what the adaptive loop does on a
+        misestimate; exposed so tests and benchmarks can plant a known
+        misestimate deterministically)."""
+        hints = self._planner.feedback.setdefault((table, sign), {})
+        if local_rows is not None:
+            hints["local_rows"] = float(local_rows)
+        if reduce_rows is not None:
+            hints["reduce_rows"] = float(reduce_rows)
+        self._retire_plans(table, sign)
+
+    def _retire_plans(self, table: str, sign: int) -> None:
+        """Drop the cached pipeline for one shape, keeping it aside so
+        the recompiled plan inherits its observed statistics."""
+        key = (table, sign)
+        plans = self._delta_plans.pop(key, None)
+        if plans is not None:
+            retired = self._retired_plans.get(key)
+            if retired is not None:
+                transfer_runtime_stats(retired, plans)
+            self._retired_plans[key] = plans
+
+    def _check_estimates(
+        self,
+        table: str,
+        sign: int,
+        plans: DeltaPlans,
+        local_rows: int,
+        reduce_rows: int,
+        trace,
+    ) -> None:
+        """The adaptive feedback loop: compare the plan's stage
+        estimates against this transaction's observed cardinalities;
+        past the configured q-error ratio, record the observation and
+        drop the cached pipeline so the *next* transaction recompiles
+        against fresh statistics (this one finishes on the old plan —
+        both are correct, only cost differs)."""
+        if self.planner_mode is not PlannerMode.COST:
+            return
+        estimates = plans.stage_estimates()
+        worst = 1.0
+        for estimated, actual in (
+            (estimates["local"], local_rows),
+            (estimates["reduce"], reduce_rows),
+        ):
+            if estimated is None:
+                continue
+            error = q_error(estimated, actual)
+            self.perf.observe(PLANNER_QERROR, error)
+            worst = max(worst, error)
+        if worst <= self._replan_ratio:
+            return
+        self._planner.feedback[(table, sign)] = {
+            "local_rows": float(max(local_rows, 1)),
+            "reduce_rows": float(max(reduce_rows, 1)),
+        }
+        self._retire_plans(table, sign)
+        self.perf.count("replans")
+        if trace is not None:
+            trace.instant(
+                "replan",
+                kind="planner",
+                table=table,
+                sign=sign,
+                q_error=round(worst, 2),
+            )
 
     def set_restriction(self, enabled: bool) -> None:
         """Plan future propagation joins with (default) or without the
@@ -1242,6 +1376,7 @@ class SelfMaintainer:
             perf.count("rows_join_reduced_away", len(locally) - len(reduced))
         if span is not None:
             span.rows_in, span.rows_out = len(locally), len(reduced)
+        self._check_estimates(table, sign, plans, len(locally), len(reduced), trace)
         if not reduced:
             return
         perf.count("rows_propagated", len(reduced))

@@ -51,17 +51,30 @@ def shared_key_owners(warehouse) -> dict[LogicalNode, list[str]]:
     return owners
 
 
-def make_shared_annotator(owners: dict[LogicalNode, list[str]]):
+def make_shared_annotator(
+    owners: dict[LogicalNode, list[str]],
+    selected: frozenset | None = None,
+):
     """An annotator for :meth:`PhysicalNode.render` that marks subplans
-    two or more views compute through the shared per-transaction cache."""
+    two or more views compute through the shared per-transaction cache.
+
+    With ``selected`` (the warehouse's explicit shared-subplan
+    selection, cost mode) the mark distinguishes subtrees the cost
+    model *chose* to materialize once from shareable candidates it
+    declined (their results are recomputed per view)."""
 
     def annotator(node) -> str | None:
         if node.share_key is None:
             return None
         views = owners.get(node.share_key)
-        if views and len(views) >= 2:
-            return "shared across views: " + ", ".join(views)
-        return None
+        if not views or len(views) < 2:
+            return None
+        names = ", ".join(views)
+        if selected is None:
+            return "shared across views: " + names
+        if node.share_key in selected:
+            return f"shared across views: {names} [cost-selected]"
+        return f"shareable across views: {names} [not selected by cost model]"
 
     return annotator
 
@@ -70,6 +83,60 @@ def stats_annotator(node) -> str | None:
     """Annotate a node with its observed runtime statistics (the
     ``explain --analyze`` rendering); silent for never-executed nodes."""
     return node.stats.describe()
+
+
+def _describe_record(record: dict) -> str | None:
+    """Render one backend-merged runtime-stats record the way
+    :meth:`ActualStats.describe` renders a live accumulator."""
+    if not record["executions"] and not record["reuses"]:
+        return None
+    parts = [
+        f"actual: execs={record['executions']}",
+        f"rows={record['rows_out']}",
+        f"mean={record['mean_rows_out']:.1f}",
+        f"time={record['total_ms']:.2f}ms",
+    ]
+    if record["reuses"]:
+        parts.append(f"reuses={record['reuses']}")
+    return " ".join(parts)
+
+
+def merged_stats_annotator(maintainer):
+    """A stats annotator backed by :meth:`SelfMaintainer.runtime_stats`
+    — the *backend-merged* observations — instead of the parent
+    process's live accumulators.
+
+    Under a parallel sharded backend the parent only observes stage
+    roots (each worker executes the inner plan nodes on its own
+    partition), so ``explain --analyze`` must fold every shard's
+    per-node statistics together rather than report shard 0's numbers.
+    Nodes without a merged record (the evaluation plan, never-run
+    shapes) fall back to their live accumulators."""
+    merged = maintainer.runtime_stats()
+    by_node: dict[int, dict] = {}
+    for table in maintainer.view.tables:
+        for sign in (+1, -1):
+            records = merged.get(("+" if sign > 0 else "-") + table)
+            if not records:
+                continue
+            index: dict[str, list[dict]] = {}
+            for record in records:
+                index.setdefault(record["label"], []).append(record)
+            used: dict[str, int] = {}
+            for node in maintainer.delta_plans(table, sign).walk():
+                position = used.get(node.label, 0)
+                used[node.label] = position + 1
+                matches = index.get(node.label, [])
+                if position < len(matches):
+                    by_node[id(node)] = matches[position]
+
+    def annotator(node) -> str | None:
+        record = by_node.get(id(node))
+        if record is None:
+            return stats_annotator(node)
+        return _describe_record(record)
+
+    return annotator
 
 
 def combine_annotators(*annotators):
@@ -107,8 +174,15 @@ def maintainer_plan_report(maintainer, database, annotator=None) -> str:
 
 def warehouse_plan_report(warehouse) -> str:
     """Every registered view's plans, with cross-view shared subplans
-    marked (the report behind ``Warehouse.explain_plans``)."""
-    annotator = make_shared_annotator(shared_key_owners(warehouse))
+    marked (the report behind ``Warehouse.explain_plans``).  Under the
+    cost planner the marks reflect the warehouse's explicit
+    shared-subplan selection."""
+    from repro.plan.cost import PlannerMode  # lazy: explain sits above
+
+    selected = None
+    if getattr(warehouse, "planner_mode", None) is PlannerMode.COST:
+        selected = warehouse.shared_subplan_selection()
+    annotator = make_shared_annotator(shared_key_owners(warehouse), selected)
     sections = [
         maintainer_plan_report(
             warehouse.maintainer(name), warehouse.database, annotator
@@ -118,17 +192,18 @@ def warehouse_plan_report(warehouse) -> str:
     return "\n\n".join(sections)
 
 
-def explain_view_plans(view, database, backend=None) -> str:
+def explain_view_plans(view, database, backend=None, planner=None) -> str:
     """Plans for one standalone view (``python -m repro explain --plan``).
 
     Builds an uninitialized maintainer — plans depend only on schemas
     and the derivation, so no base data is loaded or read.  ``backend``
     (a spec string or instance) adds that backend's physical line, e.g.
-    the sharded backend's derived routing.
+    the sharded backend's derived routing; ``planner`` selects the
+    maintenance planner mode (cost or static).
     """
     from repro.core.maintenance import SelfMaintainer  # upward, lazy
 
     maintainer = SelfMaintainer(
-        view, database, initialize=False, backend=backend
+        view, database, initialize=False, backend=backend, planner=planner
     )
     return maintainer_plan_report(maintainer, database)

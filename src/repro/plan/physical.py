@@ -68,7 +68,7 @@ class PhysicalNode:
 
     __slots__ = (
         "children", "label", "logical", "annotations", "share_key",
-        "stats", "_timer_key",
+        "stats", "estimated_rows", "_timer_key",
     )
 
     def __init__(
@@ -83,6 +83,10 @@ class PhysicalNode:
         self.annotations: list[str] = []
         self.share_key: LogicalNode | None = None
         self.stats = ActualStats()
+        #: The cost planner's predicted output cardinality (None under
+        #: the static planner); compared against :attr:`stats` after
+        #: execution to drive adaptive re-planning.
+        self.estimated_rows: float | None = None
         self._timer_key = "plan:" + self.label
 
     def describe(self) -> str:
@@ -403,9 +407,17 @@ class KeyProbeSemiJoinNode(PhysicalNode):
     under the indexed policy a live, incrementally-maintained hash-index
     view (O(1) probes, no rebuild); under the naive policy a set rebuilt
     when the materialization changed.
+
+    ``probe_direction`` is the cost planner's knob: ``"delta"`` (the
+    default) probes the key set once per delta row; ``"keys"`` — chosen
+    when the dependency's key population is estimated to be much smaller
+    than the delta — first intersects the key set with the delta's
+    distinct foreign-key values and then filters through the (smaller)
+    intersection.  Both directions emit exactly the surviving delta rows
+    in delta order, so the choice is invisible to results.
     """
 
-    __slots__ = ("dep_table", "dep_key", "fk_index")
+    __slots__ = ("dep_table", "dep_key", "fk_index", "probe_direction")
 
     def __init__(
         self,
@@ -418,6 +430,7 @@ class KeyProbeSemiJoinNode(PhysicalNode):
         self.dep_table = dep_table
         self.dep_key = dep_key
         self.fk_index = fk_index
+        self.probe_direction = "delta"
         super().__init__((child,), f"key-probe:{dep_table}", logical)
 
     def describe(self) -> str:
@@ -427,7 +440,15 @@ class KeyProbeSemiJoinNode(PhysicalNode):
         relation = inputs[0]
         keys = ctx.provider(self.dep_table).key_values(self.dep_key)
         fk = self.fk_index
-        rows = [row for row in relation.rows if row[fk] in keys]
+        if self.probe_direction == "keys":
+            # Key-side probing: intersect the (small) key set with the
+            # delta's fk values, then filter — identical output and
+            # order, fewer hash probes when |keys| << |delta|.
+            fk_values = {row[fk] for row in relation.rows}
+            hits = {key for key in keys if key in fk_values}
+            rows = [row for row in relation.rows if row[fk] in hits]
+        else:
+            rows = [row for row in relation.rows if row[fk] in keys]
         return Relation(relation.schema, rows, validate=False)
 
 

@@ -22,6 +22,14 @@ from repro.engine.undolog import UndoLog, rollback_all
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.perf import PerfStats
+from repro.plan.cost import (
+    DEFAULT_DELTA_ROWS,
+    MIN_SHARED_BENEFIT_ROWS,
+    PlannerMode,
+    SharedPlanCache,
+    make_planner_mode,
+)
+from repro.plan.planner import PlanPolicy
 
 
 @dataclass(frozen=True)
@@ -69,6 +77,7 @@ class Warehouse:
         views: list[ViewDefinition] | None = None,
         tracer: Tracer | None = None,
         backend: Backend | str | None = None,
+        planner: "PlannerMode | str | None" = None,
     ):
         """``database`` is only read during :meth:`register` (initial load).
         ``tracer`` is handed to every maintainer registered here, so one
@@ -79,11 +88,20 @@ class Warehouse:
         (``"memory"``, ``"sqlite"``, ``"sqlite:<path>"``), or ``None``
         to consult ``REPRO_BACKEND`` (default memory); one backend
         instance is shared by every view registered here, so a
-        warehouse transaction is one backend transaction."""
+        warehouse transaction is one backend transaction.
+        ``planner`` (``"cost"``/``"static"``/``None`` for
+        ``REPRO_PLANNER``) is handed to every maintainer and also
+        governs cross-view sharing: under ``cost``, :meth:`apply` hands
+        maintainers a :class:`~repro.plan.cost.SharedPlanCache` that
+        admits only the explicitly *selected* shared subplans (see
+        :meth:`shared_subplan_selection`)."""
         self._database = database
         self.tracer = tracer
         self._backend = make_backend(backend)
+        self.planner_mode = make_planner_mode(planner)
         self._maintainers: dict[str, SelfMaintainer] = {}
+        self._shared_selection: frozenset | None = None
+        self._last_shared_cache: SharedPlanCache | None = None
         for view in views or []:
             self.register(view)
 
@@ -96,9 +114,14 @@ class Warehouse:
         if view.name in self._maintainers:
             raise ValueError(f"view {view.name!r} already registered")
         maintainer = SelfMaintainer(
-            view, self._database, tracer=self.tracer, backend=self._backend
+            view,
+            self._database,
+            tracer=self.tracer,
+            backend=self._backend,
+            planner=self.planner_mode,
         )
         self._maintainers[view.name] = maintainer
+        self._shared_selection = None
         return maintainer.aux_set
 
     def adopt(self, maintainer: SelfMaintainer) -> None:
@@ -107,6 +130,7 @@ class Warehouse:
         if name in self._maintainers:
             raise ValueError(f"view {name!r} already registered")
         self._maintainers[name] = maintainer
+        self._shared_selection = None
 
     # ------------------------------------------------------------------
     # Maintenance.
@@ -131,7 +155,11 @@ class Warehouse:
         One shared plan-result cache spans all maintainers of the call:
         structurally identical delta subplans (two views reading the
         same coalesced, locally-reduced delta of a table) execute once
-        and the other maintainers reuse the result.
+        and the other maintainers reuse the result.  Under the cost
+        planner the cache is a :class:`~repro.plan.cost.SharedPlanCache`
+        restricted to the *selected* shared subplans (explicit
+        multi-query optimization); under the static planner it is the
+        historical opportunistic dict.
 
         Returns ``{view name: (changed group keys...)}`` — the forward
         redo records the transaction's undo logs collected, i.e. exactly
@@ -140,7 +168,12 @@ class Warehouse:
         other callers may ignore the return value.
         """
         applied: list[tuple[SelfMaintainer, UndoLog]] = []
-        shared: dict = {}
+        shared: dict | SharedPlanCache
+        if self.planner_mode is PlannerMode.COST:
+            shared = SharedPlanCache(self.shared_subplan_selection())
+            self._last_shared_cache = shared
+        else:
+            shared = {}
         try:
             for maintainer in self._maintainers.values():
                 log = UndoLog()
@@ -157,6 +190,57 @@ class Warehouse:
             log.commit()
             changed[maintainer.view.name] = _unique_keys(log.redo_records)
         return changed
+
+    def shared_subplan_selection(self) -> frozenset:
+        """The share keys (canonical logical subtrees) explicitly
+        selected for cross-view sharing, computed once per registration
+        set and cached.
+
+        A subtree qualifies when it appears in the delta plans of at
+        least two registered (indexed-policy) views *and* the estimated
+        recomputation it saves — its estimated cardinality times the
+        extra computations avoided — clears
+        :data:`~repro.plan.cost.MIN_SHARED_BENEFIT_ROWS`.  This is the
+        multi-query-optimization selection rule (Mistry et al.,
+        cs/0003006) replacing the old cache-everything heuristic; the
+        per-transaction :class:`~repro.plan.cost.SharedPlanCache` admits
+        exactly these keys.
+        """
+        if self._shared_selection is not None:
+            return self._shared_selection
+        owners: dict[object, set[str]] = {}
+        estimates: dict[object, float] = {}
+        for name, maintainer in self._maintainers.items():
+            if maintainer.policy is not PlanPolicy.INDEXED:
+                continue  # naive maintainers never share (no coalescing)
+            signs = (1,) if maintainer.append_only else (1, -1)
+            for table in maintainer.view.tables:
+                for sign in signs:
+                    for node in maintainer.delta_plans(table, sign).walk():
+                        key = node.share_key
+                        if key is None:
+                            continue
+                        owners.setdefault(key, set()).add(name)
+                        if node.estimated_rows is not None:
+                            estimates[key] = max(
+                                estimates.get(key, 0.0), node.estimated_rows
+                            )
+        selected = frozenset(
+            key
+            for key, names in owners.items()
+            if len(names) >= 2
+            and estimates.get(key, DEFAULT_DELTA_ROWS) * (len(names) - 1)
+            >= MIN_SHARED_BENEFIT_ROWS
+        )
+        self._shared_selection = selected
+        return selected
+
+    @property
+    def last_shared_cache(self) -> SharedPlanCache | None:
+        """The :meth:`apply` call's most recent shared-subplan cache
+        (admitted/rejected counters for benchmarks); ``None`` before the
+        first cost-mode apply."""
+        return self._last_shared_cache
 
     # ------------------------------------------------------------------
     # Reads.
