@@ -37,6 +37,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from harness import SCALES, hotpath_view, make_stream, txn_histograms
 
 from repro.core.maintenance import SelfMaintainer
+from repro.obs.trace import Tracer
 from repro.serving.loadgen import check_against_shadow, run_load
 from repro.serving.server import WarehouseServer
 from repro.warehouse.warehouse import Warehouse
@@ -53,13 +54,21 @@ def run_scale(
     transactions: int = 64,
     readers: int = 4,
     max_batch: int = 8,
+    trace_sample_every: int = 0,
 ) -> dict:
-    """One load run at ``scale``; returns the gate-ready record."""
+    """One load run at ``scale``; returns the gate-ready record.
+    ``trace_sample_every`` > 0 attaches a tracer (1 = trace every
+    transaction and request, the ``repro serve`` default)."""
     config = SCALES[scale]
     database = build_retail_database(config)
     view = hotpath_view(config.start_year)
     stream = make_stream(database, "mixed", transactions=transactions)
-    warehouse = Warehouse(database, [view])
+    tracer = (
+        Tracer(sample_every=trace_sample_every)
+        if trace_sample_every > 0
+        else None
+    )
+    warehouse = Warehouse(database, [view], tracer=tracer)
     with WarehouseServer(warehouse, max_batch=max_batch) as server:
         report, snapshots = run_load(
             server.url, view.name, stream, readers=readers
@@ -91,6 +100,37 @@ def run_scale(
         "fact_rows": config.fact_rows(),
         "transactions_per_stream": transactions,
         "streams": {"mixed": record},
+    }
+
+
+def measure_tracing_overhead(
+    scale: str = "small", transactions: int = 48, readers: int = 2
+) -> dict:
+    """Identical load runs, untraced vs fully traced (``sample_every=1``,
+    the ``repro serve`` default): the read-p99 delta is the cost of the
+    observability layer on the serving hot path.  Informational — the
+    hard gate stays the absolute ``read_p99_ms`` budget, because the
+    delta of two noisy p99s on a shared CI host is itself noisy."""
+    untraced = run_scale(scale, transactions=transactions, readers=readers)
+    traced = run_scale(
+        scale,
+        transactions=transactions,
+        readers=readers,
+        trace_sample_every=1,
+    )
+    base = untraced["streams"]["mixed"]
+    over = traced["streams"]["mixed"]
+    delta = over["read_p99_ms"] - base["read_p99_ms"]
+    return {
+        "sample_every": 1,
+        "transactions": transactions,
+        "readers": readers,
+        "untraced_read_p99_ms": base["read_p99_ms"],
+        "traced_read_p99_ms": over["read_p99_ms"],
+        "read_p99_delta_ms": round(delta, 4),
+        "delta_vs_budget": round(delta / READ_P99_BUDGET_MS, 4),
+        "untraced_write_rows_per_sec": base["write_rows_per_sec"],
+        "traced_write_rows_per_sec": over["write_rows_per_sec"],
     }
 
 
@@ -129,6 +169,15 @@ def main(argv: list[str] | None = None) -> int:
                 f"mismatches {numbers['replay_mismatches']}  "
                 f"consistent {numbers['consistent_fraction']:.3f}"
             )
+    overhead = measure_tracing_overhead(scales[0])
+    report["tracing_overhead"] = overhead
+    print(
+        f"  tracing overhead (sample_every=1): read p99 "
+        f"{overhead['untraced_read_p99_ms']:.2f}ms -> "
+        f"{overhead['traced_read_p99_ms']:.2f}ms "
+        f"(delta {overhead['read_p99_delta_ms']:+.2f}ms, "
+        f"{overhead['delta_vs_budget'] * 100:+.1f}% of budget)"
+    )
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
     return 0
@@ -148,6 +197,19 @@ def test_serving_smoke():
     assert "repro_serving_read_latency_ms_bucket" in record["serving_metrics"]
     for name, summary in record["histograms"].items():
         assert summary["count"] > 0, name
+
+
+def test_traced_serving_smoke():
+    """CI smoke: a fully traced run stays consistent and its read p99
+    stays inside the same absolute budget as the untraced path (the
+    <10%-of-budget overhead claim is measured, not hard-gated — see
+    :func:`measure_tracing_overhead`)."""
+    measured = run_scale(
+        "small", transactions=24, readers=2, trace_sample_every=1
+    )
+    record = measured["streams"]["mixed"]
+    assert record["consistent_fraction"] == 1.0
+    assert record["read_p99_ms"] <= READ_P99_BUDGET_MS
 
 
 if __name__ == "__main__":

@@ -37,6 +37,20 @@ class Backend:
 
     name = "abstract"
 
+    #: Structured event log the owning warehouse binds (None until
+    #: :meth:`bind_observability`); backends narrate operational
+    #: incidents (worker death, recovery) into it when present.
+    events = None
+
+    def bind_observability(self, events=None) -> None:
+        """Attach observability sinks owned by the warehouse.  Called
+        once at warehouse construction; ``events`` is an
+        :class:`~repro.obs.log.EventLog` (or None to leave the backend
+        silent).  The default just stores it; backends with their own
+        processes or connections may override to propagate further."""
+        if events is not None:
+            self.events = events
+
     def prepare_view(
         self,
         view,

@@ -36,12 +36,22 @@ for SQLite's savepoints so a shard failure rolls every shard back and
 The deterministic partitioner is ``crc32(repr(key))`` — the builtin
 ``hash`` is salted per process and would route the same row to
 different shards in parent and workers.
+
+Tracing crosses the process boundary: when the transaction is traced,
+serial mode wraps every per-shard plan run in a ``shard:<k>`` span
+(inner plan-node spans nest inside), and parallel mode asks each worker
+to record its stage into a temporary per-shard trace whose serialized
+spans ride back on the reply and are grafted — re-parented, re-id'd,
+shard-labeled — under the parent's open stage span
+(:meth:`~repro.obs.trace.Trace.graft`).  Either way one traced apply
+renders a single connected tree with no per-shard holes.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import zlib
+from contextlib import contextmanager
 from dataclasses import dataclass
 from time import perf_counter
 
@@ -49,6 +59,7 @@ from repro.backends.base import Backend, BackendError
 from repro.engine.relation import Relation
 from repro.engine.undolog import UndoLog
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Trace
 from repro.plan.executor import ExecutionContext
 from repro.plan.physical import AccumulateNode, DeltaScanNode, KeyProbeSemiJoinNode
 
@@ -213,6 +224,18 @@ def _merge_stat_records(target: list, records: list) -> None:
             appended = {**record, "shard_only": True}
             target.append(appended)
             index.setdefault(key, []).append(appended)
+
+
+@contextmanager
+def _shard_span(trace, shard: int | None):
+    """A ``shard:<k>`` span around one per-shard plan run (``None``
+    shard = the single replicated run); no-op when untraced."""
+    if trace is None:
+        yield
+        return
+    name = "replicated" if shard is None else f"shard:{shard}"
+    with trace.span(name, kind="shard", shard=shard):
+        yield
 
 
 def _result_size(result) -> int | None:
@@ -409,7 +432,7 @@ def _rebind_undo(runtimes, scopes) -> None:
             materialization.end_undo()
 
 
-def _handle_command(runtimes, scopes, message):
+def _handle_command(runtimes, scopes, message, shard: int = 0):
     """Execute one parent command inside the worker; returns the reply
     payload.  Raises to report a failure (the loop pickles it back)."""
     command = message[0]
@@ -440,7 +463,8 @@ def _handle_command(runtimes, scopes, message):
         )
         return None
     if command == "stage":
-        __, namespace, table, sign, stage = message
+        __, namespace, table, sign, stage = message[:5]
+        traced = len(message) > 5 and bool(message[5])
         runtime = runtimes[namespace]
         plans = runtime.maintainer.delta_plans(table, sign)
         node = {
@@ -448,10 +472,26 @@ def _handle_command(runtimes, scopes, message):
             "reduce": plans.reduce,
             "propagate": plans.propagate,
         }[stage]
-        result = node.run(runtime.contexts[(table, sign)])
+        context = runtime.contexts[(table, sign)]
+        trace = None
+        if traced:
+            # Record this shard's plan spans into a throwaway trace; the
+            # serialized spans ride the reply and the parent grafts them
+            # under its open stage span — no per-shard trace holes.
+            trace = Trace(0, f"shard:{shard}", kind="shard", shard=shard)
+            context.trace = trace
+        try:
+            result = node.run(context)
+        finally:
+            if traced:
+                context.trace = None
+        spans = None
+        if trace is not None:
+            trace.finish()
+            spans = trace.to_dicts()
         if isinstance(result, dict):
-            return ("acc", result)
-        return ("rows", result.rows)
+            return ("acc", result, spans)
+        return ("rows", result.rows, spans)
     if command == "apply_reduced":
         # Apply this shard's own memoized reduce result — the parent
         # already holds the merged rows, so none cross the pipe again.
@@ -529,7 +569,7 @@ def _worker_main(conn, shard: int, n_shards: int) -> None:
             conn.close()
             return
         try:
-            result = _handle_command(runtimes, scopes, message)
+            result = _handle_command(runtimes, scopes, message, shard)
         except BaseException as exc:  # noqa: BLE001 - forwarded to parent
             try:
                 conn.send(("error", exc))
@@ -886,7 +926,8 @@ class ShardedBackend(Backend):
             combiners = self._combiners[namespace]
             for shard, shard_ctx in enumerate(contexts):
                 started = perf_counter()
-                contribution = node.run(shard_ctx)
+                with _shard_span(ctx.trace, shard):
+                    contribution = node.run(shard_ctx)
                 self._compute[str(shard)] += perf_counter() - started
                 merge_contributions(merged, contribution, combiners)
             return merged
@@ -894,13 +935,15 @@ class ShardedBackend(Backend):
             # Every shard holds the full replicated delta; one run is
             # the whole answer (a union would multiply the rows).
             started = perf_counter()
-            result = node.run(contexts[0])
+            with _shard_span(ctx.trace, None):
+                result = node.run(contexts[0])
             self._replicated.inc(perf_counter() - started)
             return result
         rows: list[tuple] = []
         for shard, shard_ctx in enumerate(contexts):
             started = perf_counter()
-            part = node.run(shard_ctx)
+            with _shard_span(ctx.trace, shard):
+                part = node.run(shard_ctx)
             self._compute[str(shard)] += perf_counter() - started
             rows.extend(part.rows)
         return Relation(ctx.delta(table, sign).schema, rows, validate=False)
@@ -926,6 +969,7 @@ class ShardedBackend(Backend):
                 providers=self._shard_providers(ctx, shard),
                 perf=ctx.perf,
                 deltas={(table, sign): deltas[shard]},
+                trace=ctx.trace,
             )
             for shard in range(self.n_shards)
         ]
@@ -968,7 +1012,14 @@ class ShardedBackend(Backend):
                 )
             ctx.memo[marker] = True
         stage = self._stage_of(node)
-        results = self._broadcast(("stage", namespace, table, sign, stage))
+        traced = ctx.trace is not None
+        replies = self._broadcast(
+            ("stage", namespace, table, sign, stage, traced)
+        )
+        results = [
+            self._graft_reply(ctx, shard, reply)
+            for shard, reply in enumerate(replies)
+        ]
         if stage == "propagate":
             merged: dict = {}
             combiners = self._combiners[namespace]
@@ -987,6 +1038,15 @@ class ShardedBackend(Backend):
             if isinstance(provider, _ParallelShardedMaterialization):
                 provider._pending_reduced = (relation.rows, sign)
         return relation
+
+    def _graft_reply(self, ctx, shard: int, reply):
+        """Strip the span payload off one worker's stage reply, grafting
+        it into the open trace (re-parented under the stage span,
+        labeled with the shard)."""
+        spans = reply[2] if len(reply) > 2 else None
+        if spans and ctx.trace is not None:
+            ctx.trace.graft(spans, shard=shard)
+        return reply[0], reply[1]
 
     def execute_view_plan(self, plan, database):
         return plan.physical.run(ExecutionContext(resolver=database.relation))
@@ -1041,6 +1101,8 @@ class ShardedBackend(Backend):
         try:
             reply = worker.conn.recv()
         except EOFError:
+            if self.events is not None:
+                self.events.error("shard.worker_died", shard=worker.shard)
             raise BackendError(
                 f"shard worker {worker.shard} died unexpectedly"
             ) from None

@@ -39,7 +39,23 @@ Usage (``python -m repro <command> ...``)::
         Run the warehouse as an HTTP service: snapshot-isolated
         /query reads, a single-writer /apply queue with micro-batched
         coalescing, /refresh barrier, /explain, Prometheus /metrics,
-        and /healthz.
+        /healthz with SLO state, the structured /events log, and
+        stitched /trace trees.
+
+    python -m repro events --retail [--level L --jsonl out.jsonl]
+        Run the synthetic stream and print the structured event log
+        (txn commits/rollbacks, replans, checkpoints, backpressure).
+
+    python -m repro doctor --retail [--json --checkpoint path
+                                     --plant-index-corruption]
+        Operational self-check: index consistency, checkpoint
+        staleness, stats-catalog drift, event-log errors.  Exits 0
+        healthy, 1 degraded (warnings), 2 unhealthy (failures).
+
+    python -m repro top [--url U --interval S --once]
+        Live terminal dashboard over a serving /metrics endpoint:
+        throughput, queue depth, read latency quantiles, planner
+        q-error, per-shard balance.
 
 The observability commands and ``serve`` also run against the built-in
 retail star schema with ``--retail`` (no schema/view files needed), and
@@ -136,6 +152,8 @@ def _build_parser() -> argparse.ArgumentParser:
         ("perf", _cmd_perf, "run a synthetic stream; print perf counters"),
         ("trace", _cmd_trace, "run a synthetic stream with tracing on"),
         ("metrics", _cmd_metrics, "run a synthetic stream; export metrics"),
+        ("events", _cmd_events, "run a synthetic stream; print the event log"),
+        ("doctor", _cmd_doctor, "run warehouse self-checks (exit 0/1/2)"),
     ):
         sub = subparsers.add_parser(name, help=description)
         sub.add_argument("--schema", help="CREATE TABLE file ('-' for stdin)")
@@ -168,9 +186,67 @@ def _build_parser() -> argparse.ArgumentParser:
             sub.add_argument(
                 "--jsonl", help="write a JSONL snapshot of the registry"
             )
+        if name == "events":
+            sub.add_argument(
+                "--level",
+                choices=("debug", "info", "warn", "error"),
+                default=None,
+                help="only show events at or above this level",
+            )
+            sub.add_argument(
+                "--limit", type=int, default=None,
+                help="only show the newest N events",
+            )
+            sub.add_argument(
+                "--jsonl", help="export the event log as JSONL"
+            )
+        if name == "doctor":
+            sub.add_argument(
+                "--json",
+                action="store_true",
+                help="emit the machine-readable report instead of text",
+            )
+            sub.add_argument(
+                "--checkpoint",
+                help="checkpoint file whose staleness the doctor verifies",
+            )
+            sub.add_argument(
+                "--max-checkpoint-age",
+                type=float,
+                default=86_400.0,
+                help="seconds before a checkpoint counts as stale",
+            )
+            sub.add_argument(
+                "--plant-index-corruption",
+                action="store_true",
+                help="deliberately corrupt one row index first (CI gate: "
+                "proves the doctor notices)",
+            )
         _add_backend_flag(sub)
         _add_planner_flag(sub)
         sub.set_defaults(handler=handler)
+
+    top = subparsers.add_parser(
+        "top",
+        help="live terminal dashboard over a serving /metrics endpoint",
+    )
+    top.add_argument(
+        "--url", default="http://127.0.0.1:8642",
+        help="base URL of a running 'repro serve' (default %(default)s)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=None,
+        help="stop after N refreshes (default: run until Ctrl-C)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit (no screen clearing)",
+    )
+    top.set_defaults(handler=_cmd_top)
 
     serve = subparsers.add_parser(
         "serve",
@@ -213,6 +289,13 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=64,
         help="snapshot versions kept reconstructable for pinned readers",
+    )
+    serve.add_argument(
+        "--trace-sample-every",
+        type=int,
+        default=1,
+        help="trace the first of every N requests/transactions "
+        "(1 = all, 0 = tracing off; errors are always retained)",
     )
     _add_backend_flag(serve)
     _add_planner_flag(serve)
@@ -533,7 +616,76 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_events(args) -> int:
+    database, view = _workload(args)
+    warehouse, applied = _run_stream(database, view, args)
+    events = warehouse.events
+    print(
+        f"synthetic stream: {applied} transactions applied, "
+        f"{len(events)} events in the ring "
+        f"(totals: {events.totals or '{}'})"
+    )
+    rendered = events.render(level=args.level, limit=args.limit)
+    if rendered:
+        print(rendered)
+    if args.jsonl:
+        events.write_jsonl(args.jsonl, level=args.level)
+        print(f"event log exported to {args.jsonl}")
+    return 0
+
+
+def _cmd_doctor(args) -> int:
+    from repro.warehouse.doctor import plant_index_corruption, run_doctor
+
+    database, view = _workload(args)
+    warehouse, __ = _run_stream(database, view, args)
+    if args.plant_index_corruption:
+        if not plant_index_corruption(warehouse):
+            print(
+                "error: no in-process row index to corrupt on this backend",
+                file=sys.stderr,
+            )
+            return 1
+    report = run_doctor(
+        warehouse,
+        checkpoint_path=args.checkpoint,
+        max_checkpoint_age_s=args.max_checkpoint_age,
+    )
+    print(report.to_json() if args.json else report.render())
+    warehouse.close()
+    return report.exit_code
+
+
+def _cmd_top(args) -> int:
+    import time as _time
+
+    from repro.obs.top import Dashboard
+
+    dashboard = Dashboard(args.url)
+    iteration = 0
+    while True:
+        try:
+            metrics, health = dashboard.fetch()
+        except OSError as error:
+            print(f"error: cannot reach {args.url}: {error}", file=sys.stderr)
+            return 1
+        if not args.once:
+            # Clear and home (ANSI) so the dashboard repaints in place.
+            print("\x1b[2J\x1b[H", end="")
+        print(dashboard.render(metrics, health, args.interval))
+        iteration += 1
+        if args.once or (
+            args.iterations is not None and iteration >= args.iterations
+        ):
+            return 0
+        try:
+            _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
 def _cmd_serve(args) -> int:
+    from repro.obs.trace import Tracer
     from repro.serving.server import WarehouseServer
     from repro.warehouse.warehouse import Warehouse
     from repro.workloads.streams import seed_database
@@ -543,9 +695,15 @@ def _cmd_serve(args) -> int:
         seed_database(
             database, rows_per_table=args.rows_per_table, seed=args.seed
         )
+    tracer = (
+        Tracer(sample_every=args.trace_sample_every)
+        if args.trace_sample_every > 0
+        else None
+    )
     warehouse = Warehouse(
         database,
         [view],
+        tracer=tracer,
         backend=args.backend,
         planner=getattr(args, "planner", None),
     )
@@ -560,7 +718,7 @@ def _cmd_serve(args) -> int:
     print(f"serving {view.name!r} on {server.url}")
     print(
         "endpoints: /query?view=" + view.name + "  /apply  /refresh  "
-        "/explain  /metrics  /healthz   (Ctrl-C stops)"
+        "/explain  /metrics  /healthz  /events  /trace   (Ctrl-C stops)"
     )
     try:
         server.serve_forever()

@@ -458,6 +458,7 @@ class SelfMaintainer:
         tracer: Tracer | None = None,
         backend: Backend | str | None = None,
         planner: "PlannerMode | str | None" = None,
+        events: "EventLog | None" = None,
     ):
         """``append_only`` maintains the view as *old detail data*
         (Section 4): only insertions are accepted, in exchange for
@@ -488,7 +489,11 @@ class SelfMaintainer:
         historical deterministic policy); ``None`` consults
         ``REPRO_PLANNER``.  The ``NAIVE`` policy always plans
         statically — without maintained indexes there are no free
-        statistics to plan from."""
+        statistics to plan from.
+        ``events`` optionally attaches a structured
+        :class:`~repro.obs.log.EventLog`: the maintainer narrates
+        transaction begin/commit/rollback and planner re-plans into it,
+        correlated with the active trace when one exists."""
         self.view = view
         self.append_only = append_only
         self.backend = make_backend(backend)
@@ -499,6 +504,7 @@ class SelfMaintainer:
         self.reconstructor = Reconstructor(view, self.aux_set, database)
         self.perf = PerfStats()
         self.tracer = tracer
+        self.events = events
         self.policy = PlanPolicy.INDEXED if hotpath else PlanPolicy.NAIVE
         mode = make_planner_mode(planner)
         if self.policy is not PlanPolicy.INDEXED:
@@ -866,6 +872,7 @@ class SelfMaintainer:
         throughput) observe every *successful* application.
         """
         tracer = self.tracer
+        events = self.events
         trace = None
         if tracer is not None:
             trace = tracer.begin(
@@ -873,11 +880,24 @@ class SelfMaintainer:
                 view=self.view.name,
                 policy=self.policy.name,
             )
+        ctx = None if trace is None else trace.context()
         rows_in = _delta_rows(transaction)
+        if events is not None:
+            events.debug(
+                "txn.begin", ctx=ctx, view=self.view.name, rows=rows_in
+            )
         started = perf_counter()
         try:
             self._apply_traced(transaction, undo, shared, trace)
-        except Exception:
+        except Exception as exc:
+            if events is not None:
+                events.error(
+                    "txn.rollback",
+                    ctx=ctx,
+                    view=self.view.name,
+                    rows=rows_in,
+                    error=type(exc).__name__,
+                )
             if trace is not None:
                 trace.root.rows_in = rows_in
                 tracer.finish(trace, status="error")
@@ -888,6 +908,14 @@ class SelfMaintainer:
         perf.observe(TXN_DELTA_ROWS, rows_in)
         if elapsed > 0.0:
             perf.observe(TXN_ROWS_PER_SEC, rows_in / elapsed)
+        if events is not None:
+            events.debug(
+                "txn.commit",
+                ctx=ctx,
+                view=self.view.name,
+                rows=rows_in,
+                ms=round(elapsed * 1000.0, 3),
+            )
         if trace is not None:
             trace.root.rows_in = rows_in
             tracer.finish(trace)
@@ -1315,6 +1343,15 @@ class SelfMaintainer:
         }
         self._retire_plans(table, sign)
         self.perf.count("replans")
+        if self.events is not None:
+            self.events.info(
+                "planner.replan",
+                ctx=None if trace is None else trace.context(),
+                view=self.view.name,
+                table=table,
+                sign=sign,
+                q_error=round(worst, 2),
+            )
         if trace is not None:
             trace.instant(
                 "replan",

@@ -1,0 +1,144 @@
+"""Operational health: rolling-window SLO tracking.
+
+An :class:`SLOTracker` watches a request stream (the serving layer
+records every ``/query`` and ``/apply``) against two budgets over a
+sliding time window:
+
+* **availability** — fraction of requests that succeeded must stay at
+  or above ``availability_target``;
+* **latency** — the window's p99 must stay at or below
+  ``p99_budget_ms``.
+
+The window is a ring of coarse time buckets (``window_s / buckets``
+wide each): recording is O(1) — bump the current bucket's counters and
+its fixed-bound latency histogram — and :meth:`state` folds the live
+buckets into availability + p99 on demand, exactly like a Prometheus
+``histogram_quantile`` over a range vector, but in-process.  Old
+buckets fall out of the ring as time advances, so one slow minute ages
+out instead of poisoning the health signal forever.
+
+Thread-safe; the clock is injectable so tests can march time forward
+deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.obs.metrics import READ_LATENCY_MS_BUCKETS
+
+
+class SLOTracker:
+    """Availability + p99 budgets over a sliding window of requests."""
+
+    def __init__(
+        self,
+        window_s: float = 60.0,
+        buckets: int = 12,
+        availability_target: float = 0.999,
+        p99_budget_ms: float = 250.0,
+        latency_bounds: tuple[float, ...] = READ_LATENCY_MS_BUCKETS,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if window_s <= 0 or buckets <= 0:
+            raise ValueError("window_s and buckets must be positive")
+        self.window_s = float(window_s)
+        self.buckets = buckets
+        self.availability_target = availability_target
+        self.p99_budget_ms = p99_budget_ms
+        self.bounds = tuple(float(b) for b in latency_bounds)
+        self._width = self.window_s / buckets
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: bucket number -> [requests, errors, per-bound latency counts]
+        self._ring: dict[int, list] = {}
+
+    # ------------------------------------------------------------------
+    # Recording.
+    # ------------------------------------------------------------------
+
+    def _bucket_number(self) -> int:
+        return int(self._clock() / self._width)
+
+    def _evict(self, current: int) -> None:
+        floor = current - self.buckets + 1
+        for number in [n for n in self._ring if n < floor]:
+            del self._ring[number]
+
+    def record(self, ok: bool, latency_ms: float) -> None:
+        """One request outcome: success flag plus wall latency."""
+        current = self._bucket_number()
+        with self._lock:
+            self._evict(current)
+            bucket = self._ring.get(current)
+            if bucket is None:
+                bucket = self._ring[current] = [
+                    0, 0, [0] * (len(self.bounds) + 1)
+                ]
+            bucket[0] += 1
+            if not ok:
+                bucket[1] += 1
+            index = 0
+            while index < len(self.bounds) and latency_ms > self.bounds[index]:
+                index += 1
+            bucket[2][index] += 1
+
+    # ------------------------------------------------------------------
+    # Inspection.
+    # ------------------------------------------------------------------
+
+    def state(self) -> dict:
+        """The window folded into a health verdict: availability, p99,
+        both budgets, and which (if any) are breached.  An empty window
+        is healthy — no traffic is not an outage."""
+        current = self._bucket_number()
+        with self._lock:
+            self._evict(current)
+            requests = sum(bucket[0] for bucket in self._ring.values())
+            errors = sum(bucket[1] for bucket in self._ring.values())
+            counts = [0] * (len(self.bounds) + 1)
+            for bucket in self._ring.values():
+                for index, value in enumerate(bucket[2]):
+                    counts[index] += value
+        availability = 1.0 if requests == 0 else (requests - errors) / requests
+        p99 = self._quantile(counts, requests, 0.99)
+        breached = []
+        if availability < self.availability_target:
+            breached.append("availability")
+        if p99 is not None and p99 > self.p99_budget_ms:
+            breached.append("latency_p99")
+        return {
+            "window_s": self.window_s,
+            "requests": requests,
+            "errors": errors,
+            "availability": round(availability, 6),
+            "availability_target": self.availability_target,
+            "p99_ms": None if p99 is None else round(p99, 4),
+            "p99_budget_ms": self.p99_budget_ms,
+            "breached": breached,
+            "healthy": not breached,
+        }
+
+    @property
+    def healthy(self) -> bool:
+        return self.state()["healthy"]
+
+    def _quantile(
+        self, counts: list[int], total: int, q: float
+    ) -> float | None:
+        """Conservative quantile over the folded bucket counts: the
+        upper bound of the crossing bucket (overflow reports the top
+        bound — the budget is already blown at that point)."""
+        if total == 0:
+            return None
+        target = q * total
+        cumulative = 0
+        for index, count in enumerate(counts):
+            cumulative += count
+            if cumulative >= target:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.bounds[-1]  # overflow bucket
+        return self.bounds[-1]  # pragma: no cover - rounding guard

@@ -22,11 +22,23 @@ exported as one labeled metric family (``name{label_key="entry"}``).
 It exists so hot paths (:class:`~repro.perf.PerfStats`) can keep doing
 plain ``Counter`` arithmetic while the exporter still sees every value:
 the group *is* the store, not a copy.
+
+**Thread safety.**  The serving layer observes histograms and bumps
+counters from concurrent reader threads while ``/metrics`` scrapes
+snapshot and merge registries, so every individual metric guards its
+mutable state with a lock and exports through atomic state snapshots;
+the registry itself locks metric creation.  The one deliberate
+exception is counter *groups*: their zero-copy contract (plain
+``Counter`` arithmetic on the hot path) rules out per-increment
+locking, so they stay single-writer and exporters copy them with a
+bounded retry against dict-resize races.  Locks never cross the worker
+pipe — pickling drops and recreates them.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from bisect import bisect_left
 from collections import Counter
 from typing import Iterator
@@ -102,51 +114,93 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
-class CounterMetric:
-    """A monotonically increasing count."""
+def _copy_counter(group: Counter) -> Counter:
+    """Copy a live (possibly concurrently-mutated) counter group.  The
+    group's single writer may add a key mid-iteration; retry the bounded
+    handful of times a resize can realistically interleave."""
+    for _ in range(8):
+        try:
+            return Counter(group)
+        except RuntimeError:  # pragma: no cover - timing-dependent
+            continue
+    return Counter(dict(group.items()))  # pragma: no cover - last resort
 
-    __slots__ = ("name", "labels", "value")
+
+class _LockedStateMixin:
+    """Pickle support for slotted metrics carrying a ``_lock``: the lock
+    is dropped on the way out (registries cross the sharded backend's
+    worker pipes) and recreated on the way in."""
+
+    __slots__ = ()
+
+    def __getstate__(self):
+        with self._lock:
+            return {
+                slot: getattr(self, slot)
+                for slot in self.__slots__
+                if slot != "_lock"
+            }
+
+    def __setstate__(self, state):
+        for key, value in state.items():
+            setattr(self, key, value)
+        self._lock = threading.Lock()
+
+
+class CounterMetric(_LockedStateMixin):
+    """A monotonically increasing count (thread-safe)."""
+
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: _LabelKey):
         self.name = name
         self.labels = labels
         self.value: float = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1) -> None:
         if amount < 0:
             raise ValueError("counters only go up; use a gauge")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
-class Gauge:
-    """A point-in-time value (set, not accumulated)."""
+class Gauge(_LockedStateMixin):
+    """A point-in-time value (set, not accumulated; thread-safe)."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: _LabelKey):
         self.name = name
         self.labels = labels
         self.value: float = 0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = value
 
     def inc(self, amount: float = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
-class Histogram:
+class Histogram(_LockedStateMixin):
     """Fixed-bucket histogram with exact count/sum/min/max.
 
     ``bounds`` are upper-inclusive bucket edges; one overflow bucket
     (``+Inf``) is implicit.  Quantiles interpolate linearly inside the
     crossing bucket, clamped to the observed ``[min, max]`` so a
     single-value histogram reports that value at every percentile.
+
+    Thread-safe: ``observe`` and ``merge`` mutate under a lock, and
+    every read path (quantiles, summaries, exports) derives from one
+    atomic state snapshot, so a scrape racing an observe never sees a
+    bucket-count/total tear.
     """
 
     __slots__ = (
         "name", "labels", "bounds", "bucket_counts", "count", "total",
-        "minimum", "maximum",
+        "minimum", "maximum", "_lock",
     )
 
     def __init__(self, name: str, labels: _LabelKey, bounds: tuple[float, ...]):
@@ -160,45 +214,101 @@ class Histogram:
         self.total = 0.0
         self.minimum: float | None = None
         self.maximum: float | None = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.bucket_counts[bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.total += value
-        if self.minimum is None or value < self.minimum:
-            self.minimum = value
-        if self.maximum is None or value > self.maximum:
-            self.maximum = value
+        bucket = bisect_left(self.bounds, value)
+        with self._lock:
+            self.bucket_counts[bucket] += 1
+            self.count += 1
+            self.total += value
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
 
-    def quantile(self, q: float) -> float | None:
-        """The estimated ``q``-quantile (``0 < q <= 1``); None when empty."""
-        if self.count == 0:
+    def _state(self) -> tuple[list[int], int, float, float | None, float | None]:
+        """Atomic (bucket_counts, count, total, min, max) snapshot."""
+        with self._lock:
+            return (
+                list(self.bucket_counts),
+                self.count,
+                self.total,
+                self.minimum,
+                self.maximum,
+            )
+
+    def _quantile_from(
+        self,
+        counts: list[int],
+        count: int,
+        minimum: float | None,
+        maximum: float | None,
+        q: float,
+    ) -> float | None:
+        if count == 0:
             return None
-        target = q * self.count
+        target = q * count
         cumulative = 0
-        for index, bucket_count in enumerate(self.bucket_counts):
+        for index, bucket_count in enumerate(counts):
             if bucket_count == 0:
                 continue
             lo = self.bounds[index - 1] if index > 0 else 0.0
-            hi = self.bounds[index] if index < len(self.bounds) else self.maximum
+            hi = self.bounds[index] if index < len(self.bounds) else maximum
             previous = cumulative
             cumulative += bucket_count
             if cumulative >= target:
                 fraction = (target - previous) / bucket_count
                 estimate = lo + (hi - lo) * fraction
-                return min(max(estimate, self.minimum), self.maximum)
-        return self.maximum  # pragma: no cover - rounding guard
+                return min(max(estimate, minimum), maximum)
+        return maximum  # pragma: no cover - rounding guard
+
+    def quantile(self, q: float) -> float | None:
+        """The estimated ``q``-quantile (``0 < q <= 1``); None when empty."""
+        counts, count, _, minimum, maximum = self._state()
+        return self._quantile_from(counts, count, minimum, maximum, q)
 
     def summary(self) -> dict:
         """count/sum plus the derived p50/p95/p99 (and exact min/max)."""
+        counts, count, total, minimum, maximum = self._state()
+
+        def quantile(q: float) -> float | None:
+            return _round_or_none(
+                self._quantile_from(counts, count, minimum, maximum, q)
+            )
+
         return {
-            "count": self.count,
-            "sum": round(self.total, 6),
-            "min": self.minimum,
-            "max": self.maximum,
-            "p50": _round_or_none(self.quantile(0.50)),
-            "p95": _round_or_none(self.quantile(0.95)),
-            "p99": _round_or_none(self.quantile(0.99)),
+            "count": count,
+            "sum": round(total, 6),
+            "min": minimum,
+            "max": maximum,
+            "p50": quantile(0.50),
+            "p95": quantile(0.95),
+            "p99": quantile(0.99),
+        }
+
+    def export(self) -> dict:
+        """Summary plus per-bucket counts, from one atomic snapshot."""
+        counts, count, total, minimum, maximum = self._state()
+
+        def quantile(q: float) -> float | None:
+            return _round_or_none(
+                self._quantile_from(counts, count, minimum, maximum, q)
+            )
+
+        return {
+            "buckets": {
+                _format_value(bound): bucket_count
+                for bound, bucket_count in zip(self.bounds, counts)
+            },
+            "overflow": counts[-1],
+            "count": count,
+            "sum": round(total, 6),
+            "min": minimum,
+            "max": maximum,
+            "p50": quantile(0.50),
+            "p95": quantile(0.95),
+            "p99": quantile(0.99),
         }
 
     def merge(self, other: "Histogram") -> None:
@@ -206,32 +316,38 @@ class Histogram:
             raise ValueError(
                 f"cannot merge histogram {self.name!r}: bucket bounds differ"
             )
-        for index, bucket_count in enumerate(other.bucket_counts):
-            self.bucket_counts[index] += bucket_count
-        self.count += other.count
-        self.total += other.total
-        if other.minimum is not None:
-            if self.minimum is None or other.minimum < self.minimum:
-                self.minimum = other.minimum
-        if other.maximum is not None:
-            if self.maximum is None or other.maximum > self.maximum:
-                self.maximum = other.maximum
+        # Snapshot the source first (its own lock), then fold under
+        # ours: no nested lock acquisition, so merge direction can never
+        # deadlock against a concurrent opposite-direction merge.
+        counts, count, total, minimum, maximum = other._state()
+        with self._lock:
+            for index, bucket_count in enumerate(counts):
+                self.bucket_counts[index] += bucket_count
+            self.count += count
+            self.total += total
+            if minimum is not None:
+                if self.minimum is None or minimum < self.minimum:
+                    self.minimum = minimum
+            if maximum is not None:
+                if self.maximum is None or maximum > self.maximum:
+                    self.maximum = maximum
 
 
 def _round_or_none(value: float | None, digits: int = 4) -> float | None:
     return None if value is None else round(value, digits)
 
 
-class MetricsRegistry:
+class MetricsRegistry(_LockedStateMixin):
     """All metrics of one component, keyed by ``(name, labels)``."""
 
-    __slots__ = ("_counters", "_gauges", "_histograms", "_groups")
+    __slots__ = ("_counters", "_gauges", "_histograms", "_groups", "_lock")
 
     def __init__(self):
         self._counters: dict[tuple[str, _LabelKey], CounterMetric] = {}
         self._gauges: dict[tuple[str, _LabelKey], Gauge] = {}
         self._histograms: dict[tuple[str, _LabelKey], Histogram] = {}
         self._groups: dict[tuple[str, str], Counter] = {}
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Creation / lookup.
@@ -241,14 +357,20 @@ class MetricsRegistry:
         key = (name, _label_key(labels))
         metric = self._counters.get(key)
         if metric is None:
-            metric = self._counters[key] = CounterMetric(name, key[1])
+            with self._lock:
+                metric = self._counters.get(key)
+                if metric is None:
+                    metric = self._counters[key] = CounterMetric(name, key[1])
         return metric
 
     def gauge(self, name: str, **labels: str) -> Gauge:
         key = (name, _label_key(labels))
         metric = self._gauges.get(key)
         if metric is None:
-            metric = self._gauges[key] = Gauge(name, key[1])
+            with self._lock:
+                metric = self._gauges.get(key)
+                if metric is None:
+                    metric = self._gauges[key] = Gauge(name, key[1])
         return metric
 
     def histogram(
@@ -260,20 +382,41 @@ class MetricsRegistry:
         key = (name, _label_key(labels))
         metric = self._histograms.get(key)
         if metric is None:
-            metric = self._histograms[key] = Histogram(name, key[1], buckets)
+            with self._lock:
+                metric = self._histograms.get(key)
+                if metric is None:
+                    metric = self._histograms[key] = Histogram(
+                        name, key[1], buckets
+                    )
         return metric
 
     def counter_group(self, name: str, label_key: str) -> Counter:
         """A registry-owned :class:`collections.Counter` exported as the
         labeled counter family ``name{label_key="<entry>"}``.  The
         returned object IS the live store — callers mutate it directly
-        (the zero-copy hot path behind :class:`~repro.perf.PerfStats`).
+        (the zero-copy hot path behind :class:`~repro.perf.PerfStats`),
+        which also means groups are single-writer by contract: the
+        registry lock covers creation, not mutation.
         """
         key = (name, label_key)
         group = self._groups.get(key)
         if group is None:
-            group = self._groups[key] = Counter()
+            with self._lock:
+                group = self._groups.get(key)
+                if group is None:
+                    group = self._groups[key] = Counter()
         return group
+
+    def _tables(self) -> tuple[list, list, list, list]:
+        """Stable (groups, counters, gauges, histograms) item lists —
+        the iteration-safe view every exporter and merge works from."""
+        with self._lock:
+            return (
+                list(self._groups.items()),
+                list(self._counters.items()),
+                list(self._gauges.items()),
+                list(self._histograms.items()),
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -282,23 +425,24 @@ class MetricsRegistry:
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold ``other``'s metrics into this registry (sums counts and
         histograms; gauges add, matching their use as occupancy levels)."""
-        for (name, label_key), group in other._groups.items():
-            self.counter_group(name, label_key).update(group)
-        for (name, labels), metric in other._counters.items():
-            mine = self.counter(name, **dict(labels))
-            mine.value += metric.value
-        for (name, labels), metric in other._gauges.items():
+        groups, counters, gauges, histograms = other._tables()
+        for (name, label_key), group in groups:
+            self.counter_group(name, label_key).update(_copy_counter(group))
+        for (name, labels), metric in counters:
+            self.counter(name, **dict(labels)).inc(metric.value)
+        for (name, labels), metric in gauges:
             self.gauge(name, **dict(labels)).inc(metric.value)
-        for (name, labels), metric in other._histograms.items():
+        for (name, labels), metric in histograms:
             self.histogram(name, metric.bounds, **dict(labels)).merge(metric)
 
     def reset(self) -> None:
         """Zero every metric (group Counters stay bound to their callers)."""
-        for group in self._groups.values():
-            group.clear()
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            for group in self._groups.values():
+                group.clear()
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
     # ------------------------------------------------------------------
     # Export.
@@ -306,9 +450,10 @@ class MetricsRegistry:
 
     def snapshot(self) -> list[dict]:
         """One JSON-serializable record per metric, deterministic order."""
+        groups, counters, gauges, histograms = self._tables()
         records: list[dict] = []
-        for (name, label_key), group in sorted(self._groups.items()):
-            for entry, value in sorted(group.items()):
+        for (name, label_key), group in sorted(groups):
+            for entry, value in sorted(_copy_counter(group).items()):
                 records.append(
                     {
                         "type": "counter",
@@ -317,7 +462,7 @@ class MetricsRegistry:
                         "value": value,
                     }
                 )
-        for (name, labels), metric in sorted(self._counters.items()):
+        for (name, labels), metric in sorted(counters):
             records.append(
                 {
                     "type": "counter",
@@ -326,7 +471,7 @@ class MetricsRegistry:
                     "value": metric.value,
                 }
             )
-        for (name, labels), metric in sorted(self._gauges.items()):
+        for (name, labels), metric in sorted(gauges):
             records.append(
                 {
                     "type": "gauge",
@@ -335,18 +480,13 @@ class MetricsRegistry:
                     "value": metric.value,
                 }
             )
-        for (name, labels), metric in sorted(self._histograms.items()):
+        for (name, labels), metric in sorted(histograms):
             records.append(
                 {
                     "type": "histogram",
                     "name": name,
                     "labels": dict(labels),
-                    "buckets": {
-                        _format_value(bound): count
-                        for bound, count in zip(metric.bounds, metric.bucket_counts)
-                    },
-                    "overflow": metric.bucket_counts[-1],
-                    **metric.summary(),
+                    **metric.export(),
                 }
             )
         return records
@@ -366,6 +506,7 @@ class MetricsRegistry:
 
     def _prometheus_lines(self) -> Iterator[str]:
         families: dict[str, tuple[str, list[str]]] = {}
+        groups, counters, gauges, histograms = self._tables()
 
         def family(name: str, kind: str) -> list[str]:
             safe = _sanitize_name(name)
@@ -374,37 +515,38 @@ class MetricsRegistry:
                 entry = families[safe] = (kind, [])
             return entry[1]
 
-        for (name, label_key), group in sorted(self._groups.items()):
+        for (name, label_key), group in sorted(groups):
             lines = family(name, "counter")
-            for entry, value in sorted(group.items()):
+            for entry, value in sorted(_copy_counter(group).items()):
                 labels = _render_labels(((label_key, entry),))
                 lines.append(f"{_sanitize_name(name)}{labels} {_format_value(value)}")
-        for (name, labels), metric in sorted(self._counters.items()):
+        for (name, labels), metric in sorted(counters):
             family(name, "counter").append(
                 f"{_sanitize_name(name)}{_render_labels(metric.labels)} "
                 f"{_format_value(metric.value)}"
             )
-        for (name, labels), metric in sorted(self._gauges.items()):
+        for (name, labels), metric in sorted(gauges):
             family(name, "gauge").append(
                 f"{_sanitize_name(name)}{_render_labels(metric.labels)} "
                 f"{_format_value(metric.value)}"
             )
-        for (name, labels), metric in sorted(self._histograms.items()):
+        for (name, labels), metric in sorted(histograms):
             lines = family(name, "histogram")
             safe = _sanitize_name(name)
+            counts, count, total, _minimum, _maximum = metric._state()
             cumulative = 0
-            for bound, bucket_count in zip(metric.bounds, metric.bucket_counts):
+            for bound, bucket_count in zip(metric.bounds, counts):
                 cumulative += bucket_count
                 le = _render_labels(metric.labels, (("le", _format_value(bound)),))
                 lines.append(f"{safe}_bucket{le} {cumulative}")
             le = _render_labels(metric.labels, (("le", "+Inf"),))
-            lines.append(f"{safe}_bucket{le} {metric.count}")
+            lines.append(f"{safe}_bucket{le} {count}")
             lines.append(
                 f"{safe}_sum{_render_labels(metric.labels)} "
-                f"{_format_value(round(metric.total, 6))}"
+                f"{_format_value(round(total, 6))}"
             )
             lines.append(
-                f"{safe}_count{_render_labels(metric.labels)} {metric.count}"
+                f"{safe}_count{_render_labels(metric.labels)} {count}"
             )
         for safe, (kind, lines) in sorted(families.items()):
             yield f"# TYPE {safe} {kind}"

@@ -215,6 +215,30 @@ class StatsCatalog:
         live = self.distinct_count(table, column)
         return max(self._domains.get((table, column), live), live, 1)
 
+    # -- health checks -----------------------------------------------------
+
+    def drift_report(self) -> list[dict]:
+        """Doctor check: cached snapshot entries vs live state.  The
+        snapshot must be dropped at every transaction boundary, so any
+        cached row count that disagrees with the live materialization
+        means an invalidation was missed and the planner is costing
+        against stale cardinalities.  Returns one finding per stale
+        entry (empty = healthy)."""
+        findings: list[dict] = []
+        for table, stats in sorted(self._snapshot.items()):
+            provider = self._providers.get(table)
+            live = len(provider) if provider is not None else 0
+            if stats.rows != live:
+                findings.append(
+                    {
+                        "kind": "stale_snapshot",
+                        "table": table,
+                        "cached_rows": stats.rows,
+                        "live_rows": live,
+                    }
+                )
+        return findings
+
     # -- estimation formulas ----------------------------------------------
 
     def semijoin_selectivity(self, table: str, column: str) -> float:

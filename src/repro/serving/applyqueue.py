@@ -25,12 +25,22 @@ Backpressure is a bounded queue: :meth:`submit` raises
 already waiting (HTTP maps it to 503), and the registry gauges
 ``repro_serving_queue_depth`` / ``repro_serving_lag_transactions``
 expose the backlog and the accepted-minus-applied lag for scrapes.
+
+Observability: when a :class:`~repro.obs.trace.Tracer` is attached,
+each micro-batch runs under an ``apply-batch`` span whose parent is the
+first originating request's ``traceparent`` (the other coalesced
+requests are recorded as ``links``), and ``Warehouse.apply`` runs with
+that span as the thread's ambient parent — so every maintainer
+transaction trace joins the request's tree.  An attached
+:class:`~repro.obs.log.EventLog` narrates backpressure rejections and
+batch outcomes.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.engine.deltas import Transaction, coalesce
@@ -57,6 +67,9 @@ class ApplyTicket:
     version: int | None = None
     watermark: int | None = None
     error: BaseException | None = None
+    #: ``traceparent`` of the originating request span, if the submitter
+    #: was traced — the worker parents the micro-batch span on it.
+    ctx: str | None = None
 
     def _resolve(self, version: int, watermark: int) -> None:
         self.version = version
@@ -97,14 +110,21 @@ class ApplyQueue:
         registry: MetricsRegistry | None = None,
         max_pending: int = 256,
         max_batch: int = 16,
+        tracer=None,
+        events=None,
     ):
         """``stores`` maps view names to their
         :class:`~repro.serving.snapshots.VersionedViewStore`; the worker
         publishes one new version to every store per successful batch.
+        ``tracer``/``events`` (a :class:`~repro.obs.trace.Tracer` and an
+        :class:`~repro.obs.log.EventLog`, both optional) attach the
+        observability layer described in the module docstring.
         """
         self._warehouse = warehouse
         self._stores = stores
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.events = events
         self._max_batch = max(1, max_batch)
         self._queue: queue.Queue = queue.Queue(maxsize=max_pending)
         self._seq_lock = threading.Lock()
@@ -157,17 +177,27 @@ class ApplyQueue:
     # Client side.
     # ------------------------------------------------------------------
 
-    def submit(self, transaction: Transaction) -> ApplyTicket:
+    def submit(
+        self, transaction: Transaction, ctx: str | None = None
+    ) -> ApplyTicket:
         """Enqueue one transaction; returns its ticket immediately.
+        ``ctx`` (a ``traceparent``) links the originating request span.
 
         Raises :class:`BackpressureError` when the queue is full —
         nothing was accepted, the client may retry.
         """
         with self._seq_lock:
-            ticket = ApplyTicket(self._accepted + 1, transaction)
+            ticket = ApplyTicket(self._accepted + 1, transaction, ctx=ctx)
             try:
                 self._queue.put_nowait(ticket)
             except queue.Full:
+                if self.events is not None:
+                    self.events.warn(
+                        "queue.backpressure",
+                        ctx=ctx,
+                        depth=self._queue.qsize(),
+                        max_pending=self._queue.maxsize,
+                    )
                 raise BackpressureError(
                     f"apply queue full ({self._queue.maxsize} pending)"
                 ) from None
@@ -242,16 +272,45 @@ class ApplyQueue:
         rows_net = sum(
             len(d.inserted) + len(d.deleted) for d in net
         )
-        try:
-            changed = (
-                self._warehouse.apply(net) if not net.empty else {}
+        origins = [t.ctx for t in writes if t.ctx is not None]
+        trace = None
+        if self.tracer is not None:
+            trace = self.tracer.begin(
+                "apply-batch",
+                kind="queue",
+                parent=origins[0] if origins else None,
+                links=origins[1:],
+                txns=len(writes),
+                rows_in=rows_before,
+                rows_net=rows_net,
             )
+        batch_ctx = None if trace is None else trace.context()
+        try:
+            with (
+                self.tracer.parented(batch_ctx)
+                if self.tracer is not None
+                else _null_context()
+            ):
+                changed = (
+                    self._warehouse.apply(net) if not net.empty else {}
+                )
         except Exception as error:
             self._rejected_counter.inc(len(writes))
             self._last_error = f"{type(error).__name__}: {error}"
+            if trace is not None:
+                self.tracer.finish(trace, "error")
+            if self.events is not None:
+                self.events.error(
+                    "batch.rejected",
+                    ctx=batch_ctx,
+                    txns=len(writes),
+                    error=type(error).__name__,
+                )
             for ticket in writes:
                 ticket._fail(error)
             return
+        if trace is not None:
+            self.tracer.finish(trace)
         self._batches.inc()
         self._applied_counter.inc(len(writes))
         self._coalesced_counter.inc(rows_before - rows_net)
@@ -266,12 +325,27 @@ class ApplyQueue:
             store.publish(version, watermark, patch)
         self._version_gauge.set(version)
         self._watermark_gauge.set(watermark)
+        if self.events is not None:
+            self.events.info(
+                "batch.applied",
+                ctx=batch_ctx,
+                txns=len(writes),
+                rows_in=rows_before,
+                rows_net=rows_net,
+                version=version,
+                watermark=watermark,
+            )
         for ticket in writes:
             ticket._resolve(version, watermark)
 
     def _update_gauges(self) -> None:
         self._depth_gauge.set(self._queue.qsize())
         self._lag_gauge.set(max(0, self._accepted - self._applied))
+
+
+@contextmanager
+def _null_context():
+    yield
 
 
 def _stream_rows(transactions) -> int:

@@ -10,12 +10,14 @@ so tests can drive the service without sockets.
 
 Endpoints::
 
-    GET  /healthz                  liveness + versions + backlog
+    GET  /healthz                  liveness + SLO state + backlog
     GET  /query?view=V[&version=N] snapshot read (rows + version pin)
     POST /apply[?mode=sync|async]  submit a transaction (JSON deltas)
     POST /refresh                  barrier: drain the apply queue
     GET  /explain?view=V           the view's physical plans (text)
     GET  /metrics                  Prometheus text exposition
+    GET  /events[?level=L&limit=N] structured event log (JSON)
+    GET  /trace[?format=jsonl|text] stitched trace trees
 
 Read isolation: ``/query`` touches only the immutable snapshot chain —
 never the maintainer the writer is mutating — so any number of reader
@@ -24,6 +26,15 @@ threads proceed while a transaction applies.  ``/metrics`` and
 short retry loop because the only hazard is a dict growing mid-export
 (CPython raises ``RuntimeError``; the next attempt sees a consistent
 picture).
+
+Tracing: when the warehouse carries a
+:class:`~repro.obs.trace.Tracer`, each request gets a root span
+(``http:apply``, ``http:query``, ...) and ``/apply`` hands its span's
+``traceparent`` to the queue, so the micro-batch span and every
+maintainer transaction it covers join the request's tree
+(``/trace`` serves the stitched result).  A rolling
+:class:`~repro.obs.health.SLOTracker` folds request outcomes into the
+availability/latency state ``/healthz`` reports.
 """
 
 from __future__ import annotations
@@ -35,6 +46,8 @@ from time import perf_counter
 from urllib.parse import parse_qs, urlsplit
 
 from repro.engine.deltas import Delta, Transaction
+from repro.obs.health import SLOTracker
+from repro.obs.log import EVENT_SCHEMA_VERSION, LEVELS
 from repro.obs.metrics import MetricsRegistry, READ_LATENCY_MS_BUCKETS
 from repro.serving.applyqueue import ApplyQueue, BackpressureError
 from repro.serving.snapshots import (
@@ -62,11 +75,14 @@ class WarehouseService:
         max_batch: int = 16,
         retain_versions: int = 64,
         sync_timeout: float = 30.0,
+        slo: SLOTracker | None = None,
     ):
         self.warehouse = warehouse
         self.registry = MetricsRegistry()
         self._sync_timeout = sync_timeout
-        self._obs_lock = threading.Lock()
+        self.tracer = getattr(warehouse, "tracer", None)
+        self.events = getattr(warehouse, "events", None)
+        self.slo = slo if slo is not None else SLOTracker()
         self._read_latency = self.registry.histogram(
             "repro_serving_read_latency_ms", READ_LATENCY_MS_BUCKETS
         )
@@ -87,6 +103,8 @@ class WarehouseService:
             registry=self.registry,
             max_pending=max_pending,
             max_batch=max_batch,
+            tracer=self.tracer,
+            events=self.events,
         )
 
     # ------------------------------------------------------------------
@@ -105,8 +123,10 @@ class WarehouseService:
     # ------------------------------------------------------------------
 
     def healthz(self) -> tuple[int, str, bytes]:
+        slo_state = self.slo.state()
         body = {
-            "status": "ok",
+            "status": "ok" if slo_state["healthy"] else "degraded",
+            "slo": slo_state,
             "views": {
                 name: {
                     "version": store.latest_version,
@@ -117,20 +137,36 @@ class WarehouseService:
             "queue_depth": self.queue.depth,
             "accepted": self.queue.accepted,
             "applied": self.queue.applied,
+            "lag_transactions": max(
+                0, self.queue.accepted - self.queue.applied
+            ),
             "last_error": self.queue.last_error,
         }
         return 200, "application/json", _json_bytes(body)
+
+    def _begin_request(self, label: str, **attrs):
+        """Root span for one HTTP request, or None when untraced."""
+        if self.tracer is None:
+            return None
+        return self.tracer.begin(label, kind="request", **attrs)
+
+    def _finish_request(self, trace, status: str = "ok") -> None:
+        if trace is not None:
+            self.tracer.finish(trace, status)
 
     def query(self, view: str, version: int | None = None) -> tuple[int, str, bytes]:
         store = self.stores.get(view)
         if store is None:
             raise ServiceError(404, f"unknown view {view!r}")
+        trace = self._begin_request("http:query", view=view)
         started = perf_counter()
         try:
             snapshot = store.snapshot(version)
         except VersionGoneError as error:
+            self._finish_request(trace, "error")
             raise ServiceError(410, str(error)) from None
         except SnapshotError as error:
+            self._finish_request(trace, "error")
             raise ServiceError(404, str(error)) from None
         relation = snapshot.relation()
         body = {
@@ -142,32 +178,50 @@ class WarehouseService:
         }
         payload = _json_bytes(body)
         elapsed_ms = (perf_counter() - started) * 1000.0
-        # Histograms are not atomic under concurrent observes; reads come
-        # from many handler threads, so serialize the observation.
-        with self._obs_lock:
-            self._read_latency.observe(elapsed_ms)
-            self._read_counter.inc()
+        self._read_latency.observe(elapsed_ms)
+        self._read_counter.inc()
+        self.slo.record(True, elapsed_ms)
+        if trace is not None:
+            trace.root.rows_out = len(body["rows"])
+        self._finish_request(trace)
         return 200, "application/json", payload
 
     def apply(self, payload: bytes, mode: str = "sync") -> tuple[int, str, bytes]:
         if mode not in ("sync", "async"):
             raise ServiceError(400, f"mode must be sync or async, not {mode!r}")
         transaction = _parse_transaction(payload)
+        trace = self._begin_request(
+            "http:apply",
+            mode=mode,
+            rows=sum(len(d.inserted) + len(d.deleted) for d in transaction),
+        )
+        started = perf_counter()
+        ctx = None if trace is None else trace.context()
         try:
-            ticket = self.queue.submit(transaction)
+            ticket = self.queue.submit(transaction, ctx=ctx)
         except BackpressureError as error:
+            self.slo.record(False, (perf_counter() - started) * 1000.0)
+            self._finish_request(trace, "error")
             raise ServiceError(503, str(error)) from None
         if mode == "async":
+            self.slo.record(True, (perf_counter() - started) * 1000.0)
+            self._finish_request(trace)
             body = {"seq": ticket.seq, "accepted": True}
             return 202, "application/json", _json_bytes(body)
         try:
             ticket.wait(self._sync_timeout)
         except TimeoutError as error:
+            self.slo.record(False, (perf_counter() - started) * 1000.0)
+            self._finish_request(trace, "error")
             raise ServiceError(504, str(error)) from None
         except Exception as error:
+            self.slo.record(False, (perf_counter() - started) * 1000.0)
+            self._finish_request(trace, "error")
             raise ServiceError(
                 422, f"transaction rejected: {type(error).__name__}: {error}"
             ) from None
+        self.slo.record(True, (perf_counter() - started) * 1000.0)
+        self._finish_request(trace)
         body = {
             "seq": ticket.seq,
             "version": ticket.version,
@@ -192,12 +246,48 @@ class WarehouseService:
     def metrics(self) -> tuple[int, str, bytes]:
         def scrape() -> str:
             merged = self.warehouse.metrics_registry()
-            with self._obs_lock:
-                merged.merge(self.registry)
+            merged.merge(self.registry)
             return merged.render_prometheus()
 
         text = _retry_on_runtime_error(scrape)
         return 200, "text/plain; version=0.0.4; charset=utf-8", text.encode()
+
+    def export_events(
+        self, level: str | None = None, limit: int | None = None
+    ) -> tuple[int, str, bytes]:
+        """The warehouse's structured event log as JSON."""
+        if self.events is None:
+            raise ServiceError(404, "no event log attached")
+        if level is not None and level not in LEVELS:
+            raise ServiceError(
+                400, f"level must be one of {', '.join(LEVELS)}"
+            )
+        selected = self.events.events(level=level, limit=limit)
+        body = {
+            "schema": EVENT_SCHEMA_VERSION,
+            "totals": self.events.totals,
+            "events": [event.to_dict() for event in selected],
+        }
+        return 200, "application/json", _json_bytes(body)
+
+    def export_traces(self, fmt: str = "jsonl") -> tuple[int, str, bytes]:
+        """Finished traces, stitched into connected trees — ``jsonl``
+        (one span record per line) or ``text`` (rendered flame trees)."""
+        if self.tracer is None:
+            raise ServiceError(404, "no tracer attached")
+        if fmt not in ("jsonl", "text"):
+            raise ServiceError(400, f"format must be jsonl or text, not {fmt!r}")
+        stitched = self.tracer.stitched()
+        if fmt == "text":
+            text = "\n\n".join(trace.render() for trace in stitched)
+            return 200, "text/plain; charset=utf-8", text.encode()
+        lines = [
+            json.dumps(record, sort_keys=True)
+            for trace in stitched
+            for record in trace.to_dicts()
+        ]
+        body = ("\n".join(lines) + "\n") if lines else ""
+        return 200, "application/jsonl", body.encode()
 
 
 def _retry_on_runtime_error(fn, attempts: int = 5):
@@ -268,6 +358,17 @@ class _Handler(BaseHTTPRequestHandler):
             elif url.path == "/explain":
                 view = _param(params, "view", optional=True)
                 self._reply(*self.service.explain(view))
+            elif url.path == "/events":
+                level = _param(params, "level", optional=True)
+                limit = _param(params, "limit", optional=True)
+                self._reply(
+                    *self.service.export_events(
+                        level, int(limit) if limit is not None else None
+                    )
+                )
+            elif url.path == "/trace":
+                fmt = _param(params, "format", optional=True) or "jsonl"
+                self._reply(*self.service.export_traces(fmt))
             else:
                 self._error(404, f"no such endpoint: {url.path}")
         except ServiceError as error:

@@ -12,6 +12,7 @@ to JSON and rebuilds it against the catalog alone.
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 from typing import Mapping
 
@@ -21,6 +22,16 @@ from repro.core.view import ViewDefinition
 from repro.warehouse.warehouse import Warehouse
 
 FORMAT_VERSION = 1
+
+
+def checkpoint_meta(path: str | Path) -> dict:
+    """The ``meta`` block of a checkpoint file (``{}`` for files written
+    before metadata existed — the format is unchanged, the block is an
+    optional addition the doctor's staleness check reads)."""
+    checkpoint = json.loads(Path(path).read_text())
+    _check_format(checkpoint)
+    meta = checkpoint.get("meta", {})
+    return meta if isinstance(meta, dict) else {}
 
 
 def dump_maintainer(maintainer: SelfMaintainer) -> dict:
@@ -59,11 +70,22 @@ def restore_maintainer(
 
 def dump_warehouse(warehouse: Warehouse) -> dict:
     """Checkpoint every registered view of a warehouse (only between
-    transactions — see :func:`dump_maintainer`)."""
+    transactions — see :func:`dump_maintainer`).  The ``meta`` block
+    (creation wall time, per-view applied-transaction counts) feeds the
+    doctor's staleness check; readers that predate it ignore it."""
     for name in warehouse.view_names:
         _check_quiescent(warehouse.maintainer(name))
     return {
         "format": FORMAT_VERSION,
+        "meta": {
+            "created_at": time.time(),
+            "transactions": {
+                name: warehouse.maintainer(name).perf.counters.get(
+                    "transactions", 0
+                )
+                for name in warehouse.view_names
+            },
+        },
         "views": {
             name: warehouse.maintainer(name).export_state()
             for name in warehouse.view_names
@@ -96,12 +118,23 @@ def restore_warehouse(
         )
         maintainer.load_state(state)
         warehouse.adopt(maintainer)
+    meta = checkpoint.get("meta", {})
+    warehouse.events.info(
+        "checkpoint.restored",
+        views=len(views),
+        created_at=meta.get("created_at") if isinstance(meta, dict) else None,
+    )
     return warehouse
 
 
 def save_warehouse(warehouse: Warehouse, path: str | Path) -> None:
     """Write a warehouse checkpoint to ``path`` as JSON."""
     Path(path).write_text(json.dumps(dump_warehouse(warehouse)))
+    warehouse.events.info(
+        "checkpoint.saved",
+        path=str(path),
+        views=len(warehouse.view_names),
+    )
 
 
 def load_warehouse(

@@ -19,6 +19,7 @@ from repro.engine import compilecache
 from repro.engine.deltas import Transaction
 from repro.engine.relation import Relation
 from repro.engine.undolog import UndoLog, rollback_all
+from repro.obs.log import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.perf import PerfStats
@@ -78,6 +79,7 @@ class Warehouse:
         tracer: Tracer | None = None,
         backend: Backend | str | None = None,
         planner: "PlannerMode | str | None" = None,
+        events: EventLog | None = None,
     ):
         """``database`` is only read during :meth:`register` (initial load).
         ``tracer`` is handed to every maintainer registered here, so one
@@ -94,10 +96,16 @@ class Warehouse:
         governs cross-view sharing: under ``cost``, :meth:`apply` hands
         maintainers a :class:`~repro.plan.cost.SharedPlanCache` that
         admits only the explicitly *selected* shared subplans (see
-        :meth:`shared_subplan_selection`)."""
+        :meth:`shared_subplan_selection`).
+        ``events`` is the structured :class:`~repro.obs.log.EventLog`
+        every maintainer (and the backend) narrates into — one log per
+        warehouse, trace-correlated; a default bounded log is created
+        when none is supplied."""
         self._database = database
         self.tracer = tracer
+        self.events = events if events is not None else EventLog()
         self._backend = make_backend(backend)
+        self._backend.bind_observability(events=self.events)
         self.planner_mode = make_planner_mode(planner)
         self._maintainers: dict[str, SelfMaintainer] = {}
         self._shared_selection: frozenset | None = None
@@ -119,6 +127,7 @@ class Warehouse:
             tracer=self.tracer,
             backend=self._backend,
             planner=self.planner_mode,
+            events=self.events,
         )
         self._maintainers[view.name] = maintainer
         self._shared_selection = None
@@ -129,6 +138,8 @@ class Warehouse:
         name = maintainer.view.name
         if name in self._maintainers:
             raise ValueError(f"view {name!r} already registered")
+        if maintainer.events is None:
+            maintainer.events = self.events
         self._maintainers[name] = maintainer
         self._shared_selection = None
 

@@ -252,3 +252,79 @@ class TestShare:
         out = capsys.readouterr().out
         assert "saleshared" in out
         assert "serves: view_0, view_1" in out
+
+
+class TestEventsCommand:
+    def test_prints_and_exports_the_event_log(self, tmp_path, capsys):
+        out_path = tmp_path / "events.jsonl"
+        assert main(
+            ["events", "--retail", "--transactions", "8",
+             "--jsonl", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "events in the ring" in out
+        assert "txn.commit" in out
+        records = [
+            json.loads(line)
+            for line in out_path.read_text().splitlines()
+            if line
+        ]
+        assert records and all("schema" in r for r in records)
+
+    def test_level_filter(self, capsys):
+        assert main(
+            ["events", "--retail", "--transactions", "8",
+             "--level", "error"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "txn.commit" not in out
+
+
+class TestDoctorCommand:
+    def test_healthy_exits_zero(self, capsys):
+        assert main(["doctor", "--retail", "--transactions", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "index-consistency:product_sales" in out
+        assert "doctor: healthy (exit 0)" in out
+
+    def test_planted_corruption_exits_two(self, capsys):
+        # Pin the memory backend: only in-process RowIndexes can be
+        # corrupted (the flag is a no-op error on plain-relation
+        # backends such as sqlite).
+        code = main(
+            ["doctor", "--retail", "--transactions", "6",
+             "--backend", "memory",
+             "--plant-index-corruption", "--json"]
+        )
+        assert code == 2
+        report = json.loads(capsys.readouterr().out)
+        assert report["status"] == "unhealthy"
+        assert any(
+            check["status"] == "fail"
+            and check["name"].startswith("index-consistency")
+            for check in report["checks"]
+        )
+
+
+class TestTopCommand:
+    def test_once_renders_a_live_server(self, capsys):
+        from repro.serving.server import WarehouseServer
+        from repro.warehouse.warehouse import Warehouse
+        from repro.workloads.retail import product_sales_view
+
+        from tests.helpers import paper_database
+
+        warehouse = Warehouse(paper_database(), [product_sales_view(1997)])
+        with WarehouseServer(warehouse) as server:
+            assert main(["top", "--once", "--url", server.url]) == 0
+        warehouse.close()
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "health   status=ok" in out
+        assert "queue    depth=" in out
+
+    def test_unreachable_endpoint_exits_one(self, capsys):
+        assert main(
+            ["top", "--once", "--url", "http://127.0.0.1:1"]
+        ) == 1
+        assert "cannot reach" in capsys.readouterr().err

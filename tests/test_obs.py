@@ -350,12 +350,46 @@ class TestPerfStats:
 
 class TestTracer:
     def test_sampling(self):
-        tracer = Tracer(sample_every=3)
+        tracer = Tracer(sample_every=3, errors_always=False)
         sampled = [tracer.begin("t") is not None for __ in range(9)]
         assert sampled == [True, False, False] * 3
         assert Tracer(sample_every=0).begin("t") is None
         with pytest.raises(ValueError):
             Tracer(sample_every=-1)
+
+    def test_head_sampling_pattern_with_shadow_traces(self):
+        # With error tail-sampling on (the default), every begin returns
+        # a trace, but only the head-sampled 1-in-N carry sampled=True
+        # — and clean shadows are discarded at finish.
+        tracer = Tracer(sample_every=3)
+        heads = []
+        for __ in range(9):
+            trace = tracer.begin("t")
+            heads.append(trace.sampled)
+            tracer.finish(trace)
+        assert heads == [True, False, False] * 3
+        assert tracer.sampled == 3
+        assert len(tracer.traces) == 3
+        assert all(t.sampled for t in tracer.traces)
+
+    def test_error_transactions_always_retained(self):
+        tracer = Tracer(sample_every=1000)
+        kept = tracer.begin("t")  # head-sampled
+        tracer.finish(kept)
+        for index in range(5):
+            shadow = tracer.begin("t", attempt=index)
+            assert shadow is not None and not shadow.sampled
+            if index == 3:
+                with pytest.raises(RuntimeError):
+                    with shadow.span("validate", kind="phase"):
+                        raise RuntimeError("boom")
+                tracer.finish(shadow, status="error")
+            else:
+                tracer.finish(shadow)
+        labels = [(t.sampled, t.status) for t in tracer.traces]
+        assert labels == [(True, "ok"), (False, "error")]
+        assert tracer.retained_errors == 1
+        assert tracer.sampled == 1
 
     def test_max_traces_ring(self):
         tracer = Tracer(sample_every=1, max_traces=2)
