@@ -10,7 +10,10 @@ on one machine, and the gate compares that:
   must not erode;
 * ``bench_backends.py`` → ``BENCH_backends.json``, gated on
   ``relative_throughput`` (SQLite-over-memory throughput), which the
-  SQL generation + staging overhead must not erode;
+  SQL generation + staging overhead must not erode — and, with
+  ``--metric relative_throughput_columnar``, on the columnar
+  backend's batch-kernel advantage over the row interpreter (CI runs
+  the gate once per metric);
 * ``bench_sharded.py`` → ``BENCH_sharded.json``, gated on
   ``projected_speedup`` (critical-path speedup projected from serial
   mode's per-shard compute timers, per key distribution and shard

@@ -12,7 +12,10 @@ on stdlib :mod:`sqlite3` with native transactional rollback.
 in-memory stores behind the same interface, partitioning the root
 auxiliary view by its group key (``"sharded:<N>"`` runs the shards
 serially in-process; ``"sharded:<N>:parallel"`` drives N persistent
-worker processes).
+worker processes).  :class:`~repro.backends.columnar.ColumnarBackend`
+stores each auxiliary view as typed columns with value->rid hash
+indexes and compiles delta plans to fused batch kernels
+(:mod:`repro.backends.kernels`).
 
 Select a backend with ``Warehouse(..., backend="sqlite")``, the CLI's
 ``--backend`` flag, or the ``REPRO_BACKEND`` environment variable (used
@@ -22,6 +25,7 @@ sharding).
 
 from repro.backends.base import (
     BACKEND_NAMES,
+    BACKEND_SPECS,
     Backend,
     BackendError,
     MemoryBackend,
@@ -31,6 +35,7 @@ from repro.backends.base import (
 
 __all__ = [
     "BACKEND_NAMES",
+    "BACKEND_SPECS",
     "Backend",
     "BackendError",
     "MemoryBackend",

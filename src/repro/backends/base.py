@@ -22,7 +22,16 @@ from repro.plan.executor import ExecutionContext
 
 #: Backends selectable by name (``sqlite`` also accepts ``sqlite:<path>``;
 #: ``sharded`` accepts ``sharded:<N>`` and ``sharded:<N>:parallel``).
-BACKEND_NAMES = ("memory", "sqlite", "sharded")
+BACKEND_NAMES = ("memory", "sqlite", "sharded", "columnar")
+
+#: The parameterized spec forms each backend accepts, for error messages
+#: and ``--help`` text.
+BACKEND_SPECS = (
+    "memory",
+    "sqlite[:<path>]",
+    "sharded:<N>[:parallel]",
+    "columnar",
+)
 
 #: Environment variable consulted when no backend is given explicitly.
 BACKEND_ENV = "REPRO_BACKEND"
@@ -172,7 +181,8 @@ def resolve_backend_name(spec: str | None = None) -> str:
     name = spec.split(":", 1)[0]
     if name not in BACKEND_NAMES:
         raise BackendError(
-            f"unknown backend {spec!r} (expected one of {BACKEND_NAMES})"
+            f"unknown backend {spec!r}: valid names are "
+            f"{', '.join(BACKEND_NAMES)} (specs: {', '.join(BACKEND_SPECS)})"
         )
     return name
 
@@ -202,8 +212,8 @@ def _parse_sharded_spec(rest: str, spec: str) -> tuple[int, bool]:
 def make_backend(spec=None) -> Backend:
     """Build a backend from a spec: an instance (returned as-is),
     ``"memory"``, ``"sqlite"``, ``"sqlite:<path>"``, ``"sharded:<N>"``,
-    ``"sharded:<N>:parallel"``, or ``None`` (defer to the
-    ``REPRO_BACKEND`` environment variable, default memory)."""
+    ``"sharded:<N>:parallel"``, ``"columnar"``, or ``None`` (defer to
+    the ``REPRO_BACKEND`` environment variable, default memory)."""
     if isinstance(spec, Backend):
         return spec
     if spec is None:
@@ -220,6 +230,11 @@ def make_backend(spec=None) -> Backend:
 
         n_shards, parallel = _parse_sharded_spec(rest, spec)
         return ShardedBackend(n_shards, parallel=parallel)
+    if name == "columnar":
+        from repro.backends.columnar import ColumnarBackend
+
+        return ColumnarBackend()
     raise BackendError(
-        f"unknown backend {spec!r} (expected one of {BACKEND_NAMES})"
+        f"unknown backend {spec!r}: valid names are "
+        f"{', '.join(BACKEND_NAMES)} (specs: {', '.join(BACKEND_SPECS)})"
     )

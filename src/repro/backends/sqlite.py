@@ -36,9 +36,12 @@ from repro.backends.sqlgen import (
     NameResolver,
     compile_logical,
     compile_physical,
+    render_expression,
     render_select,
 )
 from repro.core.maintenance import AuxMaterialization, SelfMaintenanceError
+from repro.core.rewrite import GroupAccumulator
+from repro.engine.operators import GroupByItem
 from repro.engine.relation import Relation, RelationError
 from repro.engine.rowindex import make_tuple_extractor
 from repro.engine.schema import Schema
@@ -118,6 +121,13 @@ class _SQLiteMaterialization(AuxMaterialization):
         )
         self._conn.execute(f'DROP TABLE IF EXISTS "{self.table_name}"')
         self._conn.execute(f'CREATE TABLE "{self.table_name}" ({columns})')
+        # Dropping the table dropped any indexes created for a previous
+        # incarnation under the same name.
+        backend._ready_indexes.difference_update(
+            name
+            for name in tuple(backend._ready_indexes)
+            if name.startswith(f"idx_{self.table_name}_")
+        )
         self._select_list = ", ".join(f'"{a.name}"' for a in self.schema)
         self._insert_sql = (
             f'INSERT INTO "{self.table_name}" VALUES '
@@ -147,15 +157,21 @@ class _SQLiteMaterialization(AuxMaterialization):
         return rows
 
     def _ensure_index(self, column: str) -> None:
-        # Re-issued on every probe (not cached): a rollback of the
-        # transaction that first created the index also drops it.
+        # Cached in the backend's ready set so repeat probes skip the
+        # DDL round trip entirely; a rollback conservatively forgets
+        # readiness (it may have undone the CREATE), and re-creating
+        # this materialization's table drops its indexes with it.
         if not self.use_indexes:
             return
+        name = f"idx_{self.table_name}_{_ident(column)}"
+        ready = self._backend._ready_indexes
+        if name in ready:
+            return
         self._conn.execute(
-            f'CREATE INDEX IF NOT EXISTS '
-            f'"idx_{self.table_name}_{_ident(column)}" '
+            f'CREATE INDEX IF NOT EXISTS "{name}" '
             f'ON "{self.table_name}"("{column}")'
         )
+        ready.add(name)
 
     # -- AuxMaterialization surface -------------------------------------
 
@@ -448,6 +464,12 @@ class SQLiteBackend(Backend):
         # DELETE + executemany with no per-transaction DDL.
         self._delta_ready: set[tuple[str, int]] = set()
         self._delta_insert: dict[tuple[str, int], str] = {}
+        #: Index names known to exist outside any rolled-back scope.
+        self._ready_indexes: set[str] = set()
+        #: id(node) -> (node, grouped-accumulate spec | None): the
+        #: pushed-down GROUP BY form of each AccumulateNode's join, or
+        #: None for shapes that must keep the Python fold.
+        self._accumulate_group: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     # Materializations.
@@ -516,9 +538,11 @@ class SQLiteBackend(Backend):
     def _execute_stage(self, node, ctx: ExecutionContext):
         resolver = _CtxResolver(self, ctx)
         if isinstance(node, AccumulateNode):
-            joined = self._fetch(
-                self._compile(node.children[0], node, resolver)
-            )
+            compiled = self._compile(node.children[0], node, resolver)
+            spec = self._accumulate_spec(node, compiled)
+            if spec is not None:
+                return self._run_grouped_accumulate(spec)
+            joined = self._fetch(compiled)
             if not joined:
                 return {}
             reconstructor = node.reconstructor
@@ -527,6 +551,112 @@ class SQLiteBackend(Backend):
             reconstructor.run_program(program, joined.rows, contributions)
             return contributions
         return self._fetch(self._compile(node, node, resolver))
+
+    def _accumulate_spec(self, node, compiled: CompiledQuery):
+        """The pushed-down ``GROUP BY`` form of one AccumulateNode, or
+        None when the shape must keep the Python fold.
+
+        Eligibility mirrors the columnar backend's compiled fold — only
+        COUNT/SUM/AVG items (extrema and DISTINCT need raw values) —
+        plus an exactness guard: every referenced column must carry
+        integer affinity (INT or BOOL keys; INT sums and multiplicity),
+        so SQLite's fold order cannot perturb float sums and the result
+        stays bit-identical to the interpreter's row-order fold.
+        """
+        key = id(node)
+        entry = self._accumulate_group.get(key)
+        if entry is not None and entry[0] is node:
+            return entry[1]
+        spec = self._compile_grouped_accumulate(node, compiled)
+        self._accumulate_group[key] = (node, spec)
+        return spec
+
+    def _compile_grouped_accumulate(self, node, compiled: CompiledQuery):
+        program = node.reconstructor.resolve_program(compiled.schema)
+        if program.raw_items:
+            return None
+        statement = compiled.statement
+        if statement.group_by or statement.having is not None \
+                or statement.distinct:
+            return None
+        items = statement.items
+        schema = compiled.schema
+        if len(items) != len(schema):
+            return None
+        count_position = program.count_position
+        referenced = list(program.key_positions)
+        if count_position is not None:
+            referenced.append(count_position)
+        referenced.extend(p for __, p, __ in program.sum_items)
+        if any(not isinstance(items[p], GroupByItem) for p in referenced):
+            return None
+        for position in program.key_positions:
+            if schema[position].atype is AttributeType.FLOAT:
+                return None
+        int_positions = list(p for __, p, __ in program.sum_items)
+        if count_position is not None:
+            int_positions.append(count_position)
+        if any(
+            schema[p].atype is not AttributeType.INT for p in int_positions
+        ):
+            return None
+        key_sql = [items[p].column.to_sql() for p in program.key_positions]
+        if count_position is None:
+            mult_sql = "COUNT(*)"
+            scale_sql = None
+        else:
+            mult_column = items[count_position].column.to_sql()
+            mult_sql = f"SUM({mult_column})"
+            scale_sql = mult_column
+        select = list(key_sql)
+        select.append(mult_sql)
+        sum_slots = []
+        for slot, position, scaled in program.sum_items:
+            value_sql = items[position].column.to_sql()
+            if scaled and scale_sql is not None:
+                select.append(f"SUM({value_sql} * {scale_sql})")
+            else:
+                select.append(f"SUM({value_sql})")
+            sum_slots.append(slot)
+        sql = (
+            f"SELECT {', '.join(select)} FROM "
+            f"{', '.join(table.to_sql() for table in statement.tables)}"
+        )
+        if statement.where:
+            conditions = " AND ".join(
+                render_expression(c) for c in statement.where
+            )
+            sql += f" WHERE {conditions}"
+        if key_sql:
+            sql += f" GROUP BY {', '.join(key_sql)}"
+        else:
+            # A keyless aggregate yields one row even over empty input;
+            # the fold yields no group at all (same adaptation as the
+            # view-evaluation SQL — see engine/aggregates.py).
+            sql += " HAVING COUNT(*) > 0"
+        bool_keys = tuple(
+            i
+            for i, p in enumerate(program.key_positions)
+            if schema[p].atype is AttributeType.BOOL
+        )
+        return (sql, len(program.key_positions), tuple(sum_slots), bool_keys)
+
+    def _run_grouped_accumulate(self, spec) -> dict:
+        sql, n_keys, sum_slots, bool_keys = spec
+        contributions: dict = {}
+        for row in self._conn.execute(sql):
+            key = row[:n_keys]
+            if bool_keys:
+                decoded = list(key)
+                for i in bool_keys:
+                    decoded[i] = bool(decoded[i])
+                key = tuple(decoded)
+            acc = GroupAccumulator(row[n_keys])
+            sums = acc.sums
+            for offset, slot in enumerate(sum_slots, start=n_keys + 1):
+                sums[slot] = row[offset]
+            contributions[key] = acc
+        return contributions
 
     def _compile(self, node, cache_node, resolver) -> CompiledQuery:
         """Compile ``node``, caching per plan identity (plans are static
@@ -633,9 +763,11 @@ class SQLiteBackend(Backend):
         self._conn.execute(f"ROLLBACK TO {name}")
         self._conn.execute(f"RELEASE {name}")
         del self._open_savepoints[self._open_savepoints.index(name):]
-        # The rollback may have undone the CREATE TABLE of any scratch
-        # table first staged inside the savepoint; re-create on next use.
+        # The rollback may have undone the CREATE TABLE / CREATE INDEX
+        # of any scratch table or probe index first issued inside the
+        # savepoint; re-create on next use.
         self._delta_ready.clear()
+        self._ready_indexes.clear()
 
     def commit(self) -> None:
         if not self._open_savepoints:

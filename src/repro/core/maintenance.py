@@ -402,15 +402,21 @@ def _delta_rows(transaction: Transaction) -> int:
     )
 
 
+#: Shared no-op span: ``nullcontext`` is stateless and re-entrant, so
+#: every untraced phase reuses one instance instead of allocating one
+#: per phase per transaction.
+_NULL_SPAN = nullcontext(None)
+
+
 def _phase_span(trace, name: str, **attrs):
     """A phase span on ``trace``, or a no-op context yielding None when
     the transaction is untraced — call sites stay branch-free."""
     if trace is None:
-        return nullcontext(None)
+        return _NULL_SPAN
     return trace.span(name, kind="phase", **attrs)
 
 
-@dataclass
+@dataclass(slots=True)
 class GroupState:
     """Maintained state of one group of ``V``."""
 
@@ -573,6 +579,7 @@ class SelfMaintainer:
         self._groups: dict[tuple, GroupState] = {}
         self._undo: UndoLog | None = None
         self._undo_saved_groups: set[tuple] = set()
+        self._group_saves: list[tuple[tuple, tuple | None]] = []
         if initialize:
             self._initialize(database)
 
@@ -888,7 +895,7 @@ class SelfMaintainer:
             )
         started = perf_counter()
         try:
-            self._apply_traced(transaction, undo, shared, trace)
+            self._apply_traced(transaction, undo, shared, trace, rows_in)
         except Exception as exc:
             if events is not None:
                 events.error(
@@ -926,8 +933,11 @@ class SelfMaintainer:
         undo: UndoLog | None,
         shared: dict | None,
         trace,
+        rows_in: int | None = None,
     ) -> None:
-        """The body of :meth:`apply` (``trace`` is None when unsampled)."""
+        """The body of :meth:`apply` (``trace`` is None when unsampled;
+        ``rows_in``, when the caller already counted the delta rows,
+        avoids a second pass over the transaction)."""
         perf = self.perf
         perf.count("transactions")
         if self.policy is not PlanPolicy.INDEXED:
@@ -944,7 +954,7 @@ class SelfMaintainer:
                     f"{offenders!r}"
                 )
         if self.policy is PlanPolicy.INDEXED:
-            before = _delta_rows(transaction)
+            before = rows_in if rows_in is not None else _delta_rows(transaction)
             with _phase_span(trace, "coalesce") as span, perf.timer("coalesce"):
                 coalesced = transaction.coalesced()
             if span is not None:
@@ -1011,14 +1021,15 @@ class SelfMaintainer:
             if info is None:
                 continue  # not a view table: maintenance never reads it
             validated[delta.table] = (
-                [info.schema.validate_row(row) for row in delta.inserted],
-                [info.schema.validate_row(row) for row in delta.deleted],
+                info.schema.validate_rows(delta.inserted),
+                info.schema.validate_rows(delta.deleted),
             )
         return validated
 
     def _begin_transaction(self, log: UndoLog) -> None:
         self._undo = log
         self._undo_saved_groups = set()
+        self._group_saves = []
         # Estimate hygiene: the stats snapshot describes pre-transaction
         # state, and an abort must also take back the domain high-water
         # marks this transaction's inserts raise — otherwise rolled-back
@@ -1038,6 +1049,7 @@ class SelfMaintainer:
     def _end_transaction(self) -> None:
         self._undo = None
         self._undo_saved_groups = set()
+        self._group_saves = []
         for materialization in self._materializations.values():
             materialization.end_undo()
         self.backend.end_transaction()
@@ -1046,29 +1058,48 @@ class SelfMaintainer:
 
     def _save_group(self, key: tuple) -> None:
         """Record the inverse of this transaction's mutations of one
-        summary group (a value snapshot, taken once per key)."""
+        summary group (a value snapshot, taken once per key).
+
+        Snapshots accumulate on one per-transaction list behind a
+        single undo closure (registered at the first save), so a
+        transaction touching many groups pays one entry, not one
+        closure per group.  Each key still publishes its own redo
+        record: the inverse log flipped forward names the exact set of
+        changed summary keys (what the serving layer's copy-on-write
+        snapshot chain publishes as a patch)."""
         undo = self._undo
-        if undo is None or key in self._undo_saved_groups:
+        saved = self._undo_saved_groups
+        if undo is None or key in saved:
             return
-        self._undo_saved_groups.add(key)
+        saved.add(key)
+        saves = self._group_saves
+        if not saves:
+            undo.record(lambda s=saves: self._restore_group_saves(s))
         state = self._groups.get(key)
-        # The redo record is the inverse flipped forward: it names the
-        # group this transaction touches, so a committed undo log reads
-        # as the exact set of changed summary keys (what the serving
-        # layer's copy-on-write snapshot chain publishes as a patch).
-        if state is None:
-            undo.record(
-                lambda k=key: self._groups.pop(k, None), rows=1, redo=key
+        saves.append(
+            (
+                key,
+                None
+                if state is None
+                else (state.count, dict(state.sums), dict(state.values)),
             )
-        else:
-            snapshot = GroupState(
-                state.count, dict(state.sums), dict(state.values)
-            )
-            undo.record(
-                lambda k=key, s=snapshot: self._groups.__setitem__(k, s),
-                rows=1,
-                redo=key,
-            )
+        )
+        undo.note_redo(key, rows=1)
+
+    def _restore_group_saves(
+        self, saves: list[tuple[tuple, tuple | None]]
+    ) -> None:
+        """Inverse of one transaction's summary-group mutations: put
+        every first-touch snapshot back (or drop groups that did not
+        exist).  Keys are unique per transaction, so replay order does
+        not matter; reversed keeps the LIFO discipline legible."""
+        groups = self._groups
+        for key, snapshot in reversed(saves):
+            if snapshot is None:
+                groups.pop(key, None)
+            else:
+                count, sums, values = snapshot
+                groups[key] = GroupState(count, sums, values)
 
     def _apply_validated(
         self,

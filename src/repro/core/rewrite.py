@@ -67,7 +67,7 @@ def categorize(item: AggregateItem) -> AggregateCategory:
     return AggregateCategory.AVG
 
 
-@dataclass
+@dataclass(slots=True)
 class GroupAccumulator:
     """Running totals for one group of ``V`` during (re)construction."""
 
@@ -80,6 +80,35 @@ class GroupAccumulator:
         self.sums = {} if self.sums is None else self.sums
         self.extrema = {} if self.extrema is None else self.extrema
         self.distincts = {} if self.distincts is None else self.distincts
+
+
+@dataclass(frozen=True)
+class SymbolicProgram:
+    """Schema-resolved column positions for one joined-relation shape.
+
+    The *symbolic* form of the row program: which positions form the
+    group key, where the root multiplicity lives (``None`` when raw
+    detail rows count once), and how each output aggregate reads the
+    joined row — as ``(slot, position, scale_by_multiplicity)`` for
+    SUM/AVG contributions and ``(slot, category, position)`` for
+    extremum/distinct raw values.  This is the single source of truth
+    three executors share: :meth:`Reconstructor.compile_program` closes
+    over it for the interpreter, the columnar backend's fused fold
+    kernel reads positions straight out of column stores, and the
+    SQLite backend renders it as a ``GROUP BY`` select list.
+    """
+
+    key_positions: tuple[int, ...]
+    count_position: int | None
+    sum_items: tuple[tuple[int, int, bool], ...]
+    raw_items: tuple[tuple[int, AggregateCategory, int], ...]
+
+    @property
+    def has_distinct(self) -> bool:
+        return any(
+            category is AggregateCategory.DISTINCT
+            for __, category, __pos in self.raw_items
+        )
 
 
 @dataclass(frozen=True)
@@ -120,6 +149,7 @@ class Reconstructor:
             if isinstance(item, GroupByItem)
         ]
         self._program_cache: dict[Schema, RowProgram] = {}
+        self._symbolic_cache: dict[Schema, SymbolicProgram] = {}
         self._join_plans: dict[str | None, PhysicalNode] = {}
 
     @property
@@ -173,48 +203,83 @@ class Reconstructor:
     # Row programs.
     # ------------------------------------------------------------------
 
-    def compile_program(self, schema: Schema) -> RowProgram:
-        """Compile group-key/multiplicity/contribution accessors for rows
-        of ``schema`` (a join of aux and/or delta relations).
-
-        Programs are cached per schema: maintenance compiles against the
-        same handful of join shapes on every transaction, so the hot path
-        pays attribute resolution once per shape, not once per delta.
+    def resolve_program(self, schema: Schema) -> SymbolicProgram:
+        """Resolve the row program *symbolically* against ``schema``:
+        pure column positions, no closures.  Cached per schema —
+        maintenance resolves against the same handful of join shapes on
+        every transaction, so the hot path pays attribute resolution
+        once per shape, not once per delta.
         """
-        cached = self._program_cache.get(schema)
+        cached = self._symbolic_cache.get(schema)
         if cached is not None:
             return cached
-        key_indexes = tuple(
+        key_positions = tuple(
             schema.index_of(
                 self.view.projection[slot].column.name,
                 self.view.projection[slot].column.qualifier,
             )
             for slot in self._group_slots
         )
-        key = make_tuple_extractor(key_indexes)
-        multiplicity = self._compile_multiplicity(schema)
+        count_position = self._resolve_multiplicity(schema)
 
-        sum_contributions: list[tuple[int, Callable[[tuple], object]]] = []
-        raw_values: list[tuple[int, AggregateCategory, Callable]] = []
+        sum_items: list[tuple[int, int, bool]] = []
+        raw_items: list[tuple[int, AggregateCategory, int]] = []
         for index, item in enumerate(self.view.projection):
             if not isinstance(item, AggregateItem):
                 continue
             category = self._item_categories[index]
             if category in (AggregateCategory.SUM, AggregateCategory.AVG):
-                sum_contributions.append(
-                    (index, self._compile_sum(schema, item, multiplicity))
+                sum_items.append((index,) + self._resolve_sum(schema, item))
+            elif category in (
+                AggregateCategory.EXTREMUM, AggregateCategory.DISTINCT
+            ):
+                raw_items.append(
+                    (index, category, self._resolve_raw(schema, item))
                 )
-            elif category is AggregateCategory.EXTREMUM:
-                raw_values.append(
-                    (index, category, self._raw_accessor(schema, item))
-                )
-            elif category is AggregateCategory.DISTINCT:
-                raw_values.append((index, category, self._raw_accessor(schema, item)))
+        program = SymbolicProgram(
+            key_positions=key_positions,
+            count_position=count_position,
+            sum_items=tuple(sum_items),
+            raw_items=tuple(raw_items),
+        )
+        self._symbolic_cache[schema] = program
+        return program
+
+    def compile_program(self, schema: Schema) -> RowProgram:
+        """Compile group-key/multiplicity/contribution accessors for rows
+        of ``schema`` (a join of aux and/or delta relations) — the
+        interpreter's closure form of :meth:`resolve_program`.
+        """
+        cached = self._program_cache.get(schema)
+        if cached is not None:
+            return cached
+        symbolic = self.resolve_program(schema)
+        key = make_tuple_extractor(symbolic.key_positions)
+        if symbolic.count_position is None:
+            multiplicity = lambda row: 1  # noqa: E731
+        else:
+            count_position = symbolic.count_position
+            multiplicity = lambda row: row[count_position]  # noqa: E731
+
+        def value_of(position: int) -> Callable[[tuple], object]:
+            return lambda row: row[position]
+
+        def scaled_by_count(position: int) -> Callable[[tuple], object]:
+            return lambda row: row[position] * multiplicity(row)
+
+        sum_contributions = tuple(
+            (index, scaled_by_count(position) if scaled else value_of(position))
+            for index, position, scaled in symbolic.sum_items
+        )
+        raw_values = tuple(
+            (index, category, value_of(position))
+            for index, category, position in symbolic.raw_items
+        )
         program = RowProgram(
             key=key,
             multiplicity=multiplicity,
-            sum_contributions=tuple(sum_contributions),
-            raw_values=tuple(raw_values),
+            sum_contributions=sum_contributions,
+            raw_values=raw_values,
         )
         self._program_cache[schema] = program
         return program
@@ -224,7 +289,7 @@ class Reconstructor:
         item = self.view.projection[index]
         return min if item.func is AggregateFunction.MIN else max
 
-    def _compile_multiplicity(self, schema: Schema) -> Callable[[tuple], int]:
+    def _resolve_multiplicity(self, schema: Schema) -> int | None:
         """Rows carry the root COUNT(*) when the compressed root auxiliary
         view participates in the join; raw detail rows count once."""
         count_index: int | None = None
@@ -236,39 +301,29 @@ class Reconstructor:
                         "multiple compressed auxiliary views in one join"
                     )
                 count_index = schema.index_of(column)
-        if count_index is None:
-            return lambda row: 1
-        index = count_index
-        return lambda row: row[index]
+        return count_index
 
-    def _compile_sum(
-        self,
-        schema: Schema,
-        item: AggregateItem,
-        multiplicity: Callable[[tuple], int],
-    ) -> Callable[[tuple], object]:
-        """SUM/AVG contribution: folded sum column when available in this
-        schema, otherwise ``value * multiplicity`` (the f(a*cnt0) rule)."""
+    def _resolve_sum(
+        self, schema: Schema, item: AggregateItem
+    ) -> tuple[int, bool]:
+        """SUM/AVG contribution as ``(position, scale_by_multiplicity)``:
+        the folded sum column when available in this schema, otherwise
+        ``value * multiplicity`` (the f(a*cnt0) rule)."""
         column = item.column
         if schema.has(column.name, column.qualifier):
-            index = schema.index_of(column.name, column.qualifier)
-            return lambda row: row[index] * multiplicity(row)
+            return schema.index_of(column.name, column.qualifier), True
         folded = self._folded_column(column.qualifier, column.name)
         if folded is not None and schema.has(folded):
-            index = schema.index_of(folded)
-            return lambda row: row[index]
+            return schema.index_of(folded), False
         raise ReconstructionError(
             f"{item.to_sql()} is computable neither from a raw column nor "
             "from a folded sum in this join"
         )
 
-    def _raw_accessor(
-        self, schema: Schema, item: AggregateItem
-    ) -> Callable[[tuple], object]:
+    def _resolve_raw(self, schema: Schema, item: AggregateItem) -> int:
         column = item.column
         if schema.has(column.name, column.qualifier):
-            index = schema.index_of(column.name, column.qualifier)
-            return lambda row: row[index]
+            return schema.index_of(column.name, column.qualifier)
         if item.func in (AggregateFunction.MIN, AggregateFunction.MAX):
             # Append-only mode folds MIN/MAX per group; merging the
             # per-group extrema is exact because they are distributive.
@@ -276,8 +331,7 @@ class Reconstructor:
                 column.qualifier, column.name, item.func
             )
             if folded is not None and schema.has(folded):
-                index = schema.index_of(folded)
-                return lambda row: row[index]
+                return schema.index_of(folded)
         raise ReconstructionError(
             f"{item.to_sql()} needs raw values of {column.qualified_name} "
             "which are not present in this join"

@@ -56,17 +56,43 @@ class Delta:
         transaction is a no-op on the final state, so maintenance need
         not propagate either side.  Rows that differ in any attribute
         (i.e. genuine updates) are left untouched.
+
+        Runs on every transaction before any reduction work, so the
+        cancellation is a single pass over each side (the availability
+        counts come from ``Counter``'s C counting helper, the rest is
+        one availability dict) and the surviving rows keep the
+        historical order exactly: the *first* ``min(inserts, deletes)``
+        occurrences of a row cancel on both sides.
         """
-        if not self.inserted or not self.deleted:
+        inserted, deleted = self.inserted, self.deleted
+        if not inserted or not deleted:
             return self
-        ins = Counter(self.inserted)
-        dels = Counter(self.deleted)
-        cancelled = ins & dels
+        remaining = Counter(deleted)
+        kept_ins: list[tuple] = []
+        cancelled: dict = {}
+        for row in inserted:
+            available = remaining.get(row, 0)
+            if available:
+                remaining[row] = available - 1
+                cancelled[row] = cancelled.get(row, 0) + 1
+            else:
+                kept_ins.append(row)
         if not cancelled:
             return self
-        kept_ins = _subtract_in_order(self.inserted, cancelled)
-        kept_dels = _subtract_in_order(self.deleted, cancelled)
-        return Delta(self.table, kept_ins, kept_dels)
+        kept_dels: list[tuple] = []
+        for row in deleted:
+            count = cancelled.get(row, 0)
+            if count:
+                cancelled[row] = count - 1
+            else:
+                kept_dels.append(row)
+        # Bypass __post_init__'s defensive re-tupling: the surviving
+        # rows are the already-normalized tuples of this delta.
+        delta = object.__new__(Delta)
+        object.__setattr__(delta, "table", self.table)
+        object.__setattr__(delta, "inserted", tuple(kept_ins))
+        object.__setattr__(delta, "deleted", tuple(kept_dels))
+        return delta
 
 
 @dataclass(frozen=True)

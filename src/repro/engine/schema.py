@@ -60,10 +60,48 @@ class Attribute:
         return self.qualified_name
 
 
+def _fast_coercer(atype: AttributeType):
+    """A per-type coercer with an exact-type fast path.
+
+    Row validation runs for every delta row of every transaction;
+    dispatching through the enum costs more than the check itself.  The
+    exact ``type() is`` tests preserve :meth:`AttributeType.coerce`
+    semantics precisely — ``bool`` is not ``int`` under ``type()``, so
+    INT still rejects True, and anything off the fast path (int
+    subclasses, other Reals, invalid values) falls through to the slow
+    coercer unchanged.
+    """
+    slow = atype.coerce
+    if atype is AttributeType.INT:
+        def coerce(value, _slow=slow):
+            return value if type(value) is int else _slow(value)
+    elif atype is AttributeType.FLOAT:
+        def coerce(value, _slow=slow):
+            kind = type(value)
+            if kind is float:
+                return value
+            if kind is int:
+                return float(value)
+            return _slow(value)
+    elif atype is AttributeType.STRING:
+        def coerce(value, _slow=slow):
+            return value if type(value) is str else _slow(value)
+    else:
+        def coerce(value, _slow=slow):
+            return value if type(value) is bool else _slow(value)
+    return coerce
+
+
 class Schema:
     """An immutable ordered collection of attributes with fast lookup."""
 
-    __slots__ = ("_attributes", "_by_qualified", "_hash")
+    __slots__ = (
+        "_attributes",
+        "_by_qualified",
+        "_hash",
+        "_coercers",
+        "_checker",
+    )
 
     def __init__(self, attributes: Iterable[Attribute]):
         attrs = tuple(attributes)
@@ -76,6 +114,8 @@ class Schema:
         self._attributes = attrs
         self._by_qualified = by_qualified
         self._hash: int | None = None
+        self._coercers: tuple | None = None
+        self._checker = None
 
     @property
     def attributes(self) -> tuple[Attribute, ...]:
@@ -102,6 +142,11 @@ class Schema:
         if cached is None:
             cached = self._hash = hash(self._attributes)
         return cached
+
+    def __reduce__(self):
+        # Rebuild from the attribute tuple alone: the lazy coercer cache
+        # holds closures, which must not cross worker pickle pipes.
+        return (Schema, (self._attributes,))
 
     def __repr__(self) -> str:  # pragma: no cover - display helper
         names = ", ".join(a.qualified_name for a in self._attributes)
@@ -163,12 +208,59 @@ class Schema:
 
     def validate_row(self, row: tuple) -> tuple:
         """Type-check and coerce a row against this schema."""
-        if len(row) != len(self._attributes):
+        coercers = self._coercers
+        if coercers is None:
+            coercers = self._coercers = tuple(
+                _fast_coercer(a.atype) for a in self._attributes
+            )
+        if len(row) != len(coercers):
             raise SchemaError(
                 f"row arity {len(row)} does not match schema arity "
                 f"{len(self._attributes)}"
             )
         return tuple(
-            attribute.atype.coerce(value)
-            for attribute, value in zip(self._attributes, row)
+            coerce(value) for coerce, value in zip(coercers, row)
         )
+
+    def _build_checker(self):
+        """Compile an exact-type batch predicate for this schema.
+
+        The predicate answers "is this row already in canonical form?"
+        — right arity and every value the exact native type of its
+        column.  Canonical rows need no coercion and no copying, so a
+        batch that passes is validated wholesale; any row off the fast
+        path (an int in a FLOAT column, a wrong type, a bad arity)
+        sends the whole batch through :meth:`validate_row`, which keeps
+        coercion results and error messages byte-identical."""
+        type_names = {
+            AttributeType.INT: "int",
+            AttributeType.FLOAT: "float",
+            AttributeType.STRING: "str",
+            AttributeType.BOOL: "bool",
+        }
+        tests = [f"len(r) == {len(self._attributes)}"]
+        tests.extend(
+            f"type(r[{i}]) is {type_names[a.atype]}"
+            for i, a in enumerate(self._attributes)
+        )
+        checker = eval(  # noqa: S307 - generated from the schema alone
+            "lambda r: " + " and ".join(tests),
+            {"len": len, "type": type},
+        )
+        self._checker = checker
+        return checker
+
+    def validate_rows(self, rows) -> list[tuple]:
+        """Type-check a batch of rows against this schema.
+
+        Rows already in canonical form (the overwhelmingly common case
+        for machine-generated deltas) pass one compiled predicate each
+        and are returned as-is; a batch with any non-canonical row
+        falls back to per-row :meth:`validate_row` so coercions apply
+        and the first offender raises its usual :class:`SchemaError`."""
+        checker = self._checker
+        if checker is None:
+            checker = self._build_checker()
+        if all(map(checker, rows)):
+            return rows if type(rows) is list else list(rows)
+        return [self.validate_row(row) for row in rows]

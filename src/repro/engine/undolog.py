@@ -90,6 +90,16 @@ class UndoLog:
         if redo is not None:
             self._redo.append(redo)
 
+    def note_redo(self, redo: Hashable, rows: int = 0) -> None:
+        """Attach a forward record (and its row count) to an inverse
+        operation recorded earlier.  Participants that batch many
+        mutations behind one closure — e.g. the maintainer's per-group
+        snapshots — still publish one redo record per logical change,
+        keeping :attr:`redo_records` and ``rows_undone`` identical to
+        the one-record-per-change discipline."""
+        self._rows += rows
+        self._redo.append(redo)
+
     def rollback(self) -> int:
         """Run every inverse operation in reverse order; return the number
         of row mutations undone.  The log is empty afterwards."""

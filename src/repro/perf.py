@@ -29,8 +29,6 @@ as numbers, not vibes.
 from __future__ import annotations
 
 import time
-from contextlib import contextmanager
-from typing import Iterator
 
 from repro.obs.metrics import (
     DELTA_ROWS_BUCKETS,
@@ -71,10 +69,33 @@ HISTOGRAM_BUCKETS = {
 }
 
 
+class _PhaseTimer:
+    """One phase timing: two ``perf_counter`` calls around the block.
+
+    A plain class instead of ``@contextmanager`` — the generator
+    machinery costs several times the measurement itself on the
+    per-transaction hot path, and this runs for every phase of every
+    transaction.
+    """
+
+    __slots__ = ("_seconds", "_phase", "_started")
+
+    def __init__(self, seconds, phase: str):
+        self._seconds = seconds
+        self._phase = phase
+
+    def __enter__(self) -> None:
+        self._started = time.perf_counter()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._seconds[self._phase] += time.perf_counter() - self._started
+        return False
+
+
 class PerfStats:
     """Named counters plus per-phase cumulative wall-clock seconds."""
 
-    __slots__ = ("registry", "counters", "seconds")
+    __slots__ = ("registry", "counters", "seconds", "_histograms")
 
     def __init__(self, registry: MetricsRegistry | None = None):
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -86,24 +107,28 @@ class PerfStats:
         self.seconds = self.registry.counter_group(
             "repro_phase_seconds_total", "phase"
         )
+        self._histograms: dict = {}
 
     def count(self, name: str, amount: int = 1) -> None:
         if amount:
             self.counters[name] += amount
 
-    @contextmanager
-    def timer(self, phase: str) -> Iterator[None]:
-        started = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.seconds[phase] += time.perf_counter() - started
+    def timer(self, phase: str) -> _PhaseTimer:
+        """A context manager timing one phase.  Stays overridable as an
+        unbound call (``PerfStats.timer(self, phase)``) — the
+        fault-injection harness subclasses this exact hook to define
+        transaction phase boundaries."""
+        return _PhaseTimer(self.seconds, phase)
 
     def observe(self, name: str, value: float) -> None:
         """Record one sample into the registry histogram ``name`` (bucket
         bounds from :data:`HISTOGRAM_BUCKETS`, latency bounds otherwise)."""
-        buckets = HISTOGRAM_BUCKETS.get(name, LATENCY_MS_BUCKETS)
-        self.registry.histogram(name, buckets).observe(value)
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            buckets = HISTOGRAM_BUCKETS.get(name, LATENCY_MS_BUCKETS)
+            histogram = self.registry.histogram(name, buckets)
+            self._histograms[name] = histogram
+        histogram.observe(value)
 
     def histogram_summary(self, name: str) -> dict:
         """count/sum/p50/p95/p99 of one observed distribution."""
@@ -125,6 +150,7 @@ class PerfStats:
         self.seconds = self.registry.counter_group(
             "repro_phase_seconds_total", "phase"
         )
+        self._histograms.clear()
 
     def snapshot(self) -> dict:
         """A JSON-serializable copy: counters plus timings in milliseconds.

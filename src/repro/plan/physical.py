@@ -63,6 +63,73 @@ def _result_size(result) -> int | None:
         return None
 
 
+def run_stage_root(node, ctx: ExecutionContext, execute, prepare=None):
+    """The memoize/share/trace/time/ActualStats contract of
+    :meth:`PhysicalNode.run`, factored out for backends that execute a
+    whole stage subtree as *one* unit — the SQLite backend's generated
+    SQL and the columnar backend's fused batch kernels — instead of
+    interpreting node by node.
+
+    ``execute(node, ctx)`` computes the stage result; ``prepare(node,
+    ctx)``, when given, runs after the cache checks but outside the
+    traced/timed section (e.g. SQLite's delta staging, whose cost the
+    historical counters attribute to the surrounding phase, not the
+    plan node).  The stage root's ``plan:<label>`` timer and
+    :class:`~repro.obs.stats.ActualStats` record the whole kernel;
+    inner nodes of the fused subtree stay unrecorded, exactly like the
+    generated-SQL path.
+    """
+    memo = ctx.memo
+    key = id(node)
+    if key in memo:
+        if ctx.trace is not None:
+            ctx.trace.instant(
+                node.label, kind="plan", cache_hit=True, cache="memo"
+            )
+        return memo[key]
+    shared = ctx.shared
+    share_key = node.share_key
+    if shared is not None and share_key is not None:
+        cached = shared.get(share_key, _MISSING)
+        if cached is not _MISSING:
+            ctx.count("plan_shared_hits")
+            node.stats.record_reuse()
+            if ctx.trace is not None:
+                span = ctx.trace.instant(
+                    node.label, kind="plan", cache_hit=True, cache="shared"
+                )
+                span.rows_out = _result_size(cached)
+            memo[key] = cached
+            return cached
+    if prepare is not None:
+        prepare(node, ctx)
+    perf = ctx.perf
+    if ctx.trace is None:
+        started = perf_counter()
+        result = execute(node, ctx)
+        elapsed = perf_counter() - started
+    else:
+        with ctx.trace.span(node.label, kind="plan") as span:
+            probes_before = (
+                perf.counters["index_probes"] if perf is not None else 0
+            )
+            started = perf_counter()
+            result = execute(node, ctx)
+            elapsed = perf_counter() - started
+            if perf is not None:
+                span.index_probes = (
+                    perf.counters["index_probes"] - probes_before
+                )
+            span.rows_out = _result_size(result)
+    if perf is not None:
+        perf.seconds[node._timer_key] += elapsed
+    node.stats.record(_result_size(result), elapsed)
+    memo[key] = result
+    if shared is not None and share_key is not None:
+        shared[share_key] = result
+    return result
+
+
 class PhysicalNode:
     """Base physical operator: children plus one ``execute`` step."""
 
